@@ -1,0 +1,83 @@
+// Experiment E9 (§6 complex updates): cost of update-update commutativity
+// checking — the per-tree check is polynomial, and the bounded search for
+// violations scales with the enumerated tree space.
+
+#include "benchmark/benchmark.h"
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "conflict/commutativity.h"
+#include "workload/catalog_generator.h"
+
+namespace xmlup {
+namespace {
+
+UpdateOp RestockInsert() {
+  Tree restock(bench::Symbols());
+  restock.CreateRoot(bench::Symbols()->Intern("restock"));
+  return UpdateOp::MakeInsert(bench::Xp("catalog/book[.//low]"),
+                              std::make_shared<const Tree>(std::move(restock)));
+}
+
+UpdateOp DiscontinueDelete() {
+  return std::move(
+      UpdateOp::MakeDelete(bench::Xp("catalog/book[.//high]")).value());
+}
+
+void BM_CommuteCheckOnCatalog(benchmark::State& state) {
+  const Tree catalog =
+      bench::Catalog(static_cast<size_t>(state.range(0)), /*seed=*/71);
+  const UpdateOp ins = RestockInsert();
+  const UpdateOp del = DiscontinueDelete();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(UpdatesCommuteOn(catalog, ins, del));
+  }
+  state.SetComplexityN(static_cast<int64_t>(catalog.size()));
+}
+BENCHMARK(BM_CommuteCheckOnCatalog)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_ViolationSearchInsertInsert(benchmark::State& state) {
+  // i1 enables i2: a violation exists and is found quickly.
+  Tree b(bench::Symbols());
+  b.CreateRoot(bench::Symbols()->Intern("b"));
+  Tree c(bench::Symbols());
+  c.CreateRoot(bench::Symbols()->Intern("c"));
+  const UpdateOp i1 = UpdateOp::MakeInsert(
+      bench::Xp("a"), std::make_shared<const Tree>(std::move(b)));
+  const UpdateOp i2 = UpdateOp::MakeInsert(
+      bench::Xp("a/b"), std::make_shared<const Tree>(std::move(c)));
+  BoundedSearchOptions options;
+  options.max_nodes = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FindCommutativityViolation(i1, i2, options));
+  }
+}
+BENCHMARK(BM_ViolationSearchInsertInsert)->DenseRange(1, 4);
+
+void BM_ViolationSearchExhaustive(benchmark::State& state) {
+  // Commuting updates: the search must exhaust the whole space — the
+  // exponential cost curve of the bounded check.
+  Tree m(bench::Symbols());
+  m.CreateRoot(bench::Symbols()->Intern("m"));
+  const UpdateOp ins = UpdateOp::MakeInsert(
+      bench::Xp("a/x"), std::make_shared<const Tree>(std::move(m)));
+  const UpdateOp del =
+      std::move(UpdateOp::MakeDelete(bench::Xp("a/y")).value());
+  BoundedSearchOptions options;
+  options.max_nodes = static_cast<size_t>(state.range(0));
+  uint64_t checked = 0;
+  for (auto _ : state) {
+    const BruteForceResult r = FindCommutativityViolation(ins, del, options);
+    checked = r.trees_checked;
+    benchmark::DoNotOptimize(checked);
+  }
+  state.counters["trees_checked"] = static_cast<double>(checked);
+}
+BENCHMARK(BM_ViolationSearchExhaustive)
+    ->DenseRange(1, 5)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace xmlup

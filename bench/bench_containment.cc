@@ -1,0 +1,91 @@
+// Experiment E6 (Miklau-Suciu containment, the reduced-from problem of
+// §5): the PTIME homomorphism test stays flat while the exact canonical-
+// model decision doubles per added descendant edge. Series: cost vs number
+// of // edges for both algorithms; canonical-model counts.
+
+#include "benchmark/benchmark.h"
+#include "bench/bench_util.h"
+#include "conflict/containment.h"
+
+namespace xmlup {
+namespace {
+
+/// p with `desc_edges` descendant edges: a//x1//x2...//xd/b, and a
+/// containing q = a//b (always contained, so the exact algorithm must
+/// check every model — the worst case).
+Pattern ChainWithDescEdges(size_t desc_edges, bool wildcards) {
+  Pattern p(bench::Symbols());
+  PatternNodeId node = p.CreateRoot(bench::Symbols()->Intern("a"));
+  for (size_t i = 0; i < desc_edges; ++i) {
+    const Label label = wildcards
+                            ? kWildcardLabel
+                            : bench::Symbols()->Intern("x" + std::to_string(i));
+    node = p.AddChild(node, label, Axis::kDescendant);
+  }
+  node = p.AddChild(node, bench::Symbols()->Intern("b"), Axis::kChild);
+  p.SetOutput(node);
+  return p;
+}
+
+void BM_HomomorphismTest(benchmark::State& state) {
+  const Pattern p = ChainWithDescEdges(static_cast<size_t>(state.range(0)),
+                                       /*wildcards=*/false);
+  const Pattern q = bench::Xp("a//b");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HasContainmentHomomorphism(p, q));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_HomomorphismTest)->DenseRange(1, 10)->Complexity();
+
+void BM_ExactCanonicalModels(benchmark::State& state) {
+  const Pattern p = ChainWithDescEdges(static_cast<size_t>(state.range(0)),
+                                       /*wildcards=*/false);
+  const Pattern q = bench::Xp("a//b");
+  uint64_t models = 0;
+  for (auto _ : state) {
+    const ContainmentDecision d = DecideContainment(p, q);
+    models = d.models_checked;
+    benchmark::DoNotOptimize(d.contained);
+  }
+  state.counters["models"] = static_cast<double>(models);
+}
+BENCHMARK(BM_ExactCanonicalModels)
+    ->DenseRange(1, 10)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ExactWithWideStarChains(benchmark::State& state) {
+  // Longer star chains in q enlarge w, multiplying the models per edge.
+  const Pattern p = ChainWithDescEdges(4, /*wildcards=*/false);
+  Pattern q(bench::Symbols());
+  PatternNodeId node = q.CreateRoot(bench::Symbols()->Intern("a"));
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    node = q.AddChild(node, kWildcardLabel, Axis::kChild);
+  }
+  node = q.AddChild(node, bench::Symbols()->Intern("b"), Axis::kDescendant);
+  q.SetOutput(node);
+  uint64_t models = 0;
+  for (auto _ : state) {
+    const ContainmentDecision d = DecideContainment(p, q);
+    models = d.models_checked;
+    benchmark::DoNotOptimize(d.contained);
+  }
+  state.counters["models"] = static_cast<double>(models);
+}
+BENCHMARK(BM_ExactWithWideStarChains)
+    ->DenseRange(1, 5)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_NonContainmentEarlyExit(benchmark::State& state) {
+  // Non-contained pairs can exit at the first failing model.
+  const Pattern p = ChainWithDescEdges(static_cast<size_t>(state.range(0)),
+                                       /*wildcards=*/false);
+  const Pattern q = bench::Xp("a/b");  // p ⊄ q (depth mismatch)
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecideContainment(p, q).contained);
+  }
+}
+BENCHMARK(BM_NonContainmentEarlyExit)->DenseRange(1, 10);
+
+}  // namespace
+}  // namespace xmlup

@@ -1,0 +1,86 @@
+// Experiment E10 (ablation; Amer-Yahia et al., the paper's reference [2]):
+// pattern minimization as a preprocessing step — minimization cost vs
+// pattern size, achieved shrinkage on redundant patterns, and the
+// knock-on saving for containment checking (fewer // edges and branches
+// mean fewer canonical models).
+
+#include "benchmark/benchmark.h"
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "conflict/containment.h"
+#include "conflict/minimize.h"
+#include "workload/pattern_generator.h"
+
+namespace xmlup {
+namespace {
+
+/// A deliberately redundant pattern: a base branching pattern with each
+/// predicate duplicated.
+Pattern RedundantPattern(size_t base_size, uint64_t seed) {
+  PatternGenOptions options;
+  options.size = base_size;
+  options.branch_prob = 0.6;
+  options.alphabet = {bench::Symbols()->Intern("a"),
+                      bench::Symbols()->Intern("b")};
+  RandomPatternGenerator gen(bench::Symbols(), options);
+  Rng rng(seed);
+  Pattern p = gen.GenerateBranching(&rng);
+  // Duplicate every leaf predicate.
+  std::vector<std::pair<PatternNodeId, std::pair<Label, Axis>>> dups;
+  for (PatternNodeId n : p.PreOrder()) {
+    if (n != p.root() && n != p.output() &&
+        p.first_child(n) == kNullPatternNode) {
+      dups.push_back({p.parent(n), {p.label(n), p.axis(n)}});
+    }
+  }
+  for (const auto& [parent, edge] : dups) {
+    p.AddChild(parent, edge.first, edge.second);
+  }
+  return p;
+}
+
+void BM_MinimizeCost(benchmark::State& state) {
+  const Pattern p =
+      RedundantPattern(static_cast<size_t>(state.range(0)), 77);
+  size_t minimized_size = 0;
+  for (auto _ : state) {
+    const Pattern m = MinimizePattern(p);
+    minimized_size = m.size();
+    benchmark::DoNotOptimize(minimized_size);
+  }
+  state.counters["original_nodes"] = static_cast<double>(p.size());
+  state.counters["minimized_nodes"] = static_cast<double>(minimized_size);
+}
+BENCHMARK(BM_MinimizeCost)->RangeMultiplier(2)->Range(4, 64);
+
+void BM_ContainmentRawVsMinimized(benchmark::State& state) {
+  const bool minimize = state.range(1) != 0;
+  Pattern p = RedundantPattern(static_cast<size_t>(state.range(0)), 79);
+  Pattern q = RedundantPattern(static_cast<size_t>(state.range(0)), 83);
+  if (minimize) {
+    p = MinimizePattern(p);
+    q = MinimizePattern(q);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecideContainment(p, q).contained);
+  }
+  state.counters["models"] = static_cast<double>(CanonicalModelCount(p, q));
+}
+BENCHMARK(BM_ContainmentRawVsMinimized)
+    ->ArgsProduct({{4, 6, 8}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_HomomorphismCheck(benchmark::State& state) {
+  const Pattern p = RedundantPattern(static_cast<size_t>(state.range(0)), 89);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HasOutputPreservingHomomorphism(p, p));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_HomomorphismCheck)
+    ->RangeMultiplier(2)
+    ->Range(4, 64)
+    ->Complexity(benchmark::oNSquared);
+
+}  // namespace
+}  // namespace xmlup

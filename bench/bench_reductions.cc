@@ -1,0 +1,71 @@
+// Experiment E7 (Theorems 4/6, Figures 7-8): end-to-end reduction pipeline
+// — decide containment, build the conflict instance, synthesize and verify
+// the Figure 7d/8c witness. Construction is linear; the decision cost is
+// dominated by the containment oracle.
+
+#include "benchmark/benchmark.h"
+#include "bench/bench_util.h"
+#include "conflict/containment.h"
+#include "conflict/reductions.h"
+
+namespace xmlup {
+namespace {
+
+/// A non-contained pair parameterized by size: p = m//x1//...//n (deep,
+/// descendant) vs q = m/x1/.../n (rigid, child) — p ⊄ q.
+std::pair<Pattern, Pattern> NonContainedPair(size_t size) {
+  Pattern p(bench::Symbols());
+  Pattern q(bench::Symbols());
+  PatternNodeId pn = p.CreateRoot(bench::Symbols()->Intern("m"));
+  PatternNodeId qn = q.CreateRoot(bench::Symbols()->Intern("m"));
+  for (size_t i = 0; i < size; ++i) {
+    const Label label = bench::Symbols()->Intern("x" + std::to_string(i));
+    pn = p.AddChild(pn, label, Axis::kDescendant);
+    qn = q.AddChild(qn, label, Axis::kChild);
+  }
+  p.SetOutput(pn);
+  q.SetOutput(qn);
+  return {std::move(p), std::move(q)};
+}
+
+void BM_ReductionConstruction(benchmark::State& state) {
+  auto [p, q] = NonContainedPair(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReduceNonContainmentToReadInsert(p, q));
+    benchmark::DoNotOptimize(ReduceNonContainmentToReadDelete(p, q));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ReductionConstruction)
+    ->RangeMultiplier(2)
+    ->Range(2, 64)
+    ->Complexity(benchmark::oN);
+
+void BM_EndToEndInsertPipeline(benchmark::State& state) {
+  auto [p, q] = NonContainedPair(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    const ContainmentDecision d = DecideContainment(p, q);
+    const ReadInsertReduction r = ReduceNonContainmentToReadInsert(p, q);
+    auto witness = BuildReadInsertReductionWitness(r, q, *d.counterexample);
+    benchmark::DoNotOptimize(witness.ok());
+  }
+}
+BENCHMARK(BM_EndToEndInsertPipeline)
+    ->DenseRange(1, 6)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_EndToEndDeletePipeline(benchmark::State& state) {
+  auto [p, q] = NonContainedPair(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    const ContainmentDecision d = DecideContainment(p, q);
+    const ReadDeleteReduction r = ReduceNonContainmentToReadDelete(p, q);
+    auto witness = BuildReadDeleteReductionWitness(r, q, *d.counterexample);
+    benchmark::DoNotOptimize(witness.ok());
+  }
+}
+BENCHMARK(BM_EndToEndDeletePipeline)
+    ->DenseRange(1, 6)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace xmlup

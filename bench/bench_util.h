@@ -1,0 +1,53 @@
+#ifndef XMLUP_BENCH_BENCH_UTIL_H_
+#define XMLUP_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+
+#include "common/random.h"
+#include "pattern/xpath_parser.h"
+#include "workload/catalog_generator.h"
+#include "workload/pattern_generator.h"
+#include "workload/tree_generator.h"
+#include "xml/symbol_table.h"
+
+namespace xmlup {
+namespace bench {
+
+/// Benchmarks share one symbol table; all generators are seeded so every
+/// run measures identical inputs.
+inline const std::shared_ptr<SymbolTable>& Symbols() {
+  static const auto& table =
+      *new std::shared_ptr<SymbolTable>(std::make_shared<SymbolTable>());
+  return table;
+}
+
+inline Pattern Xp(const char* xpath) {
+  return MustParseXPath(xpath, Symbols());
+}
+
+/// A random linear pattern of exactly `size` nodes over a small alphabet.
+inline Pattern RandomLinear(size_t size, uint64_t seed,
+                            double wildcard_prob = 0.2,
+                            double descendant_prob = 0.4) {
+  PatternGenOptions options;
+  options.size = size;
+  options.wildcard_prob = wildcard_prob;
+  options.descendant_prob = descendant_prob;
+  options.alphabet = {Symbols()->Intern("a"), Symbols()->Intern("b"),
+                      Symbols()->Intern("c")};
+  RandomPatternGenerator gen(Symbols(), options);
+  Rng rng(seed);
+  return gen.GenerateLinear(&rng);
+}
+
+inline Tree Catalog(size_t num_books, uint64_t seed) {
+  CatalogOptions options;
+  options.num_books = num_books;
+  Rng rng(seed);
+  return GenerateCatalog(Symbols(), options, &rng);
+}
+
+}  // namespace bench
+}  // namespace xmlup
+
+#endif  // XMLUP_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,74 @@
+// Figure-1 scenario at scale: generate a synthetic book catalog, run the
+// restock insertion, and show how the three conflict semantics (node /
+// tree / value) classify reads against that update.
+//
+// Build & run:  ./build/examples/inventory_restock [num_books]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/random.h"
+#include "conflict/read_insert.h"
+#include "eval/evaluator.h"
+#include "ops/operations.h"
+#include "pattern/xpath_parser.h"
+#include "workload/catalog_generator.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+using namespace xmlup;
+
+int main(int argc, char** argv) {
+  const size_t num_books = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 200;
+  auto symbols = std::make_shared<SymbolTable>();
+
+  CatalogOptions options;
+  options.num_books = num_books;
+  options.low_fraction = 0.3;
+  Rng rng(2026);
+  Tree catalog = GenerateCatalog(symbols, options, &rng);
+  std::cout << "catalog: " << catalog.size() << " nodes, " << num_books
+            << " books\n";
+
+  const Pattern condition = MustParseXPath("catalog/book[.//low]", symbols);
+  Result<Tree> restock_xml = ParseXml("<restock/>", symbols);
+  auto restock = std::make_shared<const Tree>(std::move(restock_xml).value());
+
+  const size_t low = Evaluate(condition, catalog).size();
+  InsertOp insert(condition, restock);
+  insert.ApplyInPlace(&catalog);
+  std::cout << "restocked " << low << " books\n\n";
+
+  // Classify typical reads against the restock update under all three
+  // semantics of the paper (§3).
+  const char* reads[] = {
+      "catalog//restock",          // sees the inserted nodes
+      "catalog//title",            // untouched
+      "catalog/book",              // same nodes, modified subtrees
+      "catalog/book[.//low]",      // the insert's own selector
+      "catalog/book/stock",        // ancestors of nothing inserted
+  };
+  std::cout << "read pattern                  node   tree   value\n";
+  for (const char* xpath : reads) {
+    const Pattern read = MustParseXPath(xpath, symbols);
+    std::string row = xpath;
+    row.resize(30, ' ');
+    std::cout << row;
+    for (ConflictSemantics semantics :
+         {ConflictSemantics::kNode, ConflictSemantics::kTree,
+          ConflictSemantics::kValue}) {
+      Result<LinearConflictReport> r = DetectReadInsertConflictLinear(
+          read, condition, *restock, semantics);
+      if (!r.ok()) {
+        std::cout << " err  ";
+        continue;
+      }
+      std::cout << (r->conflict ? " YES  " : "  no  ");
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\n(YES = a document exists on which this read changes; the "
+               "linear-pattern\n algorithms of §4 decide this in polynomial "
+               "time and produce a witness.)\n";
+  return 0;
+}

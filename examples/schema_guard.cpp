@@ -1,0 +1,86 @@
+// §6 "Schema Information" in action: two operations that conflict over
+// arbitrary documents can be conflict-free over documents conforming to a
+// schema — the schema forbids every witness shape. This example builds a
+// catalog DTD and contrasts unrestricted vs schema-restricted detection.
+//
+// Build & run:  ./build/examples/schema_guard
+
+#include <iostream>
+
+#include "conflict/detector.h"
+#include "dtd/dtd_conflict.h"
+#include "pattern/xpath_parser.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+using namespace xmlup;
+
+int main() {
+  auto symbols = std::make_shared<SymbolTable>();
+
+  // The catalog schema: books hold title/author/stock; stock holds
+  // quantity; restock markers live directly under book.
+  Result<Dtd> dtd = Dtd::Parse(
+      "root catalog\n"
+      "allow catalog : book\n"
+      "allow book : title author stock restock\n"
+      "allow stock : quantity\n"
+      "allow quantity : low high\n"
+      "seal title\n"
+      "seal restock\n"
+      "require book : stock\n",
+      symbols);
+  if (!dtd.ok()) {
+    std::cerr << "schema error: " << dtd.status() << "\n";
+    return 1;
+  }
+
+  // The update inserts <audit/> under every quantity; the read looks for
+  // audit nodes under titles. Over arbitrary documents these conflict (a
+  // quantity could sit below a title); the schema seals <title/>, so no
+  // conforming document admits the witness.
+  const Pattern read = MustParseXPath("catalog//title//audit", symbols);
+  const Pattern insert = MustParseXPath("catalog//quantity", symbols);
+  Result<Tree> content = ParseXml("<audit/>", symbols);
+  Tree x = std::move(content).value();
+
+  Result<ConflictReport> unrestricted = DetectReadInsert(read, insert, x);
+  if (!unrestricted.ok()) {
+    std::cerr << "detection error: " << unrestricted.status() << "\n";
+    return 1;
+  }
+  std::cout << "without schema : "
+            << ConflictVerdictName(unrestricted->verdict) << "\n";
+  if (unrestricted->witness.has_value()) {
+    std::cout << "  witness (non-conforming document): "
+              << WriteXml(*unrestricted->witness) << "\n";
+    std::string why;
+    dtd->Conforms(*unrestricted->witness, &why);
+    std::cout << "  schema rejects it: " << why << "\n";
+  }
+
+  BoundedSearchOptions search;
+  search.max_nodes = 5;
+  const BruteForceResult guarded = FindReadInsertConflictUnderDtd(
+      read, insert, x, *dtd, ConflictSemantics::kNode, search);
+  std::cout << "with schema    : ";
+  switch (guarded.outcome) {
+    case SearchOutcome::kWitnessFound:
+      std::cout << "conflict — conforming witness: "
+                << WriteXml(*guarded.witness) << "\n";
+      break;
+    case SearchOutcome::kExhaustedNoWitness:
+      std::cout << "no conforming witness up to " << search.max_nodes
+                << " nodes (" << guarded.trees_checked
+                << " trees examined)\n";
+      break;
+    case SearchOutcome::kBudgetExceeded:
+      std::cout << "inconclusive (budget exhausted after "
+                << guarded.trees_checked << " trees)\n";
+      break;
+  }
+  std::cout << "\nThe paper leaves the complexity of schema-aware conflict\n"
+               "detection open (§6); the library ships this bounded\n"
+               "semi-decision procedure over conforming documents.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+#include "analysis/dependence.h"
+
+#include <optional>
+
+#include "conflict/update_independence.h"
+
+namespace xmlup {
+namespace {
+
+bool IsUpdate(const Statement& s) {
+  return s.kind == Statement::Kind::kInsert ||
+         s.kind == Statement::Kind::kDelete;
+}
+
+std::optional<UpdateOp> ToUpdateOp(const Statement& s) {
+  if (s.kind == Statement::Kind::kInsert) {
+    return UpdateOp::MakeInsert(s.pattern, s.content);
+  }
+  Result<UpdateOp> del = UpdateOp::MakeDelete(s.pattern);
+  if (!del.ok()) return std::nullopt;
+  return std::move(del).value();
+}
+
+}  // namespace
+
+DependenceAnalyzer::DependenceAnalyzer(DetectorOptions options)
+    : options_(options) {}
+
+bool DependenceAnalyzer::MustOrder(const Statement& a,
+                                   const Statement& b) const {
+  if (a.target_var != b.target_var) return false;
+  if (a.kind == Statement::Kind::kRead && b.kind == Statement::Kind::kRead) {
+    return false;
+  }
+  if (IsUpdate(a) && IsUpdate(b)) {
+    // §6: update-update conflicts are NP-hard in general, but the sound
+    // commutativity certificate of update_independence.h proves many pairs
+    // reorderable; anything uncertified stays ordered.
+    std::optional<UpdateOp> op_a = ToUpdateOp(a);
+    std::optional<UpdateOp> op_b = ToUpdateOp(b);
+    if (!op_a.has_value() || !op_b.has_value()) return true;
+    Result<IndependenceReport> cert =
+        CertifyUpdatesCommute(*op_a, *op_b, options_);
+    return !cert.ok() ||
+           cert->certificate != CommutativityCertificate::kCertified;
+  }
+
+  const Statement& read = a.kind == Statement::Kind::kRead ? a : b;
+  const Statement& update = a.kind == Statement::Kind::kRead ? b : a;
+
+  Result<ConflictReport> report =
+      update.kind == Statement::Kind::kInsert
+          ? DetectReadInsert(read.pattern, update.pattern, *update.content,
+                             options_)
+          : DetectReadDelete(read.pattern, update.pattern, options_);
+  if (!report.ok()) return true;  // malformed update: stay conservative
+  return report->verdict != ConflictVerdict::kNoConflict;
+}
+
+DependenceAnalysisResult DependenceAnalyzer::Analyze(
+    const Program& program) const {
+  DependenceAnalysisResult result;
+  const auto& statements = program.statements();
+  for (size_t i = 0; i < statements.size(); ++i) {
+    for (size_t j = i + 1; j < statements.size(); ++j) {
+      ++result.pairs_total;
+      if (MustOrder(statements[i], statements[j])) {
+        std::string reason = statements[i].target_var;
+        result.dependences.push_back({i, j, std::move(reason)});
+      } else {
+        ++result.pairs_independent;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace xmlup

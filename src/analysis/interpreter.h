@@ -1,0 +1,57 @@
+#ifndef XMLUP_ANALYSIS_INTERPRETER_H_
+#define XMLUP_ANALYSIS_INTERPRETER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/program.h"
+#include "common/result.h"
+#include "xml/tree.h"
+
+namespace xmlup {
+
+/// A store of named trees the program operates on.
+class TreeStore {
+ public:
+  explicit TreeStore(std::shared_ptr<SymbolTable> symbols)
+      : symbols_(std::move(symbols)) {}
+
+  /// Installs (or replaces) a variable. Trees are move-only; the store
+  /// takes ownership.
+  void Put(const std::string& name, Tree tree);
+
+  bool Has(const std::string& name) const { return trees_.count(name) > 0; }
+  const Tree& Get(const std::string& name) const;
+  Tree* GetMutable(const std::string& name);
+
+  const std::shared_ptr<SymbolTable>& symbols() const { return symbols_; }
+
+  /// Deep copy of the entire store (for before/after comparisons).
+  TreeStore Clone() const;
+
+ private:
+  std::shared_ptr<SymbolTable> symbols_;
+  std::map<std::string, Tree> trees_;
+};
+
+/// The observable outcome of one program run. Read results are recorded
+/// both by node id (reference semantics) and by canonical code (value
+/// semantics); the optimizer's correctness tests compare the value view,
+/// since reordering legitimately renumbers freshly inserted nodes.
+struct ExecutionTrace {
+  struct ReadRecord {
+    std::string result_var;
+    std::vector<NodeId> nodes;
+    std::vector<std::string> codes;  // sorted canonical codes
+  };
+  std::vector<ReadRecord> reads;  // one per executed read, in program order
+};
+
+/// Executes `program` against `store` with mutating semantics. CSE-aliased
+/// reads replay the aliased statement's recorded result.
+Result<ExecutionTrace> Execute(const Program& program, TreeStore* store);
+
+}  // namespace xmlup
+
+#endif  // XMLUP_ANALYSIS_INTERPRETER_H_

@@ -1,0 +1,56 @@
+#include "analysis/program.h"
+
+#include "pattern/pattern_writer.h"
+#include "xml/xml_writer.h"
+
+namespace xmlup {
+
+size_t Program::AddRead(std::string result_var, std::string target_var,
+                        Pattern pattern) {
+  statements_.emplace_back(Statement::Kind::kRead, std::move(target_var),
+                           std::move(result_var), std::move(pattern), nullptr);
+  return statements_.size() - 1;
+}
+
+size_t Program::AddInsert(std::string target_var, Pattern pattern,
+                          std::shared_ptr<const Tree> content) {
+  statements_.emplace_back(Statement::Kind::kInsert, std::move(target_var),
+                           "", std::move(pattern), std::move(content));
+  return statements_.size() - 1;
+}
+
+size_t Program::AddDelete(std::string target_var, Pattern pattern) {
+  statements_.emplace_back(Statement::Kind::kDelete, std::move(target_var),
+                           "", std::move(pattern), nullptr);
+  return statements_.size() - 1;
+}
+
+std::string Program::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < statements_.size(); ++i) {
+    const Statement& s = statements_[i];
+    out += std::to_string(i) + ": ";
+    switch (s.kind) {
+      case Statement::Kind::kRead:
+        if (s.alias_of.has_value()) {
+          out += s.result_var + " = " +
+                 statements_[*s.alias_of].result_var + "  (CSE)";
+        } else {
+          out += s.result_var + " = read $" + s.target_var + "/" +
+                 ToXPathString(s.pattern);
+        }
+        break;
+      case Statement::Kind::kInsert:
+        out += "insert $" + s.target_var + "/" + ToXPathString(s.pattern) +
+               ", " + WriteXml(*s.content);
+        break;
+      case Statement::Kind::kDelete:
+        out += "delete $" + s.target_var + "/" + ToXPathString(s.pattern);
+        break;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace xmlup

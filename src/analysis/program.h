@@ -1,0 +1,68 @@
+#ifndef XMLUP_ANALYSIS_PROGRAM_H_
+#define XMLUP_ANALYSIS_PROGRAM_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pattern/pattern.h"
+#include "xml/tree.h"
+
+namespace xmlup {
+
+/// One statement of the paper's pidgin update language (§1):
+///
+///   y = read $x//A
+///   insert $x/B, <C/>
+///   delete $x//D
+///
+/// `target_var` names the tree variable the XPath is evaluated on;
+/// `result_var` (reads only) names the variable receiving the node set.
+struct Statement {
+  enum class Kind { kRead, kInsert, kDelete };
+
+  Statement(Kind kind_in, std::string target_var_in, std::string result_var_in,
+            Pattern pattern_in, std::shared_ptr<const Tree> content_in)
+      : kind(kind_in),
+        target_var(std::move(target_var_in)),
+        result_var(std::move(result_var_in)),
+        pattern(std::move(pattern_in)),
+        content(std::move(content_in)) {}
+
+  Kind kind;
+  std::string target_var;
+  std::string result_var;  // reads only
+  Pattern pattern;
+  std::shared_ptr<const Tree> content;  // inserts only
+  /// Filled by the optimizer's CSE pass: this read is replaced by a copy of
+  /// the result of the statement at the given index.
+  std::optional<size_t> alias_of;
+};
+
+/// A straight-line program over tree variables with mutating update
+/// semantics — the setting of the paper's data-dependence motivation.
+class Program {
+ public:
+  Program() = default;
+
+  size_t AddRead(std::string result_var, std::string target_var,
+                 Pattern pattern);
+  size_t AddInsert(std::string target_var, Pattern pattern,
+                   std::shared_ptr<const Tree> content);
+  size_t AddDelete(std::string target_var, Pattern pattern);
+
+  const std::vector<Statement>& statements() const { return statements_; }
+  std::vector<Statement>& mutable_statements() { return statements_; }
+  size_t size() const { return statements_.size(); }
+
+  /// Human-readable listing in the paper's pidgin syntax.
+  std::string ToString() const;
+
+ private:
+  std::vector<Statement> statements_;
+};
+
+}  // namespace xmlup
+
+#endif  // XMLUP_ANALYSIS_PROGRAM_H_

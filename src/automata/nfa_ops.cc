@@ -1,0 +1,87 @@
+#include "automata/nfa_ops.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace xmlup {
+namespace {
+
+/// BFS over product states (sa, sb), taking epsilon moves into account by
+/// closing each side independently. Records parents for witness
+/// reconstruction when `want_witness` is set.
+std::optional<ClassWord> ProductSearch(const Nfa& a, const Nfa& b,
+                                       bool want_witness) {
+  const size_t nb = b.num_states();
+  auto encode = [nb](StateId sa, StateId sb) -> size_t {
+    return static_cast<size_t>(sa) * nb + sb;
+  };
+
+  std::vector<bool> visited(a.num_states() * b.num_states(), false);
+  // parent[state] = (previous state, class taken); only kept for witnesses.
+  struct Parent {
+    size_t prev = SIZE_MAX;
+    LabelClass on;
+  };
+  std::vector<Parent> parents;
+  if (want_witness) parents.assign(visited.size(), Parent{});
+
+  std::queue<std::pair<StateId, StateId>> queue;
+
+  auto enqueue_closed = [&](StateId sa, StateId sb, size_t from,
+                            const LabelClass& on) {
+    // Close both sides under epsilon and enqueue every pair in the closure.
+    const std::vector<StateId> ca = a.EpsilonClosure({sa});
+    const std::vector<StateId> cb = b.EpsilonClosure({sb});
+    for (StateId xa : ca) {
+      for (StateId xb : cb) {
+        const size_t id = encode(xa, xb);
+        if (visited[id]) continue;
+        visited[id] = true;
+        if (want_witness) parents[id] = {from, on};
+        queue.emplace(xa, xb);
+      }
+    }
+  };
+
+  enqueue_closed(a.start(), b.start(), SIZE_MAX, LabelClass::Any());
+
+  while (!queue.empty()) {
+    auto [sa, sb] = queue.front();
+    queue.pop();
+    const size_t id = encode(sa, sb);
+    if (sa == a.accept() && sb == b.accept()) {
+      if (!want_witness) return ClassWord{};
+      // Reconstruct the word by following parents.
+      ClassWord word;
+      size_t cur = id;
+      while (parents[cur].prev != SIZE_MAX) {
+        word.push_back(parents[cur].on);
+        cur = parents[cur].prev;
+      }
+      std::reverse(word.begin(), word.end());
+      return word;
+    }
+    for (uint32_t ti : a.TransitionsFrom(sa)) {
+      const Nfa::Transition& ta = a.transitions()[ti];
+      for (uint32_t tj : b.TransitionsFrom(sb)) {
+        const Nfa::Transition& tb = b.transitions()[tj];
+        LabelClass common;
+        if (!IntersectClasses(ta.on, tb.on, &common)) continue;
+        enqueue_closed(ta.to, tb.to, id, common);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool IntersectionNonEmpty(const Nfa& a, const Nfa& b) {
+  return ProductSearch(a, b, /*want_witness=*/false).has_value();
+}
+
+std::optional<ClassWord> IntersectionWitness(const Nfa& a, const Nfa& b) {
+  return ProductSearch(a, b, /*want_witness=*/true);
+}
+
+}  // namespace xmlup

@@ -1,0 +1,29 @@
+#ifndef XMLUP_AUTOMATA_NFA_OPS_H_
+#define XMLUP_AUTOMATA_NFA_OPS_H_
+
+#include <optional>
+#include <vector>
+
+#include "automata/nfa.h"
+
+namespace xmlup {
+
+/// A word over symbol classes; each element is either a concrete label or
+/// "any" (resolved to a caller-chosen filler when materialized).
+using ClassWord = std::vector<LabelClass>;
+
+/// Decides emptiness of L(a) ∩ L(b) by BFS over the product automaton with
+/// symbolic class intersection (§4.1: "construct non-deterministic finite
+/// state automata ... verify in time polynomial ... whether the
+/// intersection is non-empty").
+bool IntersectionNonEmpty(const Nfa& a, const Nfa& b);
+
+/// Like IntersectionNonEmpty, but returns a shortest witness word of the
+/// intersection (nullopt if empty). The word's Any classes may be resolved
+/// to any label; the matching module resolves them to a filler symbol when
+/// building witness trees.
+std::optional<ClassWord> IntersectionWitness(const Nfa& a, const Nfa& b);
+
+}  // namespace xmlup
+
+#endif  // XMLUP_AUTOMATA_NFA_OPS_H_

@@ -1,0 +1,66 @@
+#ifndef XMLUP_AUTOMATA_REGEX_H_
+#define XMLUP_AUTOMATA_REGEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "xml/symbol_table.h"
+
+namespace xmlup {
+
+/// A symbol class on an automaton transition or in a witness word: either
+/// one concrete label or "any label" (the paper's (.), which stands for any
+/// symbol of the restricted alphabet Σ_{l,l'}; treating it as "any label at
+/// all" is equivalent for intersection-emptiness because class intersection
+/// is computed symbolically).
+struct LabelClass {
+  bool any = false;
+  Label label = kInvalidLabel;
+
+  static LabelClass Any() { return {true, kInvalidLabel}; }
+  static LabelClass Of(Label l) { return {false, l}; }
+
+  bool operator==(const LabelClass& other) const {
+    return any == other.any && (any || label == other.label);
+  }
+};
+
+/// Symbolic intersection of two classes; returns false if empty, else
+/// writes the (most specific) intersection into `out`.
+bool IntersectClasses(const LabelClass& a, const LabelClass& b,
+                      LabelClass* out);
+
+/// Minimal regular-expression IR: exactly what the paper's construction
+/// R(n) needs (§4.1) — symbols, the any-symbol dot, concatenation and
+/// Kleene star (plus epsilon as a unit).
+class Regex {
+ public:
+  enum class Kind { kEpsilon, kSymbol, kDot, kConcat, kStar };
+
+  static Regex Epsilon();
+  static Regex Symbol(Label label);
+  static Regex Dot();
+  static Regex Concat(Regex left, Regex right);
+  static Regex Star(Regex inner);
+
+  Kind kind() const { return kind_; }
+  Label label() const { return label_; }
+  const Regex& left() const { return *children_[0]; }
+  const Regex& right() const { return *children_[1]; }
+  const Regex& inner() const { return *children_[0]; }
+
+  /// Debug rendering, e.g. "a.(.)*.b" (concatenation rendered with '.').
+  std::string ToString(const SymbolTable& symbols) const;
+
+ private:
+  Regex() = default;
+
+  Kind kind_ = Kind::kEpsilon;
+  Label label_ = kInvalidLabel;
+  std::vector<std::shared_ptr<const Regex>> children_;
+};
+
+}  // namespace xmlup
+
+#endif  // XMLUP_AUTOMATA_REGEX_H_

@@ -1,0 +1,63 @@
+#ifndef XMLUP_COMMON_CHECK_H_
+#define XMLUP_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace xmlup {
+namespace internal {
+
+/// Accumulates a failure message and aborts the process when destroyed.
+/// Used only via the XMLUP_CHECK / XMLUP_DCHECK macros for conditions that
+/// indicate a bug in the library itself (user-facing errors use Status).
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* expr) {
+    stream_ << file << ":" << line << " check failed: " << expr << " ";
+  }
+
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows streamed operands when a check passes.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace xmlup
+
+#define XMLUP_CHECK(cond)            \
+  (cond) ? (void)0                   \
+         : (void)(::xmlup::internal::CheckFailure(__FILE__, __LINE__, #cond))
+
+#define XMLUP_CHECK_STREAM(cond)                                      \
+  if (cond)                                                           \
+    ::xmlup::internal::NullStream();                                  \
+  else                                                                \
+    ::xmlup::internal::CheckFailure(__FILE__, __LINE__, #cond)
+
+#ifdef NDEBUG
+#define XMLUP_DCHECK(cond) ::xmlup::internal::NullStream()
+#else
+#define XMLUP_DCHECK(cond) XMLUP_CHECK_STREAM(cond)
+#endif
+
+#endif  // XMLUP_COMMON_CHECK_H_

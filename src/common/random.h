@@ -1,0 +1,42 @@
+#ifndef XMLUP_COMMON_RANDOM_H_
+#define XMLUP_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace xmlup {
+
+/// A small, fast, deterministic PRNG (xoshiro256**). Workload generators and
+/// property tests seed this explicitly so every run is reproducible; the
+/// library never draws entropy from the environment.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Returns true with probability `p` (clamped to [0, 1]).
+  bool NextBool(double p);
+
+  /// Selects an index in [0, weights.size()) with probability proportional
+  /// to its weight. Requires at least one positive weight.
+  size_t NextWeighted(const std::vector<double>& weights);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace xmlup
+
+#endif  // XMLUP_COMMON_RANDOM_H_

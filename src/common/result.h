@@ -1,0 +1,79 @@
+#ifndef XMLUP_COMMON_RESULT_H_
+#define XMLUP_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace xmlup {
+
+/// A value-or-Status holder, modeled after arrow::Result. A Result is either
+/// a value of type T or a non-OK Status; constructing a Result from an OK
+/// Status is a programming error.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value.
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding an error. `status` must not be OK.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : state_(std::move(status)) {
+    XMLUP_DCHECK(!std::get<Status>(state_).ok())
+        << "Result constructed from OK status";
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+
+  /// Returns the error status (OK if the Result holds a value).
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(state_);
+  }
+
+  /// Accessors require ok(); checked in debug builds.
+  const T& value() const& {
+    XMLUP_DCHECK(ok()) << "Result::value() on error: " << status();
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    XMLUP_DCHECK(ok()) << "Result::value() on error: " << status();
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    XMLUP_DCHECK(ok()) << "Result::value() on error: " << status();
+    return std::get<T>(std::move(state_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error Status to the caller.
+#define XMLUP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define XMLUP_ASSIGN_OR_RETURN(lhs, expr) \
+  XMLUP_ASSIGN_OR_RETURN_IMPL(            \
+      XMLUP_CONCAT_(_xmlup_result_, __LINE__), lhs, expr)
+
+#define XMLUP_CONCAT_INNER_(a, b) a##b
+#define XMLUP_CONCAT_(a, b) XMLUP_CONCAT_INNER_(a, b)
+
+}  // namespace xmlup
+
+#endif  // XMLUP_COMMON_RESULT_H_

@@ -1,0 +1,29 @@
+#ifndef XMLUP_COMMON_STRING_UTIL_H_
+#define XMLUP_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xmlup {
+
+/// Splits `input` on `sep`, keeping empty pieces.
+std::vector<std::string_view> Split(std::string_view input, char sep);
+
+/// Joins pieces with `sep`.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view input);
+
+/// True if `input` starts with / ends with the given prefix or suffix.
+bool StartsWith(std::string_view input, std::string_view prefix);
+bool EndsWith(std::string_view input, std::string_view suffix);
+
+/// Escapes the five XML special characters (& < > " ') for text content.
+std::string XmlEscape(std::string_view input);
+
+}  // namespace xmlup
+
+#endif  // XMLUP_COMMON_STRING_UTIL_H_

@@ -1,0 +1,141 @@
+#include "conflict/bounded_search.h"
+
+#include <algorithm>
+#include <set>
+
+#include "pattern/pattern_ops.h"
+#include "xml/tree_algos.h"
+
+namespace xmlup {
+
+TreeEnumerator::TreeEnumerator(std::shared_ptr<SymbolTable> symbols,
+                               std::vector<Label> alphabet, size_t max_nodes,
+                               uint64_t max_shapes)
+    : symbols_(std::move(symbols)),
+      alphabet_(std::move(alphabet)),
+      max_shapes_(max_shapes) {
+  XMLUP_CHECK(!alphabet_.empty());
+  Build(max_nodes);
+}
+
+void TreeEnumerator::Build(size_t max_nodes) {
+  for (uint32_t size = 1; size <= max_nodes && !truncated_; ++size) {
+    // Only shapes strictly smaller than `size` exist at this point; all of
+    // them are candidates for children.
+    const uint32_t max_id = static_cast<uint32_t>(shapes_.size());
+    for (Label label : alphabet_) {
+      if (truncated_) break;
+      std::vector<uint32_t> children;
+      EmitWithChildren(label, size - 1, max_id, &children, size);
+    }
+  }
+}
+
+/// Emits every shape with the given root label and a canonical multiset of
+/// children whose sizes sum to `size_budget`, drawn from shape ids
+/// < max_id, in non-increasing id order.
+void TreeEnumerator::EmitWithChildren(Label label, uint32_t size_budget,
+                                      uint32_t max_id,
+                                      std::vector<uint32_t>* children,
+                                      uint32_t total_size) {
+  if (truncated_) return;
+  if (size_budget == 0) {
+    if (shapes_.size() >= max_shapes_) {
+      truncated_ = true;
+      return;
+    }
+    shapes_.push_back({label, *children, total_size});
+    return;
+  }
+  const uint32_t start =
+      children->empty() ? max_id : children->back() + 1;  // ids < start
+  for (uint32_t id = start; id-- > 0;) {
+    if (shapes_[id].size > size_budget) continue;
+    children->push_back(id);
+    EmitWithChildren(label, size_budget - shapes_[id].size, max_id, children,
+                     total_size);
+    children->pop_back();
+    if (truncated_) return;
+  }
+}
+
+void TreeEnumerator::Materialize(uint32_t shape_id, Tree* tree,
+                                 NodeId parent) const {
+  const Shape& shape = shapes_[shape_id];
+  const NodeId node = parent == kNullNode ? tree->CreateRoot(shape.label)
+                                          : tree->AddChild(parent, shape.label);
+  for (uint32_t child : shape.children) Materialize(child, tree, node);
+}
+
+bool TreeEnumerator::Enumerate(
+    const std::function<bool(const Tree&)>& visit) const {
+  for (uint32_t id = 0; id < shapes_.size(); ++id) {
+    Tree tree(symbols_);
+    Materialize(id, &tree, kNullNode);
+    if (!visit(tree)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+std::vector<Label> SearchAlphabet(const Pattern& read, const Pattern& update,
+                                  size_t extra_labels) {
+  std::set<Label> labels;
+  for (Label l : read.DistinctLabels()) labels.insert(l);
+  for (Label l : update.DistinctLabels()) labels.insert(l);
+  std::vector<Label> alphabet(labels.begin(), labels.end());
+  for (size_t i = 0; i < extra_labels; ++i) {
+    alphabet.push_back(read.symbols()->Fresh("alpha"));
+  }
+  if (alphabet.empty()) alphabet.push_back(read.symbols()->Fresh("alpha"));
+  return alphabet;
+}
+
+BruteForceResult RunSearch(const Pattern& read, const Pattern& update,
+                           const BoundedSearchOptions& options,
+                           const std::function<bool(const Tree&)>& is_witness) {
+  BruteForceResult result;
+  TreeEnumerator enumerator(read.symbols(),
+                            SearchAlphabet(read, update, options.extra_labels),
+                            options.max_nodes, options.max_trees);
+  bool completed = enumerator.Enumerate([&](const Tree& candidate) {
+    ++result.trees_checked;
+    if (is_witness(candidate)) {
+      result.outcome = SearchOutcome::kWitnessFound;
+      result.witness = CopyTree(candidate);
+      return false;
+    }
+    return true;
+  });
+  if (result.outcome == SearchOutcome::kWitnessFound) return result;
+  result.outcome = (completed && !enumerator.truncated())
+                       ? SearchOutcome::kExhaustedNoWitness
+                       : SearchOutcome::kBudgetExceeded;
+  return result;
+}
+
+}  // namespace
+
+BruteForceResult BruteForceReadInsertSearch(
+    const Pattern& read, const Pattern& insert_pattern, const Tree& inserted,
+    ConflictSemantics semantics, const BoundedSearchOptions& options) {
+  return RunSearch(read, insert_pattern, options, [&](const Tree& candidate) {
+    return IsReadInsertWitness(read, insert_pattern, inserted, candidate,
+                               semantics);
+  });
+}
+
+BruteForceResult BruteForceReadDeleteSearch(
+    const Pattern& read, const Pattern& delete_pattern,
+    ConflictSemantics semantics, const BoundedSearchOptions& options) {
+  return RunSearch(read, delete_pattern, options, [&](const Tree& candidate) {
+    return IsReadDeleteWitness(read, delete_pattern, candidate, semantics);
+  });
+}
+
+size_t PaperWitnessBound(const Pattern& read, const Pattern& update) {
+  return read.size() * update.size() * (StarLength(read) + 1);
+}
+
+}  // namespace xmlup

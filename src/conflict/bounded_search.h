@@ -1,0 +1,109 @@
+#ifndef XMLUP_CONFLICT_BOUNDED_SEARCH_H_
+#define XMLUP_CONFLICT_BOUNDED_SEARCH_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "conflict/witness_check.h"
+#include "pattern/pattern.h"
+#include "xml/tree.h"
+
+namespace xmlup {
+
+/// Enumerates all *canonical* unordered labeled trees with 1..max_nodes
+/// nodes over a fixed finite alphabet: every isomorphism class is produced
+/// exactly once (children are kept in a canonical non-increasing order).
+/// This realizes the "guess a tree of size polynomial in the inputs"
+/// step of the paper's NP-membership proofs (Theorems 3 and 5) as an
+/// exhaustive search, and doubles as the ground-truth oracle for the
+/// property tests of the polynomial detectors.
+class TreeEnumerator {
+ public:
+  /// `max_shapes` caps the internal table; generation stops (truncated())
+  /// when exceeded.
+  TreeEnumerator(std::shared_ptr<SymbolTable> symbols,
+                 std::vector<Label> alphabet, size_t max_nodes,
+                 uint64_t max_shapes = 4'000'000);
+
+  /// Number of distinct trees generated (≤ cap).
+  uint64_t count() const { return shapes_.size(); }
+
+  /// True if the cap stopped generation before all trees were produced.
+  bool truncated() const { return truncated_; }
+
+  /// Visits every generated tree; `visit` returns false to stop early.
+  /// Returns true iff the visit ran over all generated trees.
+  bool Enumerate(const std::function<bool(const Tree&)>& visit) const;
+
+ private:
+  struct Shape {
+    Label label;
+    std::vector<uint32_t> children;  // shape ids, non-increasing
+    uint32_t size;
+  };
+
+  void Build(size_t max_nodes);
+  void EmitWithChildren(Label label, uint32_t size_budget, uint32_t max_id,
+                        std::vector<uint32_t>* children, uint32_t total_size);
+  void Materialize(uint32_t shape_id, Tree* tree, NodeId parent) const;
+
+  std::shared_ptr<SymbolTable> symbols_;
+  std::vector<Label> alphabet_;
+  std::vector<Shape> shapes_;
+  uint64_t max_shapes_;
+  bool truncated_ = false;
+};
+
+/// Options for exhaustive conflict search.
+struct BoundedSearchOptions {
+  /// Maximum witness size to try (paper bound: |R|·|I|·(k+1); default small
+  /// because the space grows super-exponentially).
+  size_t max_nodes = 5;
+  /// Extra labels beyond those appearing in the patterns; the paper's
+  /// proofs need one fresh symbol α.
+  size_t extra_labels = 1;
+  /// Generation cap (isomorphism classes).
+  uint64_t max_trees = 2'000'000;
+};
+
+enum class SearchOutcome {
+  /// A witness was found; `witness` is set.
+  kWitnessFound,
+  /// The whole space up to max_nodes was enumerated without a witness.
+  kExhaustedNoWitness,
+  /// The cap stopped the enumeration first; absence is inconclusive.
+  kBudgetExceeded,
+};
+
+struct BruteForceResult {
+  SearchOutcome outcome = SearchOutcome::kBudgetExceeded;
+  std::optional<Tree> witness;
+  uint64_t trees_checked = 0;
+};
+
+/// Exhaustively searches for a read-insert conflict witness of size
+/// ≤ options.max_nodes, with labels drawn from Σ_read ∪ Σ_insert plus
+/// `extra_labels` fresh symbols.
+BruteForceResult BruteForceReadInsertSearch(const Pattern& read,
+                                            const Pattern& insert_pattern,
+                                            const Tree& inserted,
+                                            ConflictSemantics semantics,
+                                            const BoundedSearchOptions& options);
+
+/// Read-delete analogue.
+BruteForceResult BruteForceReadDeleteSearch(const Pattern& read,
+                                            const Pattern& delete_pattern,
+                                            ConflictSemantics semantics,
+                                            const BoundedSearchOptions& options);
+
+/// The paper's witness-size bound |R|·|I|·(k+1), k = STAR-LENGTH(read)
+/// (Lemma 11). Searching up to this bound is a complete decision
+/// procedure — usually astronomically expensive, which is the point of
+/// benchmark E5.
+size_t PaperWitnessBound(const Pattern& read, const Pattern& update);
+
+}  // namespace xmlup
+
+#endif  // XMLUP_CONFLICT_BOUNDED_SEARCH_H_

@@ -1,0 +1,89 @@
+#include "conflict/commutativity.h"
+
+#include <set>
+
+#include "eval/evaluator.h"
+#include "xml/isomorphism.h"
+#include "xml/tree_algos.h"
+
+namespace xmlup {
+
+UpdateOp::UpdateOp(Kind kind, Pattern pattern,
+                   std::shared_ptr<const Tree> content)
+    : kind_(kind), pattern_(std::move(pattern)), content_(std::move(content)) {}
+
+UpdateOp UpdateOp::MakeInsert(Pattern pattern,
+                              std::shared_ptr<const Tree> content) {
+  XMLUP_CHECK(content != nullptr && content->has_root());
+  return UpdateOp(Kind::kInsert, std::move(pattern), std::move(content));
+}
+
+Result<UpdateOp> UpdateOp::MakeDelete(Pattern pattern) {
+  if (pattern.output() == pattern.root()) {
+    return Status::InvalidArgument("delete pattern must not select the root");
+  }
+  return UpdateOp(Kind::kDelete, std::move(pattern), nullptr);
+}
+
+void UpdateOp::ApplyInPlace(Tree* t) const {
+  const std::vector<NodeId> points = Evaluate(pattern_, *t);
+  if (kind_ == Kind::kInsert) {
+    for (NodeId p : points) t->GraftCopy(p, *content_, content_->root());
+  } else {
+    for (NodeId p : points) {
+      if (t->alive(p)) t->DeleteSubtree(p);
+    }
+  }
+}
+
+bool UpdatesCommuteOn(const Tree& t, const UpdateOp& o1, const UpdateOp& o2) {
+  Tree order12 = CopyTree(t);
+  o2.ApplyInPlace(&order12);
+  o1.ApplyInPlace(&order12);
+  Tree order21 = CopyTree(t);
+  o1.ApplyInPlace(&order21);
+  o2.ApplyInPlace(&order21);
+  return CanonicalCode(order12) == CanonicalCode(order21);
+}
+
+BruteForceResult FindCommutativityViolation(
+    const UpdateOp& o1, const UpdateOp& o2,
+    const BoundedSearchOptions& options) {
+  // Alphabet: labels of both patterns, the inserted trees, plus fresh ones.
+  const auto& symbols = o1.pattern().symbols();
+  std::set<Label> labels;
+  for (Label l : o1.pattern().DistinctLabels()) labels.insert(l);
+  for (Label l : o2.pattern().DistinctLabels()) labels.insert(l);
+  for (const UpdateOp* op : {&o1, &o2}) {
+    if (op->kind() == UpdateOp::Kind::kInsert) {
+      for (NodeId n : op->content().PreOrder()) {
+        labels.insert(op->content().label(n));
+      }
+    }
+  }
+  std::vector<Label> alphabet(labels.begin(), labels.end());
+  for (size_t i = 0; i < options.extra_labels; ++i) {
+    alphabet.push_back(symbols->Fresh("alpha"));
+  }
+  if (alphabet.empty()) alphabet.push_back(symbols->Fresh("alpha"));
+
+  BruteForceResult result;
+  TreeEnumerator enumerator(symbols, alphabet, options.max_nodes,
+                            options.max_trees);
+  const bool completed = enumerator.Enumerate([&](const Tree& candidate) {
+    ++result.trees_checked;
+    if (!UpdatesCommuteOn(candidate, o1, o2)) {
+      result.outcome = SearchOutcome::kWitnessFound;
+      result.witness = CopyTree(candidate);
+      return false;
+    }
+    return true;
+  });
+  if (result.outcome == SearchOutcome::kWitnessFound) return result;
+  result.outcome = (completed && !enumerator.truncated())
+                       ? SearchOutcome::kExhaustedNoWitness
+                       : SearchOutcome::kBudgetExceeded;
+  return result;
+}
+
+}  // namespace xmlup

@@ -1,0 +1,58 @@
+#ifndef XMLUP_CONFLICT_COMMUTATIVITY_H_
+#define XMLUP_CONFLICT_COMMUTATIVITY_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "conflict/bounded_search.h"
+#include "pattern/pattern.h"
+#include "xml/tree.h"
+
+namespace xmlup {
+
+/// §6 "Complex Updates": update-update (insert-insert, delete-delete,
+/// insert-delete) conflicts. Two updates o1, o2 conflict when o1(o2(t))
+/// differs from o2(o1(t)) for some tree t. As the paper notes, node
+/// identity of inserted clones is ill-defined across orderings, so the
+/// natural comparison is value-based (tree isomorphism); that is what we
+/// implement.
+
+/// A single update operation for commutativity analysis.
+class UpdateOp {
+ public:
+  enum class Kind { kInsert, kDelete };
+
+  static UpdateOp MakeInsert(Pattern pattern,
+                             std::shared_ptr<const Tree> content);
+  /// Fails if the delete pattern selects the root.
+  static Result<UpdateOp> MakeDelete(Pattern pattern);
+
+  Kind kind() const { return kind_; }
+  const Pattern& pattern() const { return pattern_; }
+  const Tree& content() const { return *content_; }
+
+  /// Applies this update in place (reference semantics: evaluate first,
+  /// then mutate).
+  void ApplyInPlace(Tree* t) const;
+
+ private:
+  UpdateOp(Kind kind, Pattern pattern, std::shared_ptr<const Tree> content);
+
+  Kind kind_;
+  Pattern pattern_;
+  std::shared_ptr<const Tree> content_;
+};
+
+/// True iff o1(o2(t)) ≅ o2(o1(t)) (whole-tree isomorphism). Polynomial —
+/// the Lemma 1 analogue for update-update conflicts.
+bool UpdatesCommuteOn(const Tree& t, const UpdateOp& o1, const UpdateOp& o2);
+
+/// Exhaustively searches trees up to options.max_nodes for one on which the
+/// two updates do not commute. The witness (if found) is the tree t itself.
+BruteForceResult FindCommutativityViolation(const UpdateOp& o1,
+                                            const UpdateOp& o2,
+                                            const BoundedSearchOptions& options);
+
+}  // namespace xmlup
+
+#endif  // XMLUP_CONFLICT_COMMUTATIVITY_H_

@@ -1,0 +1,171 @@
+#include "conflict/containment.h"
+
+#include <vector>
+
+#include "eval/evaluator.h"
+#include "pattern/pattern_ops.h"
+
+namespace xmlup {
+namespace {
+
+/// DP table for pattern homomorphisms q → p.
+class HomTable {
+ public:
+  HomTable(size_t q_size, size_t p_size)
+      : stride_(p_size), bits_(q_size * p_size, false) {}
+  bool get(PatternNodeId x, PatternNodeId y) const {
+    return bits_[x * stride_ + y];
+  }
+  void set(PatternNodeId x, PatternNodeId y, bool v) {
+    bits_[x * stride_ + y] = v;
+  }
+
+ private:
+  size_t stride_;
+  std::vector<bool> bits_;
+};
+
+/// Label compatibility for homomorphisms: a wildcard in q maps anywhere; a
+/// concrete label in q must land on the same concrete label in p (a
+/// wildcard in p stands for an *arbitrary* label, so it cannot support a
+/// concrete requirement).
+bool HomLabelOk(const Pattern& q, PatternNodeId x, const Pattern& p,
+                PatternNodeId y) {
+  if (q.is_wildcard(x)) return true;
+  if (p.is_wildcard(y)) return false;
+  return q.LabelName(x) == p.LabelName(y);
+}
+
+}  // namespace
+
+bool HasContainmentHomomorphism(const Pattern& p, const Pattern& q) {
+  // hsat[x][y]: the subpattern of q rooted at x maps into p with x ↦ y.
+  // dsat[x][y]: hsat[x][y'] for some proper descendant y' of y in p.
+  HomTable hsat(q.size(), p.size());
+  HomTable dsat(q.size(), p.size());
+  const std::vector<PatternNodeId> p_post = p.PostOrder();
+  const std::vector<PatternNodeId> q_post = q.PostOrder();
+  for (PatternNodeId y : p_post) {
+    for (PatternNodeId x : q_post) {
+      bool ok = HomLabelOk(q, x, p, y);
+      for (PatternNodeId xc = q.first_child(x); ok && xc != kNullPatternNode;
+           xc = q.next_sibling(xc)) {
+        bool edge_ok = false;
+        if (q.axis(xc) == Axis::kChild) {
+          // Child edges must map to child edges of p.
+          for (PatternNodeId yc = p.first_child(y); yc != kNullPatternNode;
+               yc = p.next_sibling(yc)) {
+            if (p.axis(yc) == Axis::kChild && hsat.get(xc, yc)) {
+              edge_ok = true;
+              break;
+            }
+          }
+        } else {
+          // Descendant edges map to any strictly-lower node of p.
+          for (PatternNodeId yc = p.first_child(y); yc != kNullPatternNode;
+               yc = p.next_sibling(yc)) {
+            if (hsat.get(xc, yc) || dsat.get(xc, yc)) {
+              edge_ok = true;
+              break;
+            }
+          }
+        }
+        ok = edge_ok;
+      }
+      hsat.set(x, y, ok);
+      bool below = false;
+      for (PatternNodeId yc = p.first_child(y); !below &&
+           yc != kNullPatternNode;
+           yc = p.next_sibling(yc)) {
+        below = hsat.get(x, yc) || dsat.get(x, yc);
+      }
+      dsat.set(x, y, below);
+    }
+  }
+  return hsat.get(q.root(), p.root());
+}
+
+namespace {
+
+/// Builds the canonical model of `p` for one assignment of chain lengths
+/// to its descendant edges (indexed in preorder order of the lower node).
+Tree BuildCanonicalModel(const Pattern& p,
+                         const std::vector<PatternNodeId>& desc_nodes,
+                         const std::vector<size_t>& chain_lengths, Label z) {
+  Tree tree(p.symbols());
+  auto fill = [&](PatternNodeId n) {
+    return p.is_wildcard(n) ? z : p.label(n);
+  };
+  std::vector<NodeId> image(p.size(), kNullNode);
+  image[p.root()] = tree.CreateRoot(fill(p.root()));
+  for (PatternNodeId n : p.PreOrder()) {
+    if (n == p.root()) continue;
+    NodeId attach = image[p.parent(n)];
+    if (p.axis(n) == Axis::kDescendant) {
+      // Insert the chain of z nodes chosen for this edge.
+      size_t index = 0;
+      while (desc_nodes[index] != n) ++index;
+      for (size_t i = 0; i < chain_lengths[index]; ++i) {
+        attach = tree.AddChild(attach, z);
+      }
+    }
+    image[n] = tree.AddChild(attach, fill(n));
+  }
+  return tree;
+}
+
+uint64_t SaturatingPow(uint64_t base, uint64_t exp) {
+  uint64_t result = 1;
+  for (uint64_t i = 0; i < exp; ++i) {
+    if (result > UINT64_MAX / base) return UINT64_MAX;
+    result *= base;
+  }
+  return result;
+}
+
+}  // namespace
+
+ContainmentDecision DecideContainment(const Pattern& p, const Pattern& q) {
+  ContainmentDecision decision;
+  const Label z = p.symbols()->Fresh("z");
+  const size_t w = StarLength(q) + 1;
+
+  std::vector<PatternNodeId> desc_nodes;
+  for (PatternNodeId n : p.PreOrder()) {
+    if (n != p.root() && p.axis(n) == Axis::kDescendant) {
+      desc_nodes.push_back(n);
+    }
+  }
+
+  // Odometer over chain lengths in {0..w} per descendant edge.
+  std::vector<size_t> lengths(desc_nodes.size(), 0);
+  for (;;) {
+    Tree model = BuildCanonicalModel(p, desc_nodes, lengths, z);
+    ++decision.models_checked;
+    if (!HasEmbedding(q, model)) {
+      decision.contained = false;
+      decision.counterexample = std::move(model);
+      return decision;
+    }
+    // Advance the odometer.
+    size_t i = 0;
+    while (i < lengths.size() && lengths[i] == w) {
+      lengths[i] = 0;
+      ++i;
+    }
+    if (i == lengths.size()) break;
+    ++lengths[i];
+  }
+  decision.contained = true;
+  return decision;
+}
+
+uint64_t CanonicalModelCount(const Pattern& p, const Pattern& q) {
+  size_t desc_edges = 0;
+  for (PatternNodeId n : p.PreOrder()) {
+    if (n != p.root() && p.axis(n) == Axis::kDescendant) ++desc_edges;
+  }
+  return SaturatingPow(StarLength(q) + 2, desc_edges);
+}
+
+}  // namespace xmlup

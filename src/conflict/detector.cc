@@ -1,0 +1,151 @@
+#include "conflict/detector.h"
+
+#include "conflict/read_delete.h"
+#include "conflict/read_insert.h"
+#include "conflict/witness_build.h"
+#include "pattern/pattern_ops.h"
+#include "xml/tree_algos.h"
+
+namespace xmlup {
+namespace {
+
+/// Heuristic fast path for branching reads: run the complete linear
+/// algorithm on the read's mainline; if that conflicts, extend its witness
+/// with models of the read's branch subtrees (so the predicates hold) and
+/// check the result against the definitional checker. Sound — anything
+/// accepted is a verified witness — but incomplete; failures fall through
+/// to the bounded search.
+template <typename VerifyFn>
+std::optional<Tree> TryMainlineWitness(const Pattern& read,
+                                       const LinearConflictReport& linear,
+                                       const VerifyFn& is_witness) {
+  if (!linear.conflict || !linear.witness.has_value()) return std::nullopt;
+  Tree candidate = CopyTree(*linear.witness);
+  GraftBranchModelsEverywhere(&candidate, read);
+  if (is_witness(candidate)) return candidate;
+  return std::nullopt;
+}
+
+ConflictReport FromLinear(LinearConflictReport linear) {
+  ConflictReport report;
+  report.verdict = linear.conflict ? ConflictVerdict::kConflict
+                                   : ConflictVerdict::kNoConflict;
+  report.witness = std::move(linear.witness);
+  report.method = "linear-ptime";
+  if (!linear.detail.empty()) report.method += " (" + linear.detail + ")";
+  return report;
+}
+
+ConflictReport FromSearch(BruteForceResult search, size_t paper_bound,
+                          size_t searched_bound) {
+  ConflictReport report;
+  report.method = "bounded-search";
+  report.trees_checked = search.trees_checked;
+  switch (search.outcome) {
+    case SearchOutcome::kWitnessFound:
+      report.verdict = ConflictVerdict::kConflict;
+      report.witness = std::move(search.witness);
+      break;
+    case SearchOutcome::kExhaustedNoWitness:
+      // Complete only if the searched size covers the paper's witness
+      // bound (Lemma 11 / Theorem 5).
+      report.verdict = searched_bound >= paper_bound
+                           ? ConflictVerdict::kNoConflict
+                           : ConflictVerdict::kUnknown;
+      break;
+    case SearchOutcome::kBudgetExceeded:
+      report.verdict = ConflictVerdict::kUnknown;
+      break;
+  }
+  return report;
+}
+
+}  // namespace
+
+std::string_view ConflictVerdictName(ConflictVerdict verdict) {
+  switch (verdict) {
+    case ConflictVerdict::kConflict:
+      return "conflict";
+    case ConflictVerdict::kNoConflict:
+      return "no-conflict";
+    case ConflictVerdict::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+Result<ConflictReport> DetectReadInsert(const Pattern& read,
+                                        const Pattern& insert_pattern,
+                                        const Tree& inserted,
+                                        const DetectorOptions& options) {
+  if (read.IsLinear()) {
+    XMLUP_ASSIGN_OR_RETURN(
+        LinearConflictReport linear,
+        DetectReadInsertConflictLinear(read, insert_pattern, inserted,
+                                       options.semantics, options.matcher));
+    return FromLinear(std::move(linear));
+  }
+  // Heuristic: conflict of the read's mainline often extends to the full
+  // branching read once its predicates are satisfiable everywhere.
+  Result<LinearConflictReport> mainline_report =
+      DetectReadInsertConflictLinear(Mainline(read), insert_pattern, inserted,
+                                     options.semantics, options.matcher);
+  if (mainline_report.ok()) {
+    std::optional<Tree> candidate = TryMainlineWitness(
+        read, *mainline_report, [&](const Tree& t) {
+          return IsReadInsertWitness(read, insert_pattern, inserted, t,
+                                     options.semantics);
+        });
+    if (candidate.has_value()) {
+      ConflictReport report;
+      report.verdict = ConflictVerdict::kConflict;
+      report.witness = std::move(candidate);
+      report.method = "mainline-heuristic";
+      return report;
+    }
+  }
+  BruteForceResult search = BruteForceReadInsertSearch(
+      read, insert_pattern, inserted, options.semantics, options.search);
+  return FromSearch(std::move(search),
+                    PaperWitnessBound(read, insert_pattern),
+                    options.search.max_nodes);
+}
+
+Result<ConflictReport> DetectReadDelete(const Pattern& read,
+                                        const Pattern& delete_pattern,
+                                        const DetectorOptions& options) {
+  if (delete_pattern.output() == delete_pattern.root()) {
+    return Status::InvalidArgument("delete pattern must not select the root");
+  }
+  if (read.IsLinear()) {
+    XMLUP_ASSIGN_OR_RETURN(
+        LinearConflictReport linear,
+        DetectReadDeleteConflictLinear(read, delete_pattern,
+                                       options.semantics, options.matcher));
+    return FromLinear(std::move(linear));
+  }
+  Result<LinearConflictReport> mainline_report =
+      DetectReadDeleteConflictLinear(Mainline(read), delete_pattern,
+                                     options.semantics, options.matcher);
+  if (mainline_report.ok()) {
+    std::optional<Tree> candidate = TryMainlineWitness(
+        read, *mainline_report, [&](const Tree& t) {
+          return IsReadDeleteWitness(read, delete_pattern, t,
+                                     options.semantics);
+        });
+    if (candidate.has_value()) {
+      ConflictReport report;
+      report.verdict = ConflictVerdict::kConflict;
+      report.witness = std::move(candidate);
+      report.method = "mainline-heuristic";
+      return report;
+    }
+  }
+  BruteForceResult search = BruteForceReadDeleteSearch(
+      read, delete_pattern, options.semantics, options.search);
+  return FromSearch(std::move(search),
+                    PaperWitnessBound(read, delete_pattern),
+                    options.search.max_nodes);
+}
+
+}  // namespace xmlup

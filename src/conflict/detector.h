@@ -1,0 +1,61 @@
+#ifndef XMLUP_CONFLICT_DETECTOR_H_
+#define XMLUP_CONFLICT_DETECTOR_H_
+
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "conflict/bounded_search.h"
+#include "conflict/witness_check.h"
+#include "match/matching.h"
+#include "pattern/pattern.h"
+#include "xml/tree.h"
+
+namespace xmlup {
+
+/// Verdict of the unified detector. The problem is NP-complete in general
+/// (§5), so for branching reads the detector may legitimately answer
+/// kUnknown when its search budget is exhausted before the paper's witness
+/// bound is covered.
+enum class ConflictVerdict {
+  kConflict,
+  kNoConflict,
+  kUnknown,
+};
+
+std::string_view ConflictVerdictName(ConflictVerdict verdict);
+
+struct ConflictReport {
+  ConflictVerdict verdict = ConflictVerdict::kUnknown;
+  /// Set when verdict == kConflict: a verified witness tree.
+  std::optional<Tree> witness;
+  /// Which strategy decided: "linear-ptime" (Theorems 1-2, complete) or
+  /// "bounded-search" (§5 NP path).
+  std::string method;
+  /// Trees enumerated by the bounded search (0 for the linear path).
+  uint64_t trees_checked = 0;
+};
+
+struct DetectorOptions {
+  ConflictSemantics semantics = ConflictSemantics::kNode;
+  MatcherKind matcher = MatcherKind::kNfa;
+  /// Budget for the NP path (branching reads).
+  BoundedSearchOptions search;
+};
+
+/// Unified read-insert conflict detection: dispatches to the polynomial
+/// algorithm when the read pattern is linear (complete — Corollary 2), and
+/// to bounded witness search otherwise.
+Result<ConflictReport> DetectReadInsert(const Pattern& read,
+                                        const Pattern& insert_pattern,
+                                        const Tree& inserted,
+                                        const DetectorOptions& options = {});
+
+/// Unified read-delete conflict detection (Corollary 1 fast path).
+Result<ConflictReport> DetectReadDelete(const Pattern& read,
+                                        const Pattern& delete_pattern,
+                                        const DetectorOptions& options = {});
+
+}  // namespace xmlup
+
+#endif  // XMLUP_CONFLICT_DETECTOR_H_

@@ -1,0 +1,144 @@
+#include "conflict/read_delete.h"
+
+#include <string>
+
+#include "conflict/witness_build.h"
+#include "pattern/pattern_ops.h"
+#include "pattern/pattern_writer.h"
+
+namespace xmlup {
+namespace {
+
+/// Builds the Lemma 3 "(If)" witness for a node conflict found on the read
+/// edge into `n_prime` and verifies it. `word` is the matching witness: the
+/// label classes of the path from the tree root to the deletion point u.
+Result<Tree> BuildNodeConflictWitness(const Pattern& read,
+                                      const Pattern& delete_pattern,
+                                      PatternNodeId n_prime,
+                                      const ClassWord& word,
+                                      ConflictSemantics semantics) {
+  NodeId u = kNullNode;
+  Tree witness = MatchWordToPath(word, read.symbols(), &u);
+  const Label filler = read.symbols()->Fresh("mfill");
+
+  if (read.axis(n_prime) == Axis::kDescendant) {
+    // Descendant edge (n, n'): insert a model of SEQ_{n'}^{O(R)} as a child
+    // of u; the read then selects a node inside the doomed subtree.
+    const Pattern suffix = ExtractSeq(read, n_prime, read.output());
+    GraftModel(&witness, u, suffix, suffix.root(), filler);
+  } else {
+    // Child edge: u is the image of n' itself. If n' is not the output,
+    // extend below u with a model of the rest of the read.
+    if (n_prime != read.output()) {
+      const PatternNodeId n_next = read.first_child(n_prime);
+      const Pattern suffix = ExtractSeq(read, n_next, read.output());
+      GraftModel(&witness, u, suffix, suffix.root(), filler);
+    }
+  }
+  GraftBranchModelsEverywhere(&witness, delete_pattern);
+  if (IsReadDeleteWitness(read, delete_pattern, witness, semantics)) {
+    return witness;
+  }
+  // A node-conflict witness need not witness a *value* conflict on the
+  // same tree (the paper's Figure 3); the Lemma 2 construction uniquifies
+  // the result subtrees with fresh-labeled children.
+  const Label unique = read.symbols()->Fresh("uniq");
+  for (NodeId n : witness.PreOrder()) witness.AddChild(n, unique);
+  if (IsReadDeleteWitness(read, delete_pattern, witness, semantics)) {
+    return witness;
+  }
+  return Status::Internal(
+      "constructed read-delete witness failed verification");
+}
+
+/// Builds a witness for the "deletion strictly below a read result" case
+/// (tree/value semantics) from a weak match of D' against the whole read.
+Result<Tree> BuildSubtreeModificationWitness(const Pattern& read,
+                                             const Pattern& delete_pattern,
+                                             const ClassWord& word,
+                                             ConflictSemantics semantics) {
+  Tree witness = MatchWordToPath(word, read.symbols(), nullptr);
+  GraftBranchModelsEverywhere(&witness, delete_pattern);
+  if (IsReadDeleteWitness(read, delete_pattern, witness, semantics)) {
+    return witness;
+  }
+  // Lemma 2 fallback for value semantics: uniquify the subtrees along the
+  // trunk with fresh-labeled children so that a modified result subtree
+  // cannot be isomorphic to an unmodified one.
+  const Label unique = read.symbols()->Fresh("uniq");
+  for (NodeId n : witness.PreOrder()) witness.AddChild(n, unique);
+  if (IsReadDeleteWitness(read, delete_pattern, witness, semantics)) {
+    return witness;
+  }
+  return Status::Internal(
+      "constructed read-delete subtree witness failed verification");
+}
+
+}  // namespace
+
+Result<LinearConflictReport> DetectReadDeleteConflictLinear(
+    const Pattern& read, const Pattern& delete_pattern,
+    ConflictSemantics semantics, MatcherKind matcher, bool build_witness) {
+  if (!read.IsLinear()) {
+    return Status::InvalidArgument(
+        "read pattern must be linear (P^{//,*}) for polynomial detection");
+  }
+  if (delete_pattern.output() == delete_pattern.root()) {
+    return Status::InvalidArgument(
+        "delete pattern must not select the root");
+  }
+
+  // Corollary 1: only the delete's mainline matters.
+  const Pattern mainline = Mainline(delete_pattern);
+
+  LinearConflictReport report;
+
+  // Lemma 3: scan the read's edges.
+  for (PatternNodeId n_prime : read.PreOrder()) {
+    if (n_prime == read.root()) continue;
+    const PatternNodeId n = read.parent(n_prime);
+    MatchResult match;
+    if (read.axis(n_prime) == Axis::kDescendant) {
+      match = MatchWeakly(mainline, ExtractSeq(read, read.root(), n), matcher);
+    } else {
+      match =
+          MatchStrongly(mainline, ExtractSeq(read, read.root(), n_prime),
+                        matcher);
+    }
+    if (!match.matches) continue;
+    report.conflict = true;
+    report.detail =
+        std::string("node conflict via ") +
+        (read.axis(n_prime) == Axis::kDescendant ? "descendant" : "child") +
+        " edge into read node " + read.LabelName(n_prime);
+    if (build_witness) {
+      XMLUP_ASSIGN_OR_RETURN(
+          Tree witness,
+          BuildNodeConflictWitness(read, delete_pattern, n_prime,
+                                   match.witness_word, semantics));
+      report.witness = std::move(witness);
+    }
+    return report;
+  }
+
+  if (semantics == ConflictSemantics::kNode) return report;
+
+  // Tree / value semantics (equivalent for linear patterns, Lemma 2): a
+  // conflict also exists when the deletion point can fall at-or-below a
+  // read result, modifying the returned subtree.
+  MatchResult below = MatchWeakly(mainline, read, matcher);
+  if (below.matches) {
+    report.conflict = true;
+    report.detail = "subtree-modification conflict (D weakly matches R)";
+    if (build_witness) {
+      XMLUP_ASSIGN_OR_RETURN(
+          Tree witness,
+          BuildSubtreeModificationWitness(read, delete_pattern,
+                                          below.witness_word, semantics));
+      report.witness = std::move(witness);
+    }
+  }
+  return report;
+}
+
+}  // namespace xmlup

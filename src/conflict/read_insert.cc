@@ -1,0 +1,132 @@
+#include "conflict/read_insert.h"
+
+#include <string>
+
+#include "conflict/witness_build.h"
+#include "eval/evaluator.h"
+#include "pattern/pattern_ops.h"
+
+namespace xmlup {
+namespace {
+
+Result<Tree> BuildCutEdgeWitness(const Pattern& read,
+                                 const Pattern& insert_pattern,
+                                 const Tree& inserted, const ClassWord& word,
+                                 ConflictSemantics semantics) {
+  // The word is the path from the root to the insertion point u; after the
+  // insertion the read continues inside the grafted copy of X, so the path
+  // alone is the witness (Lemma 6 "(If)").
+  Tree witness = MatchWordToPath(word, read.symbols(), nullptr);
+  GraftBranchModelsEverywhere(&witness, insert_pattern);
+  if (IsReadInsertWitness(read, insert_pattern, inserted, witness,
+                          semantics)) {
+    return witness;
+  }
+  // Lemma 2: a node-conflict witness is upgraded to a value-conflict
+  // witness by giving every original node a fresh-labeled child (the new
+  // result inside X then has no isomorphic partner).
+  const Label unique = read.symbols()->Fresh("uniq");
+  for (NodeId n : witness.PreOrder()) witness.AddChild(n, unique);
+  if (IsReadInsertWitness(read, insert_pattern, inserted, witness,
+                          semantics)) {
+    return witness;
+  }
+  return Status::Internal(
+      "constructed read-insert witness failed verification");
+}
+
+Result<Tree> BuildSubtreeModificationWitness(const Pattern& read,
+                                             const Pattern& insert_pattern,
+                                             const Tree& inserted,
+                                             const ClassWord& word,
+                                             ConflictSemantics semantics) {
+  Tree witness = MatchWordToPath(word, read.symbols(), nullptr);
+  GraftBranchModelsEverywhere(&witness, insert_pattern);
+  if (IsReadInsertWitness(read, insert_pattern, inserted, witness,
+                          semantics)) {
+    return witness;
+  }
+  // Lemma 2 fallback: uniquify subtrees with fresh-labeled children so a
+  // modified result cannot be value-equal to an unmodified one.
+  const Label unique = read.symbols()->Fresh("uniq");
+  for (NodeId n : witness.PreOrder()) witness.AddChild(n, unique);
+  if (IsReadInsertWitness(read, insert_pattern, inserted, witness,
+                          semantics)) {
+    return witness;
+  }
+  return Status::Internal(
+      "constructed read-insert subtree witness failed verification");
+}
+
+}  // namespace
+
+Result<LinearConflictReport> DetectReadInsertConflictLinear(
+    const Pattern& read, const Pattern& insert_pattern, const Tree& inserted,
+    ConflictSemantics semantics, MatcherKind matcher, bool build_witness) {
+  if (!read.IsLinear()) {
+    return Status::InvalidArgument(
+        "read pattern must be linear (P^{//,*}) for polynomial detection");
+  }
+  if (!inserted.has_root()) {
+    return Status::InvalidArgument("inserted tree X is empty");
+  }
+
+  // Corollary 2: only the insert's mainline matters.
+  const Pattern mainline = Mainline(insert_pattern);
+
+  LinearConflictReport report;
+
+  // Lemmas 5-7: scan the read's edges for a cut edge.
+  for (PatternNodeId n_prime : read.PreOrder()) {
+    if (n_prime == read.root()) continue;
+    const PatternNodeId n = read.parent(n_prime);
+    const Pattern prefix = ExtractSeq(read, read.root(), n);
+    const Pattern suffix = ExtractSeq(read, n_prime, read.output());
+    MatchResult match;
+    bool suffix_ok = false;
+    if (read.axis(n_prime) == Axis::kChild) {
+      match = MatchStrongly(mainline, prefix, matcher);
+      if (match.matches) {
+        suffix_ok = EmbedsAt(suffix, inserted, inserted.root());
+      }
+    } else {
+      match = MatchWeakly(mainline, prefix, matcher);
+      if (match.matches) {
+        suffix_ok = EmbedsAnywhereIn(suffix, inserted, inserted.root());
+      }
+    }
+    if (!match.matches || !suffix_ok) continue;
+    report.conflict = true;
+    report.detail =
+        std::string("cut edge (") +
+        (read.axis(n_prime) == Axis::kDescendant ? "descendant" : "child") +
+        ") into read node " + read.LabelName(n_prime);
+    if (build_witness) {
+      XMLUP_ASSIGN_OR_RETURN(
+          Tree witness, BuildCutEdgeWitness(read, insert_pattern, inserted,
+                                            match.witness_word, semantics));
+      report.witness = std::move(witness);
+    }
+    return report;
+  }
+
+  if (semantics == ConflictSemantics::kNode) return report;
+
+  // Tree / value semantics: an insertion at-or-below a read result
+  // modifies the returned subtree (paper REMARKS after Theorem 2).
+  MatchResult below = MatchWeakly(mainline, read, matcher);
+  if (below.matches) {
+    report.conflict = true;
+    report.detail = "subtree-modification conflict (I weakly matches R)";
+    if (build_witness) {
+      XMLUP_ASSIGN_OR_RETURN(
+          Tree witness,
+          BuildSubtreeModificationWitness(read, insert_pattern, inserted,
+                                          below.witness_word, semantics));
+      report.witness = std::move(witness);
+    }
+  }
+  return report;
+}
+
+}  // namespace xmlup

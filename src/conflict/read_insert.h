@@ -1,0 +1,38 @@
+#ifndef XMLUP_CONFLICT_READ_INSERT_H_
+#define XMLUP_CONFLICT_READ_INSERT_H_
+
+#include "common/result.h"
+#include "conflict/report.h"
+#include "conflict/witness_check.h"
+#include "match/matching.h"
+#include "pattern/pattern.h"
+#include "xml/tree.h"
+
+namespace xmlup {
+
+/// Polynomial-time read-insert conflict detection (§4.2).
+///
+/// `read` must be linear (P^{//,*}); `insert_pattern` may be any pattern in
+/// P^{//,[],*} — by Lemma 8 / Corollary 2 only its mainline matters.
+/// `inserted` is the tree X grafted at each insertion point.
+///
+/// Node semantics implements Lemmas 5-7: a conflict exists iff some read
+/// edge (n, n') is a *cut edge*, i.e.
+///   - child edge:      I' and SEQ_ROOT(R)^n match strongly, and
+///                      SEQ_{n'}^{O(R)} embeds at the root of X;
+///   - descendant edge: I' and SEQ_ROOT(R)^n match weakly, and
+///                      SEQ_{n'}^{O(R)} embeds somewhere in X.
+///
+/// Tree semantics adds the case where an insertion lands at-or-below a read
+/// result (I' weakly matched by the whole read); value semantics coincides
+/// (Lemma 2). Witnesses are constructed per the proofs and re-validated
+/// with the Lemma 1 checker.
+Result<LinearConflictReport> DetectReadInsertConflictLinear(
+    const Pattern& read, const Pattern& insert_pattern, const Tree& inserted,
+    ConflictSemantics semantics = ConflictSemantics::kNode,
+    MatcherKind matcher = MatcherKind::kNfa,
+    bool build_witness = true);
+
+}  // namespace xmlup
+
+#endif  // XMLUP_CONFLICT_READ_INSERT_H_

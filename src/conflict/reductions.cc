@@ -1,0 +1,136 @@
+#include "conflict/reductions.h"
+
+#include "conflict/witness_check.h"
+#include "pattern/pattern_ops.h"
+
+namespace xmlup {
+namespace {
+
+/// Grafts a deep copy of `src` (whole tree) as a child of `parent`.
+NodeId GraftTree(Tree* dst, NodeId parent, const Tree& src) {
+  return dst->GraftCopy(parent, src, src.root());
+}
+
+}  // namespace
+
+ReadInsertReduction ReduceNonContainmentToReadInsert(const Pattern& p,
+                                                     const Pattern& p_prime) {
+  const auto& symbols = p.symbols();
+  const Label alpha = symbols->Fresh("alpha");
+  const Label beta = symbols->Fresh("beta");
+  const Label gamma = symbols->Fresh("gamma");
+
+  // q_I = α[β[p][γ]]/β[p'], output at the trunk β.
+  Pattern insert_pattern(symbols);
+  const PatternNodeId qi_root = insert_pattern.CreateRoot(alpha);
+  const PatternNodeId qi_beta1 =
+      insert_pattern.AddChild(qi_root, beta, Axis::kChild);
+  GraftPattern(&insert_pattern, qi_beta1, p, Axis::kChild);
+  insert_pattern.AddChild(qi_beta1, gamma, Axis::kChild);
+  const PatternNodeId qi_beta2 =
+      insert_pattern.AddChild(qi_root, beta, Axis::kChild);
+  GraftPattern(&insert_pattern, qi_beta2, p_prime, Axis::kChild);
+  insert_pattern.SetOutput(qi_beta2);
+
+  // X = <γ/>.
+  Tree inserted(symbols);
+  inserted.CreateRoot(gamma);
+
+  // q_R = α[β[p'][γ]], output at the root.
+  Pattern read(symbols);
+  const PatternNodeId qr_root = read.CreateRoot(alpha);
+  const PatternNodeId qr_beta = read.AddChild(qr_root, beta, Axis::kChild);
+  GraftPattern(&read, qr_beta, p_prime, Axis::kChild);
+  read.AddChild(qr_beta, gamma, Axis::kChild);
+  read.SetOutput(qr_root);
+
+  return {std::move(read), std::move(insert_pattern), std::move(inserted),
+          alpha, beta, gamma};
+}
+
+Result<Tree> BuildReadInsertReductionWitness(const ReadInsertReduction& r,
+                                             const Pattern& p_prime,
+                                             const Tree& t_p) {
+  const auto& symbols = r.read.symbols();
+  // Figure 7d: α root with two β children — one holding t_p plus a γ leaf,
+  // one holding a model of p' (and no γ).
+  Tree witness(symbols);
+  const NodeId root = witness.CreateRoot(r.alpha);
+  const NodeId beta1 = witness.AddChild(root, r.beta);
+  GraftTree(&witness, beta1, t_p);
+  witness.AddChild(beta1, r.gamma);
+  const NodeId beta2 = witness.AddChild(root, r.beta);
+  const Tree p_prime_model = ModelTree(p_prime, symbols->Fresh("fill"));
+  GraftTree(&witness, beta2, p_prime_model);
+
+  if (!IsReadInsertWitness(r.read, r.insert_pattern, r.inserted, witness,
+                           ConflictSemantics::kNode)) {
+    return Status::Internal(
+        "read-insert reduction witness failed verification (is t_p a true "
+        "non-containment counterexample?)");
+  }
+  return witness;
+}
+
+ReadDeleteReduction ReduceNonContainmentToReadDelete(const Pattern& p,
+                                                     const Pattern& p_prime) {
+  const auto& symbols = p.symbols();
+  const Label alpha = symbols->Fresh("alpha");
+  const Label beta = symbols->Fresh("beta");
+  const Label gamma = symbols->Fresh("gamma");
+
+  // q_D = α[β[p]]/γ[p'], output at the γ node.
+  Pattern delete_pattern(symbols);
+  const PatternNodeId qd_root = delete_pattern.CreateRoot(alpha);
+  const PatternNodeId qd_beta =
+      delete_pattern.AddChild(qd_root, beta, Axis::kChild);
+  GraftPattern(&delete_pattern, qd_beta, p, Axis::kChild);
+  const PatternNodeId qd_gamma =
+      delete_pattern.AddChild(qd_root, gamma, Axis::kChild);
+  GraftPattern(&delete_pattern, qd_gamma, p_prime, Axis::kChild);
+  delete_pattern.SetOutput(qd_gamma);
+
+  // q_R = α[*[p']], output at the root.
+  Pattern read(symbols);
+  const PatternNodeId qr_root = read.CreateRoot(alpha);
+  const PatternNodeId qr_star =
+      read.AddChild(qr_root, kWildcardLabel, Axis::kChild);
+  GraftPattern(&read, qr_star, p_prime, Axis::kChild);
+  read.SetOutput(qr_root);
+
+  return {std::move(read), std::move(delete_pattern), alpha, beta, gamma};
+}
+
+Result<Tree> BuildReadDeleteReductionWitness(const ReadDeleteReduction& r,
+                                             const Pattern& p_prime,
+                                             const Tree& t_p) {
+  const auto& symbols = r.read.symbols();
+  // Figure 8c: α root; β child holding t_p; γ child holding a model of p'.
+  Tree witness(symbols);
+  const NodeId root = witness.CreateRoot(r.alpha);
+  const NodeId beta = witness.AddChild(root, r.beta);
+  GraftTree(&witness, beta, t_p);
+  const NodeId gamma = witness.AddChild(root, r.gamma);
+  const Tree p_prime_model = ModelTree(p_prime, symbols->Fresh("fill"));
+  GraftTree(&witness, gamma, p_prime_model);
+
+  if (!IsReadDeleteWitness(r.read, r.delete_pattern, witness,
+                           ConflictSemantics::kNode)) {
+    return Status::Internal(
+        "read-delete reduction witness failed verification (is t_p a true "
+        "non-containment counterexample?)");
+  }
+  return witness;
+}
+
+Pattern WithDeltaOutput(const Pattern& read, Label* delta) {
+  XMLUP_CHECK(delta != nullptr);
+  *delta = read.symbols()->Fresh("delta");
+  Pattern modified = read;
+  const PatternNodeId delta_node =
+      modified.AddChild(modified.root(), *delta, Axis::kChild);
+  modified.SetOutput(delta_node);
+  return modified;
+}
+
+}  // namespace xmlup

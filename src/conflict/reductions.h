@@ -1,0 +1,65 @@
+#ifndef XMLUP_CONFLICT_REDUCTIONS_H_
+#define XMLUP_CONFLICT_REDUCTIONS_H_
+
+#include "common/result.h"
+#include "pattern/pattern.h"
+#include "xml/tree.h"
+
+namespace xmlup {
+
+/// The NP-hardness reductions of §5: XPath non-containment (p ⊄ p')
+/// reduces to read-insert (Theorem 4, Figure 7) and read-delete
+/// (Theorem 6, Figure 8) node-conflict detection. α, β, γ are fresh
+/// symbols not used in p or p'.
+
+/// Theorem 4 instance: R = READ over α[β[p'][γ]], I = INSERT over
+/// q_I = α[β[p][γ]]/β[p'] with X = <γ/>. R and I conflict iff p ⊄ p'.
+struct ReadInsertReduction {
+  Pattern read;
+  Pattern insert_pattern;
+  Tree inserted;
+  Label alpha;
+  Label beta;
+  Label gamma;
+};
+
+ReadInsertReduction ReduceNonContainmentToReadInsert(const Pattern& p,
+                                                     const Pattern& p_prime);
+
+/// Figure 7d: assembles the witness tree for a non-contained instance from
+/// `t_p` (a tree into which p embeds at the root but p' does not — e.g.
+/// the counterexample model from DecideContainment) and a model of p'.
+/// The returned tree is verified with the Lemma 1 checker.
+Result<Tree> BuildReadInsertReductionWitness(const ReadInsertReduction& r,
+                                             const Pattern& p_prime,
+                                             const Tree& t_p);
+
+/// Theorem 6 instance: R = READ over α[*[p']], D = DELETE over
+/// q_D = α[β[p]]/γ[p'] (output = the γ node). R and D conflict iff p ⊄ p'.
+struct ReadDeleteReduction {
+  Pattern read;
+  Pattern delete_pattern;
+  Label alpha;
+  Label beta;
+  Label gamma;
+};
+
+ReadDeleteReduction ReduceNonContainmentToReadDelete(const Pattern& p,
+                                                     const Pattern& p_prime);
+
+/// Figure 8c witness; verified with the Lemma 1 checker.
+Result<Tree> BuildReadDeleteReductionWitness(const ReadDeleteReduction& r,
+                                             const Pattern& p_prime,
+                                             const Tree& t_p);
+
+/// §5 REMARKS: adapts a reduction's read for *tree/value* semantics by
+/// adding a fresh δ-labeled child of the root and making it the output.
+/// The update never touches the subtree under a δ node, so the modified
+/// read has a tree (or value) conflict iff it has a node conflict —
+/// extending the NP-hardness proofs to all three semantics. `delta` is
+/// minted fresh and returned through the out-parameter.
+Pattern WithDeltaOutput(const Pattern& read, Label* delta);
+
+}  // namespace xmlup
+
+#endif  // XMLUP_CONFLICT_REDUCTIONS_H_

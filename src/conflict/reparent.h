@@ -1,0 +1,43 @@
+#ifndef XMLUP_CONFLICT_REPARENT_H_
+#define XMLUP_CONFLICT_REPARENT_H_
+
+#include <unordered_map>
+
+#include "common/result.h"
+#include "conflict/witness_check.h"
+#include "pattern/pattern.h"
+#include "xml/tree.h"
+
+namespace xmlup {
+
+/// Definition 10: the reparenting of `v` with respect to `u` and a pattern
+/// with STAR-LENGTH k. Produces a new tree in which the edge (parent(v), v)
+/// is replaced by a chain u → a_1 → … → a_{k+1} → v of fresh nodes labeled
+/// `alpha` (a symbol that must not occur in the pattern). Requires u to be
+/// a proper ancestor of v with more than k+3 nodes on the u..v path.
+struct ReparentResult {
+  Tree tree;
+  /// old NodeId → new NodeId for every surviving original node.
+  std::unordered_map<NodeId, NodeId> mapping;
+};
+
+ReparentResult Reparent(const Tree& t, NodeId u, NodeId v, size_t k,
+                        Label alpha);
+
+/// §5.1.1 witness shrinking (Definition 9 marking + iterated reparenting +
+/// pruning, Lemmas 10-11): given any witness to a node conflict, produces a
+/// witness of size ≤ |R|·|I|·(k+3)-ish whose conflict is re-verified with
+/// the Lemma 1 checker. Fails with Internal if the input is not actually a
+/// witness or verification of the shrunken tree fails (a library bug).
+Result<Tree> ShrinkReadInsertWitness(const Pattern& read,
+                                     const Pattern& insert_pattern,
+                                     const Tree& inserted,
+                                     const Tree& witness);
+
+Result<Tree> ShrinkReadDeleteWitness(const Pattern& read,
+                                     const Pattern& delete_pattern,
+                                     const Tree& witness);
+
+}  // namespace xmlup
+
+#endif  // XMLUP_CONFLICT_REPARENT_H_

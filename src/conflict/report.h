@@ -1,0 +1,24 @@
+#ifndef XMLUP_CONFLICT_REPORT_H_
+#define XMLUP_CONFLICT_REPORT_H_
+
+#include <optional>
+#include <string>
+
+#include "xml/tree.h"
+
+namespace xmlup {
+
+/// Outcome of a (complete) linear-pattern conflict detection. When
+/// `conflict` is true, `witness` holds a constructed tree that has been
+/// re-validated with the Lemma 1 checker: applying the update to it changes
+/// the read's result under the requested semantics. `detail` names the
+/// read edge and matching mode that produced the conflict.
+struct LinearConflictReport {
+  bool conflict = false;
+  std::optional<Tree> witness;
+  std::string detail;
+};
+
+}  // namespace xmlup
+
+#endif  // XMLUP_CONFLICT_REPORT_H_

@@ -1,0 +1,28 @@
+#include "conflict/transactions.h"
+
+namespace xmlup {
+
+Result<TransactionReport> CertifyTransactionsCommute(
+    const std::vector<UpdateOp>& t1, const std::vector<UpdateOp>& t2,
+    const DetectorOptions& options) {
+  TransactionReport report;
+  for (size_t i = 0; i < t1.size(); ++i) {
+    for (size_t j = 0; j < t2.size(); ++j) {
+      ++report.pairs_checked;
+      XMLUP_ASSIGN_OR_RETURN(IndependenceReport pair,
+                             CertifyUpdatesCommute(t1[i], t2[j], options));
+      if (pair.certificate != CommutativityCertificate::kCertified) {
+        report.certified = false;
+        report.t1_index = i;
+        report.t2_index = j;
+        report.detail = std::move(pair.detail);
+        return report;
+      }
+    }
+  }
+  report.certified = true;
+  report.detail = "all cross pairs certified";
+  return report;
+}
+
+}  // namespace xmlup

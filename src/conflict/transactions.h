@@ -1,0 +1,38 @@
+#ifndef XMLUP_CONFLICT_TRANSACTIONS_H_
+#define XMLUP_CONFLICT_TRANSACTIONS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "conflict/update_independence.h"
+
+namespace xmlup {
+
+/// Transaction-level application of the §6 machinery: two *sequences* of
+/// updates commute as wholes when every cross pair carries a
+/// commutativity certificate — then any interleaving of the two
+/// transactions produces isomorphic final documents, so a concurrency
+/// layer may run them without ordering. (Pairwise certificates compose:
+/// any interleaving is reachable from T1;T2 by adjacent transpositions of
+/// certified cross pairs, each preserving the result up to isomorphism.)
+struct TransactionReport {
+  /// Certified: all |T1|·|T2| cross pairs commute.
+  bool certified = false;
+  /// The first uncertified cross pair (indices into T1/T2), for
+  /// diagnostics; only meaningful when !certified.
+  size_t t1_index = 0;
+  size_t t2_index = 0;
+  std::string detail;
+  /// Pairs examined before stopping.
+  size_t pairs_checked = 0;
+};
+
+/// Attempts to certify that transactions `t1` and `t2` commute on every
+/// document. Sound, incomplete (inherits the certificate's incompleteness).
+Result<TransactionReport> CertifyTransactionsCommute(
+    const std::vector<UpdateOp>& t1, const std::vector<UpdateOp>& t2,
+    const DetectorOptions& options = {});
+
+}  // namespace xmlup
+
+#endif  // XMLUP_CONFLICT_TRANSACTIONS_H_

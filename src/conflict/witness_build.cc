@@ -1,0 +1,43 @@
+#include "conflict/witness_build.h"
+
+#include "pattern/pattern_ops.h"
+
+namespace xmlup {
+
+Tree MatchWordToPath(const ClassWord& word,
+                     const std::shared_ptr<SymbolTable>& symbols,
+                     NodeId* deepest) {
+  XMLUP_CHECK(!word.empty());
+  const Label filler = symbols->Fresh("wfill");
+  Tree tree = WordToPathTree(word, symbols, filler);
+  if (deepest != nullptr) {
+    NodeId n = tree.root();
+    while (tree.first_child(n) != kNullNode) n = tree.first_child(n);
+    *deepest = n;
+  }
+  return tree;
+}
+
+void GraftBranchModelsEverywhere(Tree* tree, const Pattern& update) {
+  // Branch children: children of mainline nodes that are not themselves on
+  // the mainline.
+  std::vector<PatternNodeId> branches;
+  for (PatternNodeId n : PathBetween(update, update.root(), update.output())) {
+    for (PatternNodeId c = update.first_child(n); c != kNullPatternNode;
+         c = update.next_sibling(c)) {
+      if (!update.IsAncestorOrSelf(c, update.output())) branches.push_back(c);
+    }
+  }
+  if (branches.empty()) return;
+  const Label filler = tree->symbols()->Fresh("bfill");
+  // Snapshot the node set first: models are grafted onto the original
+  // nodes only (the Lemma 4 proof adds M_c to each node of W).
+  const std::vector<NodeId> nodes = tree->PreOrder();
+  for (NodeId n : nodes) {
+    for (PatternNodeId c : branches) {
+      GraftModel(tree, n, update, c, filler);
+    }
+  }
+}
+
+}  // namespace xmlup

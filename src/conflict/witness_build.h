@@ -1,0 +1,30 @@
+#ifndef XMLUP_CONFLICT_WITNESS_BUILD_H_
+#define XMLUP_CONFLICT_WITNESS_BUILD_H_
+
+#include "match/matching.h"
+#include "pattern/pattern.h"
+#include "xml/tree.h"
+
+namespace xmlup {
+
+/// Helpers shared by the witness constructions of the linear read-delete
+/// and read-insert detectors (proofs of Lemmas 3, 4, 6 and 8).
+
+/// Materializes a match witness word as a path tree whose Any classes are
+/// resolved to a fresh symbol (one not occurring in any pattern).
+/// Returns the tree; `deepest` (optional) receives the last node of the
+/// path — the image of O(l1) in the match.
+Tree MatchWordToPath(const ClassWord& word,
+                     const std::shared_ptr<SymbolTable>& symbols,
+                     NodeId* deepest = nullptr);
+
+/// Lemma 4 / Lemma 8 extension step: for every branch subpattern of
+/// `update` (a child subtree hanging off the root→output mainline), grafts
+/// a model of that subpattern onto every pre-existing node of `tree`, so
+/// any embedding of the mainline extends to an embedding of the full
+/// pattern. Wildcards in the models are filled with a fresh symbol.
+void GraftBranchModelsEverywhere(Tree* tree, const Pattern& update);
+
+}  // namespace xmlup
+
+#endif  // XMLUP_CONFLICT_WITNESS_BUILD_H_

@@ -1,0 +1,132 @@
+#include "dtd/dtd.h"
+
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace xmlup {
+
+Dtd::Dtd(std::shared_ptr<SymbolTable> symbols)
+    : symbols_(std::move(symbols)) {
+  XMLUP_CHECK(symbols_ != nullptr);
+}
+
+Result<Dtd> Dtd::Parse(std::string_view text,
+                       std::shared_ptr<SymbolTable> symbols) {
+  Dtd dtd(symbols);
+  size_t line_number = 0;
+  for (std::string_view raw_line : Split(text, '\n')) {
+    ++line_number;
+    const std::string_view line = StripWhitespace(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    auto error = [&](const std::string& message) {
+      return Status::ParseError("DTD line " + std::to_string(line_number) +
+                                ": " + message);
+    };
+    // Tokenize on whitespace; ':' is a cosmetic separator.
+    std::vector<std::string> tokens;
+    for (std::string_view piece : Split(line, ' ')) {
+      const std::string_view token = StripWhitespace(piece);
+      if (!token.empty() && token != ":") tokens.emplace_back(token);
+    }
+    if (tokens.empty()) continue;  // line held only separators
+    const std::string& directive = tokens[0];
+    if (directive == "root") {
+      if (tokens.size() != 2) return error("root expects one label");
+      dtd.SetRootLabel(symbols->Intern(tokens[1]));
+    } else if (directive == "seal") {
+      if (tokens.size() != 2) return error("seal expects one label");
+      dtd.Seal(symbols->Intern(tokens[1]));
+    } else if (directive == "allow" || directive == "require") {
+      if (tokens.size() < 3) {
+        return error(directive + " expects a parent and child labels");
+      }
+      const Label parent = symbols->Intern(tokens[1]);
+      for (size_t i = 2; i < tokens.size(); ++i) {
+        const Label child = symbols->Intern(tokens[i]);
+        if (directive == "allow") {
+          dtd.Allow(parent, child);
+        } else {
+          dtd.Require(parent, child);
+        }
+      }
+    } else {
+      return error("unknown directive '" + directive + "'");
+    }
+  }
+  return dtd;
+}
+
+void Dtd::Seal(Label parent) { sealed_.insert(parent); }
+
+void Dtd::Allow(Label parent, Label child) {
+  sealed_.insert(parent);
+  allowed_[parent].insert(child);
+}
+
+void Dtd::Require(Label parent, Label child) {
+  required_[parent].insert(child);
+}
+
+std::set<Label> Dtd::MentionedLabels() const {
+  std::set<Label> labels;
+  if (root_label_.has_value()) labels.insert(*root_label_);
+  for (Label l : sealed_) labels.insert(l);
+  for (const auto& [parent, children] : allowed_) {
+    labels.insert(parent);
+    labels.insert(children.begin(), children.end());
+  }
+  for (const auto& [parent, children] : required_) {
+    labels.insert(parent);
+    labels.insert(children.begin(), children.end());
+  }
+  return labels;
+}
+
+bool Dtd::Conforms(const Tree& tree, std::string* why) const {
+  if (!tree.has_root()) {
+    if (why != nullptr) *why = "empty tree";
+    return false;
+  }
+  if (root_label_.has_value() && tree.label(tree.root()) != *root_label_) {
+    if (why != nullptr) {
+      *why = "root labeled " + tree.LabelName(tree.root()) + ", expected " +
+             symbols_->Name(*root_label_);
+    }
+    return false;
+  }
+  for (NodeId n : tree.PreOrder()) {
+    const Label parent_label = tree.label(n);
+    const bool sealed = sealed_.count(parent_label) > 0;
+    std::set<Label> seen;
+    for (NodeId c = tree.first_child(n); c != kNullNode;
+         c = tree.next_sibling(c)) {
+      seen.insert(tree.label(c));
+      if (sealed) {
+        auto it = allowed_.find(parent_label);
+        if (it == allowed_.end() || it->second.count(tree.label(c)) == 0) {
+          if (why != nullptr) {
+            *why = "label " + tree.LabelName(c) + " not allowed under " +
+                   tree.LabelName(n);
+          }
+          return false;
+        }
+      }
+    }
+    auto req = required_.find(parent_label);
+    if (req != required_.end()) {
+      for (Label must : req->second) {
+        if (seen.count(must) == 0) {
+          if (why != nullptr) {
+            *why = "node " + tree.LabelName(n) + " missing required child " +
+                   symbols_->Name(must);
+          }
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace xmlup

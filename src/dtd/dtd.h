@@ -1,0 +1,73 @@
+#ifndef XMLUP_DTD_DTD_H_
+#define XMLUP_DTD_DTD_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "xml/tree.h"
+
+namespace xmlup {
+
+/// A simple schema abstraction in the spirit of §6 "Schema Information".
+/// Because the paper's data model is unordered, content models degenerate
+/// to child-label constraints: per parent label, an optional closed set of
+/// allowed child labels and a set of required child labels. (Order-aware
+/// DTD content models have no meaning over unordered trees.)
+class Dtd {
+ public:
+  explicit Dtd(std::shared_ptr<SymbolTable> symbols);
+
+  /// Parses a schema from a simple line-oriented declaration syntax
+  /// (order-free counterpart of DTD element declarations):
+  ///
+  ///   # comment
+  ///   root catalog
+  ///   allow  book : title author publisher stock
+  ///   require book : title
+  ///   seal   title
+  ///
+  /// `allow` seals the parent and whitelists the listed children;
+  /// `require` demands at least one child with each listed label; `seal`
+  /// alone makes a label a leaf.
+  static Result<Dtd> Parse(std::string_view text,
+                           std::shared_ptr<SymbolTable> symbols);
+
+  /// Restricts `parent`'s children to an explicit allow-list; Allow() adds
+  /// to it. A label never Seal()-ed accepts any children.
+  void Seal(Label parent);
+  void Allow(Label parent, Label child);
+
+  /// Requires every `parent`-labeled node to have at least one `child`-
+  /// labeled child.
+  void Require(Label parent, Label child);
+
+  /// Restricts the document root's label.
+  void SetRootLabel(Label label) { root_label_ = label; }
+
+  /// True if `tree` conforms; when false and `why` is non-null, a
+  /// human-readable reason is stored.
+  bool Conforms(const Tree& tree, std::string* why = nullptr) const;
+
+  const std::shared_ptr<SymbolTable>& symbols() const { return symbols_; }
+
+  /// Every label mentioned by the schema (root, parents, allowed and
+  /// required children); used to build search alphabets for DTD-restricted
+  /// witness searches.
+  std::set<Label> MentionedLabels() const;
+
+ private:
+  std::shared_ptr<SymbolTable> symbols_;
+  std::optional<Label> root_label_;
+  std::set<Label> sealed_;
+  std::map<Label, std::set<Label>> allowed_;
+  std::map<Label, std::set<Label>> required_;
+};
+
+}  // namespace xmlup
+
+#endif  // XMLUP_DTD_DTD_H_

@@ -1,0 +1,26 @@
+#ifndef XMLUP_DTD_DTD_CONFLICT_H_
+#define XMLUP_DTD_DTD_CONFLICT_H_
+
+#include "conflict/bounded_search.h"
+#include "dtd/dtd.h"
+#include "pattern/pattern.h"
+
+namespace xmlup {
+
+/// §6 leaves the complexity of schema-aware conflict detection open; this
+/// module provides the natural semi-decision procedure: exhaustive search
+/// for a *DTD-conforming* witness. Two operations that conflict in general
+/// may be conflict-free under a schema (the witness shapes may be
+/// forbidden), which is exactly what these searches surface.
+BruteForceResult FindReadInsertConflictUnderDtd(
+    const Pattern& read, const Pattern& insert_pattern, const Tree& inserted,
+    const Dtd& dtd, ConflictSemantics semantics,
+    const BoundedSearchOptions& options);
+
+BruteForceResult FindReadDeleteConflictUnderDtd(
+    const Pattern& read, const Pattern& delete_pattern, const Dtd& dtd,
+    ConflictSemantics semantics, const BoundedSearchOptions& options);
+
+}  // namespace xmlup
+
+#endif  // XMLUP_DTD_DTD_CONFLICT_H_

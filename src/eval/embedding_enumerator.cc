@@ -1,0 +1,117 @@
+#include "eval/embedding_enumerator.h"
+
+namespace xmlup {
+namespace {
+
+bool LabelOk(const Pattern& p, PatternNodeId q, const Tree& t, NodeId n) {
+  return p.is_wildcard(q) || p.label(q) == t.label(n);
+}
+
+/// Backtracking enumeration over pattern nodes in preorder.
+class Enumerator {
+ public:
+  Enumerator(const Pattern& p, const Tree& t, size_t limit, NodeId must_select)
+      : p_(p),
+        t_(t),
+        limit_(limit),
+        must_select_(must_select),
+        order_(p.PreOrder()),
+        assignment_(p.size(), kNullNode) {}
+
+  std::vector<Embedding> Run(bool* truncated) {
+    truncated_ = false;
+    if (t_.has_root() && LabelOk(p_, p_.root(), t_, t_.root())) {
+      assignment_[p_.root()] = t_.root();
+      Recurse(1);
+    }
+    if (truncated != nullptr) *truncated = truncated_;
+    return std::move(results_);
+  }
+
+ private:
+  void Recurse(size_t index) {
+    if (results_.size() >= limit_) {
+      truncated_ = true;
+      return;
+    }
+    if (index == order_.size()) {
+      if (must_select_ == kNullNode ||
+          assignment_[p_.output()] == must_select_) {
+        results_.push_back(assignment_);
+      }
+      return;
+    }
+    const PatternNodeId q = order_[index];
+    const NodeId parent_image = assignment_[p_.parent(q)];
+    if (p_.axis(q) == Axis::kChild) {
+      for (NodeId m = t_.first_child(parent_image); m != kNullNode;
+           m = t_.next_sibling(m)) {
+        if (!LabelOk(p_, q, t_, m)) continue;
+        assignment_[q] = m;
+        Recurse(index + 1);
+        if (results_.size() >= limit_) {
+          truncated_ = true;
+          return;
+        }
+      }
+    } else {
+      for (NodeId m : t_.SubtreeNodes(parent_image)) {
+        if (m == parent_image || !LabelOk(p_, q, t_, m)) continue;
+        assignment_[q] = m;
+        Recurse(index + 1);
+        if (results_.size() >= limit_) {
+          truncated_ = true;
+          return;
+        }
+      }
+    }
+    assignment_[q] = kNullNode;
+  }
+
+  const Pattern& p_;
+  const Tree& t_;
+  size_t limit_;
+  NodeId must_select_;
+  std::vector<PatternNodeId> order_;
+  Embedding assignment_;
+  std::vector<Embedding> results_;
+  bool truncated_ = false;
+};
+
+}  // namespace
+
+std::vector<Embedding> EnumerateEmbeddings(const Pattern& p, const Tree& t,
+                                           size_t limit, bool* truncated) {
+  XMLUP_CHECK(p.has_root());
+  Enumerator enumerator(p, t, limit, kNullNode);
+  return enumerator.Run(truncated);
+}
+
+Embedding FindEmbeddingSelecting(const Pattern& p, const Tree& t,
+                                 NodeId target) {
+  XMLUP_CHECK(p.has_root());
+  Enumerator enumerator(p, t, 1, target);
+  std::vector<Embedding> found = enumerator.Run(nullptr);
+  return found.empty() ? Embedding{} : std::move(found[0]);
+}
+
+bool IsValidEmbedding(const Pattern& p, const Tree& t, const Embedding& e) {
+  if (e.size() != p.size()) return false;
+  if (!t.has_root() || e[p.root()] != t.root()) return false;  // ROOT
+  for (PatternNodeId q = 0; q < p.size(); ++q) {
+    const NodeId n = e[q];
+    if (n == kNullNode || !t.alive(n)) return false;
+    if (!LabelOk(p, q, t, n)) return false;  // LABEL
+    if (q != p.root()) {
+      const NodeId parent_image = e[p.parent(q)];
+      if (p.axis(q) == Axis::kChild) {
+        if (t.parent(n) != parent_image) return false;  // EDGES_/
+      } else {
+        if (!t.IsProperAncestor(parent_image, n)) return false;  // EDGES_//
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace xmlup

@@ -1,0 +1,38 @@
+#ifndef XMLUP_EVAL_EMBEDDING_ENUMERATOR_H_
+#define XMLUP_EVAL_EMBEDDING_ENUMERATOR_H_
+
+#include <vector>
+
+#include "pattern/pattern.h"
+#include "xml/tree.h"
+
+namespace xmlup {
+
+/// One embedding E: NODES_p → NODES_t, stored as tree node per pattern
+/// node id.
+using Embedding = std::vector<NodeId>;
+
+/// Explicitly enumerates embeddings of `p` into `t` (root-preserving), up
+/// to `limit` of them. Exponential in the worst case — this is the
+/// reference implementation used to validate the polynomial Evaluator and
+/// to extract concrete embeddings for witness constructions (e.g. the
+/// marking step of §5.1.1).
+///
+/// Returns at most `limit` embeddings; `truncated` (optional) reports
+/// whether the limit was hit.
+std::vector<Embedding> EnumerateEmbeddings(const Pattern& p, const Tree& t,
+                                           size_t limit,
+                                           bool* truncated = nullptr);
+
+/// Finds one embedding of `p` into `t` that maps O(p) to `target`, if any.
+/// Returns an empty vector when none exists.
+Embedding FindEmbeddingSelecting(const Pattern& p, const Tree& t,
+                                 NodeId target);
+
+/// Checks that `e` is a valid embedding of `p` into `t` (all four
+/// conditions of §2.3). Used by tests.
+bool IsValidEmbedding(const Pattern& p, const Tree& t, const Embedding& e);
+
+}  // namespace xmlup
+
+#endif  // XMLUP_EVAL_EMBEDDING_ENUMERATOR_H_

@@ -1,0 +1,201 @@
+#include "eval/evaluator.h"
+
+#include <algorithm>
+
+namespace xmlup {
+namespace {
+
+/// Dense boolean table indexed by [pattern node][tree node slot].
+class BoolTable {
+ public:
+  BoolTable(size_t pattern_size, size_t tree_capacity)
+      : stride_(tree_capacity), bits_(pattern_size * tree_capacity, false) {}
+
+  bool get(PatternNodeId q, NodeId n) const { return bits_[q * stride_ + n]; }
+  void set(PatternNodeId q, NodeId n, bool v) { bits_[q * stride_ + n] = v; }
+
+ private:
+  size_t stride_;
+  std::vector<bool> bits_;
+};
+
+bool LabelOk(const Pattern& p, PatternNodeId q, const Tree& t, NodeId n) {
+  return p.is_wildcard(q) || p.label(q) == t.label(n);
+}
+
+/// Computes sat[q][n] = "the subpattern rooted at q embeds with q ↦ n" and
+/// dsat[q][n] = "sat[q][m] for some proper descendant m of n".
+void ComputeSat(const Pattern& p, const Tree& t, BoolTable* sat,
+                BoolTable* dsat) {
+  const std::vector<NodeId> tree_post = t.PostOrder();
+  const std::vector<PatternNodeId> pat_post = p.PostOrder();
+  for (NodeId n : tree_post) {
+    for (PatternNodeId q : pat_post) {
+      bool ok = LabelOk(p, q, t, n);
+      for (PatternNodeId c = p.first_child(q); ok && c != kNullPatternNode;
+           c = p.next_sibling(c)) {
+        bool edge_ok = false;
+        if (p.axis(c) == Axis::kChild) {
+          for (NodeId m = t.first_child(n); m != kNullNode;
+               m = t.next_sibling(m)) {
+            if (sat->get(c, m)) {
+              edge_ok = true;
+              break;
+            }
+          }
+        } else {
+          // Descendant: sat in some child's subtree (child itself or below).
+          for (NodeId m = t.first_child(n); m != kNullNode;
+               m = t.next_sibling(m)) {
+            if (sat->get(c, m) || dsat->get(c, m)) {
+              edge_ok = true;
+              break;
+            }
+          }
+        }
+        ok = edge_ok;
+      }
+      sat->set(q, n, ok);
+      bool below = false;
+      for (NodeId m = t.first_child(n); !below && m != kNullNode;
+           m = t.next_sibling(m)) {
+        below = sat->get(q, m) || dsat->get(q, m);
+      }
+      dsat->set(q, n, below);
+    }
+  }
+}
+
+/// Computes cand[q][n] = "some full (root-preserving) embedding maps q ↦ n"
+/// given sat. Anchored at (p.root() ↦ anchor).
+void ComputeCand(const Pattern& p, const Tree& t, NodeId anchor,
+                 const BoolTable& sat, BoolTable* cand) {
+  if (!sat.get(p.root(), anchor)) return;
+  cand->set(p.root(), anchor, true);
+  // Pattern nodes in preorder; parents processed before children.
+  for (PatternNodeId c : p.PreOrder()) {
+    if (c == p.root()) continue;
+    const PatternNodeId q = p.parent(c);
+    if (p.axis(c) == Axis::kChild) {
+      // cand[c][m] = sat[c][m] and cand[q][parent(m)].
+      for (NodeId m : t.SubtreeNodes(anchor)) {
+        if (m == anchor) continue;
+        if (sat.get(c, m) && cand->get(q, t.parent(m))) {
+          cand->set(c, m, true);
+        }
+      }
+    } else {
+      // cand[c][m] = sat[c][m] and some proper ancestor a (within the
+      // anchor's subtree) has cand[q][a]. One preorder sweep with an
+      // ancestor flag.
+      std::vector<std::pair<NodeId, bool>> stack = {{anchor, false}};
+      while (!stack.empty()) {
+        auto [n, anc_flag] = stack.back();
+        stack.pop_back();
+        if (n != anchor && anc_flag && sat.get(c, n)) cand->set(c, n, true);
+        const bool flag_for_children = anc_flag || cand->get(q, n);
+        for (NodeId m = t.first_child(n); m != kNullNode;
+             m = t.next_sibling(m)) {
+          stack.emplace_back(m, flag_for_children);
+        }
+      }
+    }
+  }
+}
+
+uint64_t SatAdd(uint64_t a, uint64_t b) {
+  return a > UINT64_MAX - b ? UINT64_MAX : a + b;
+}
+
+uint64_t SatMul(uint64_t a, uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  return a > UINT64_MAX / b ? UINT64_MAX : a * b;
+}
+
+}  // namespace
+
+uint64_t CountEmbeddings(const Pattern& p, const Tree& t) {
+  XMLUP_CHECK(p.has_root());
+  if (!t.has_root() || t.size() == 0) return 0;
+  // cnt[q][n]: embeddings of the subpattern rooted at q with q ↦ n.
+  // dcnt[q][n]: sum of cnt[q][m] over proper descendants m of n.
+  const size_t stride = t.capacity();
+  std::vector<uint64_t> cnt(p.size() * stride, 0);
+  std::vector<uint64_t> dcnt(p.size() * stride, 0);
+  const std::vector<NodeId> tree_post = t.PostOrder();
+  const std::vector<PatternNodeId> pat_post = p.PostOrder();
+  for (NodeId n : tree_post) {
+    for (PatternNodeId q : pat_post) {
+      uint64_t total = LabelOk(p, q, t, n) ? 1 : 0;
+      for (PatternNodeId c = p.first_child(q);
+           total != 0 && c != kNullPatternNode; c = p.next_sibling(c)) {
+        uint64_t ways = 0;
+        for (NodeId m = t.first_child(n); m != kNullNode;
+             m = t.next_sibling(m)) {
+          ways = SatAdd(ways, cnt[c * stride + m]);
+          if (p.axis(c) == Axis::kDescendant) {
+            ways = SatAdd(ways, dcnt[c * stride + m]);
+          }
+        }
+        total = SatMul(total, ways);
+      }
+      cnt[q * stride + n] = total;
+      uint64_t below = 0;
+      for (NodeId m = t.first_child(n); m != kNullNode;
+           m = t.next_sibling(m)) {
+        below = SatAdd(below, SatAdd(cnt[q * stride + m],
+                                     dcnt[q * stride + m]));
+      }
+      dcnt[q * stride + n] = below;
+    }
+  }
+  return cnt[p.root() * stride + t.root()];
+}
+
+std::vector<NodeId> Evaluate(const Pattern& p, const Tree& t) {
+  XMLUP_CHECK(p.has_root());
+  if (!t.has_root() || t.size() == 0) return {};
+  BoolTable sat(p.size(), t.capacity());
+  BoolTable dsat(p.size(), t.capacity());
+  ComputeSat(p, t, &sat, &dsat);
+  BoolTable cand(p.size(), t.capacity());
+  ComputeCand(p, t, t.root(), sat, &cand);
+  std::vector<NodeId> result;
+  for (NodeId n : t.PreOrder()) {
+    if (cand.get(p.output(), n)) result.push_back(n);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+bool HasEmbedding(const Pattern& p, const Tree& t) {
+  XMLUP_CHECK(p.has_root());
+  if (!t.has_root() || t.size() == 0) return false;
+  BoolTable sat(p.size(), t.capacity());
+  BoolTable dsat(p.size(), t.capacity());
+  ComputeSat(p, t, &sat, &dsat);
+  return sat.get(p.root(), t.root());
+}
+
+bool EmbedsAt(const Pattern& p, const Tree& t, NodeId at) {
+  XMLUP_CHECK(p.has_root());
+  XMLUP_DCHECK(t.alive(at));
+  BoolTable sat(p.size(), t.capacity());
+  BoolTable dsat(p.size(), t.capacity());
+  ComputeSat(p, t, &sat, &dsat);
+  return sat.get(p.root(), at);
+}
+
+bool EmbedsAnywhereIn(const Pattern& p, const Tree& t, NodeId scope) {
+  XMLUP_CHECK(p.has_root());
+  XMLUP_DCHECK(t.alive(scope));
+  BoolTable sat(p.size(), t.capacity());
+  BoolTable dsat(p.size(), t.capacity());
+  ComputeSat(p, t, &sat, &dsat);
+  for (NodeId n : t.SubtreeNodes(scope)) {
+    if (sat.get(p.root(), n)) return true;
+  }
+  return false;
+}
+
+}  // namespace xmlup

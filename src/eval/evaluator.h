@@ -1,0 +1,50 @@
+#ifndef XMLUP_EVAL_EVALUATOR_H_
+#define XMLUP_EVAL_EVALUATOR_H_
+
+#include <vector>
+
+#include "pattern/pattern.h"
+#include "xml/tree.h"
+
+namespace xmlup {
+
+/// Evaluates [[p]](t) (paper §2.3): the set of tree nodes v such that some
+/// embedding of p into t maps O(p) to v. Embeddings are root-preserving,
+/// label-preserving (wildcards match anything), need not be injective, and
+/// must satisfy the child/descendant edge constraints.
+///
+/// Runs in O(|p|·|t|) via a bottom-up satisfaction pass followed by a
+/// top-down reachability pass — the Core-XPath-style evaluation the paper
+/// cites ([7]) for the polynomial cost of its operations.
+/// The result is sorted and duplicate-free.
+std::vector<NodeId> Evaluate(const Pattern& p, const Tree& t);
+
+/// True iff [[p]](t) is non-empty, i.e. some embedding of p into t exists.
+bool HasEmbedding(const Pattern& p, const Tree& t);
+
+/// True iff there is an embedding of `p` into the subtree of `t` rooted at
+/// `at` that maps ROOT(p) to `at` (anchored, not root-preserving w.r.t. t).
+/// Used for "there is an embedding from SEQ into X" (Lemma 6) and by the
+/// containment checker.
+bool EmbedsAt(const Pattern& p, const Tree& t, NodeId at);
+
+/// True iff EmbedsAt(p, t, n) holds for some node n in the subtree rooted
+/// at `scope` ("an embedding into X or some subtree of X", Lemma 6).
+bool EmbedsAnywhereIn(const Pattern& p, const Tree& t, NodeId scope);
+
+/// Number of distinct embeddings of `p` into `t` (root-preserving), in
+/// O(|p|·|t|) by dynamic programming — the polynomial counterpart of
+/// EnumerateEmbeddings. Saturates at UINT64_MAX.
+uint64_t CountEmbeddings(const Pattern& p, const Tree& t);
+
+/// [[p]]_T(t): the roots of the result subtrees. Identical node set to
+/// Evaluate; provided for symmetry with the paper's tree-valued semantics
+/// (use CopySubtree / CanonicalCode to materialize or compare the trees).
+inline std::vector<NodeId> EvaluateTreeRoots(const Pattern& p,
+                                             const Tree& t) {
+  return Evaluate(p, t);
+}
+
+}  // namespace xmlup
+
+#endif  // XMLUP_EVAL_EVALUATOR_H_

@@ -1,0 +1,114 @@
+#include "eval/fast_evaluator.h"
+
+#include <algorithm>
+
+#include "eval/evaluator.h"
+
+namespace xmlup {
+namespace {
+
+struct FlatPattern {
+  // Per pattern node: label (kWildcardLabel for *), parent index, axis.
+  std::vector<Label> labels;
+  std::vector<uint32_t> parents;
+  std::vector<Axis> axes;
+  // Children grouped per node for the bottom-up conjunction.
+  std::vector<std::vector<uint32_t>> children;
+  uint32_t output = 0;
+
+  explicit FlatPattern(const Pattern& p)
+      : labels(p.size()),
+        parents(p.size()),
+        axes(p.size()),
+        children(p.size()) {
+    for (PatternNodeId n : p.PreOrder()) {
+      labels[n] = p.label(n);
+      parents[n] = p.parent(n) == kNullPatternNode ? n : p.parent(n);
+      axes[n] = n == p.root() ? Axis::kChild : p.axis(n);
+      if (n != p.root()) children[p.parent(n)].push_back(n);
+    }
+    output = p.output();
+  }
+};
+
+inline bool LabelOk(Label pattern_label, Label tree_label) {
+  return pattern_label == kWildcardLabel || pattern_label == tree_label;
+}
+
+}  // namespace
+
+std::vector<NodeId> EvaluateFast(const Pattern& p, const Tree& t) {
+  if (p.size() > 64) return Evaluate(p, t);  // fall back
+  if (!t.has_root() || t.size() == 0) return {};
+
+  const FlatPattern flat(p);
+  const size_t m = p.size();
+  const std::vector<NodeId> post = t.PostOrder();
+
+  // sat(n) bit q: subpattern q embeds with q ↦ n.
+  // below(n) bit q: sat bit q somewhere strictly below n.
+  std::vector<uint64_t> sat(t.capacity(), 0);
+  std::vector<uint64_t> below(t.capacity(), 0);
+  for (NodeId n : post) {
+    uint64_t child_sat_or = 0;
+    uint64_t child_below_or = 0;
+    for (NodeId c = t.first_child(n); c != kNullNode; c = t.next_sibling(c)) {
+      child_sat_or |= sat[c];
+      child_below_or |= sat[c] | below[c];
+    }
+    const Label tree_label = t.label(n);
+    uint64_t s = 0;
+    for (size_t q_index = m; q_index-- > 0;) {  // children before parents
+      const uint32_t q = static_cast<uint32_t>(q_index);
+      if (!LabelOk(flat.labels[q], tree_label)) continue;
+      bool ok = true;
+      for (uint32_t c : flat.children[q]) {
+        const uint64_t source = flat.axes[c] == Axis::kChild
+                                    ? child_sat_or
+                                    : child_below_or;
+        if ((source & (uint64_t{1} << c)) == 0) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) s |= uint64_t{1} << q;
+    }
+    sat[n] = s;
+    below[n] = child_below_or;
+  }
+
+  // Top-down candidate pass: cand(n) bit q = some full embedding maps
+  // q ↦ n; anc(n) = union of cand over proper ancestors.
+  if ((sat[t.root()] & 1) == 0) return {};
+  std::vector<NodeId> result;
+  std::vector<std::pair<NodeId, std::pair<uint64_t, uint64_t>>> stack;
+  const uint64_t root_cand = 1;  // pattern root (id 0) at the tree root
+  if (flat.output == 0) result.push_back(t.root());
+  stack.push_back({t.root(), {root_cand, 0}});
+  const uint64_t output_bit = uint64_t{1} << flat.output;
+  while (!stack.empty()) {
+    auto [n, masks] = stack.back();
+    stack.pop_back();
+    const auto [parent_cand, parent_anc] = masks;
+    const uint64_t reach_any = parent_cand | parent_anc;
+    for (NodeId c = t.first_child(n); c != kNullNode; c = t.next_sibling(c)) {
+      uint64_t cand = 0;
+      uint64_t s = sat[c];
+      while (s != 0) {
+        const uint32_t q = static_cast<uint32_t>(__builtin_ctzll(s));
+        s &= s - 1;
+        if (q == 0) continue;  // the pattern root stays at the tree root
+        const uint64_t parent_bit = uint64_t{1} << flat.parents[q];
+        const uint64_t source =
+            flat.axes[q] == Axis::kChild ? parent_cand : reach_any;
+        if ((source & parent_bit) != 0) cand |= uint64_t{1} << q;
+      }
+      if ((cand & output_bit) != 0) result.push_back(c);
+      stack.push_back({c, {cand, reach_any}});
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace xmlup

@@ -1,0 +1,57 @@
+#ifndef XMLUP_MATCH_MATCHING_H_
+#define XMLUP_MATCH_MATCHING_H_
+
+#include <optional>
+
+#include "automata/nfa_ops.h"
+#include "automata/regex.h"
+#include "pattern/pattern.h"
+#include "xml/tree.h"
+
+namespace xmlup {
+
+/// Which implementation of weak/strong matching to use. Both are
+/// polynomial; kNfa is the paper's construction (regular expressions +
+/// language intersection, §4.1), kDp is the dynamic-programming algorithm
+/// the paper's REMARKS suggest. They are equivalence-tested against each
+/// other.
+enum class MatcherKind {
+  kNfa,
+  kDp,
+};
+
+/// Result of a weak/strong matching query. When `matches` is true,
+/// `witness_word` holds the labels (symbol classes) of a root-to-deepest
+/// path of a tree witnessing the match; Any classes may be resolved to an
+/// arbitrary (e.g. fresh) label.
+struct MatchResult {
+  bool matches = false;
+  ClassWord witness_word;
+};
+
+/// The paper's R(n) construction (§4.1): the regular expression derived
+/// from a linear pattern — root symbol, `·sym` per child edge,
+/// `·(.)*·sym` per descendant edge.
+Regex LinearPatternToRegex(const Pattern& linear);
+
+/// Definition 7. `l1` and `l2` must be linear patterns.
+///
+/// Strong: some tree embeds both with E1(O(l1)) = E2(O(l2))
+///         — L(r1) ∩ L(r2) ≠ ∅.
+/// Weak:   additionally allows E1(O(l1)) to be a *descendant* of E2(O(l2))
+///         — L(r1) ∩ L(r2·(.)*) ≠ ∅. (Note the asymmetry: l1's output is
+///         the deeper one.)
+MatchResult MatchStrongly(const Pattern& l1, const Pattern& l2,
+                          MatcherKind kind = MatcherKind::kNfa);
+MatchResult MatchWeakly(const Pattern& l1, const Pattern& l2,
+                        MatcherKind kind = MatcherKind::kNfa);
+
+/// Materializes a witness word as a path tree, resolving Any classes to
+/// `filler`. The word must be non-empty.
+Tree WordToPathTree(const ClassWord& word,
+                    const std::shared_ptr<SymbolTable>& symbols,
+                    Label filler);
+
+}  // namespace xmlup
+
+#endif  // XMLUP_MATCH_MATCHING_H_

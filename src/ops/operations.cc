@@ -1,0 +1,71 @@
+#include "ops/operations.h"
+
+#include "eval/evaluator.h"
+#include "xml/tree_algos.h"
+
+namespace xmlup {
+
+ReadOp::ReadOp(Pattern pattern) : pattern_(std::move(pattern)) {
+  XMLUP_CHECK(pattern_.has_root());
+}
+
+std::vector<NodeId> ReadOp::Apply(const Tree& t) const {
+  return Evaluate(pattern_, t);
+}
+
+InsertOp::InsertOp(Pattern pattern, std::shared_ptr<const Tree> content)
+    : pattern_(std::move(pattern)), content_(std::move(content)) {
+  XMLUP_CHECK(pattern_.has_root());
+  XMLUP_CHECK(content_ != nullptr && content_->has_root());
+}
+
+InsertOp::Applied InsertOp::ApplyInPlace(Tree* t) const {
+  Applied applied;
+  applied.insertion_points = Evaluate(pattern_, *t);
+  applied.copy_roots.reserve(applied.insertion_points.size());
+  for (NodeId point : applied.insertion_points) {
+    applied.copy_roots.push_back(
+        t->GraftCopy(point, *content_, content_->root()));
+  }
+  return applied;
+}
+
+Tree InsertOp::ApplyFunctional(const Tree& t) const {
+  Tree copy = CopyTree(t);
+  ApplyInPlace(&copy);
+  return copy;
+}
+
+Result<DeleteOp> DeleteOp::Make(Pattern pattern) {
+  if (!pattern.has_root()) {
+    return Status::InvalidArgument("delete pattern has no root");
+  }
+  if (pattern.output() == pattern.root()) {
+    return Status::InvalidArgument(
+        "delete pattern must not select the root (O(p) != ROOT(p))");
+  }
+  return DeleteOp(std::move(pattern));
+}
+
+DeleteOp::DeleteOp(Pattern pattern) : pattern_(std::move(pattern)) {}
+
+DeleteOp::Applied DeleteOp::ApplyInPlace(Tree* t) const {
+  Applied applied;
+  // Evaluate once, before mutation (the paper's semantics); then delete
+  // each still-live point. A point inside an already-deleted subtree is
+  // subsumed: its subtree is gone.
+  for (NodeId point : Evaluate(pattern_, *t)) {
+    if (!t->alive(point)) continue;
+    t->DeleteSubtree(point);
+    applied.deletion_points.push_back(point);
+  }
+  return applied;
+}
+
+Tree DeleteOp::ApplyFunctional(const Tree& t) const {
+  Tree copy = CopyTree(t);
+  ApplyInPlace(&copy);
+  return copy;
+}
+
+}  // namespace xmlup

@@ -1,0 +1,90 @@
+#ifndef XMLUP_OPS_OPERATIONS_H_
+#define XMLUP_OPS_OPERATIONS_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "pattern/pattern.h"
+#include "xml/tree.h"
+
+namespace xmlup {
+
+/// READ_p(t) (paper §3): projects [[p]](t), a set of node references.
+class ReadOp {
+ public:
+  explicit ReadOp(Pattern pattern);
+
+  const Pattern& pattern() const { return pattern_; }
+
+  /// Evaluates the read; returns sorted node ids.
+  std::vector<NodeId> Apply(const Tree& t) const;
+
+ private:
+  Pattern pattern_;
+};
+
+/// INSERT_{p,X}(t) (paper §3): evaluates p on t and inserts a fresh copy of
+/// X as a child of every selected node (the insertion points). With
+/// reference (mutating) semantics the tree is updated in place; the
+/// functional variant copies first.
+class InsertOp {
+ public:
+  /// `content` is the tree X; shared so InsertOp is cheaply copyable.
+  InsertOp(Pattern pattern, std::shared_ptr<const Tree> content);
+
+  const Pattern& pattern() const { return pattern_; }
+  const Tree& content() const { return *content_; }
+  const std::shared_ptr<const Tree>& shared_content() const {
+    return content_;
+  }
+
+  /// Result of one application.
+  struct Applied {
+    std::vector<NodeId> insertion_points;
+    /// Root node of the fresh copy grafted at each insertion point
+    /// (parallel to insertion_points).
+    std::vector<NodeId> copy_roots;
+  };
+
+  /// Mutating (reference-based) semantics. The pattern is evaluated once,
+  /// before any mutation, as the paper's definition requires.
+  Applied ApplyInPlace(Tree* t) const;
+
+  /// Value semantics: returns a modified copy, leaving `t` untouched.
+  Tree ApplyFunctional(const Tree& t) const;
+
+ private:
+  Pattern pattern_;
+  std::shared_ptr<const Tree> content_;
+};
+
+/// DELETE_p(t) (paper §3): evaluates p on t and removes the subtree rooted
+/// at every selected node. Requires O(p) != ROOT(p) so the result stays a
+/// tree.
+class DeleteOp {
+ public:
+  /// Fails with InvalidArgument if the pattern's output node is its root.
+  static Result<DeleteOp> Make(Pattern pattern);
+
+  const Pattern& pattern() const { return pattern_; }
+
+  struct Applied {
+    /// The deletion points that were actually removed. Points nested under
+    /// other points are subsumed (their subtree is already gone); the net
+    /// tree is identical either way.
+    std::vector<NodeId> deletion_points;
+  };
+
+  Applied ApplyInPlace(Tree* t) const;
+  Tree ApplyFunctional(const Tree& t) const;
+
+ private:
+  explicit DeleteOp(Pattern pattern);
+
+  Pattern pattern_;
+};
+
+}  // namespace xmlup
+
+#endif  // XMLUP_OPS_OPERATIONS_H_

@@ -1,0 +1,162 @@
+#include "pattern/pattern_ops.h"
+
+#include <algorithm>
+
+namespace xmlup {
+
+std::vector<PatternNodeId> PathBetween(const Pattern& p, PatternNodeId from,
+                                       PatternNodeId to) {
+  XMLUP_CHECK(p.IsAncestorOrSelf(from, to));
+  std::vector<PatternNodeId> path;
+  for (PatternNodeId n = to;; n = p.parent(n)) {
+    path.push_back(n);
+    if (n == from) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+Pattern ExtractSeq(const Pattern& p, PatternNodeId from, PatternNodeId to) {
+  const std::vector<PatternNodeId> path = PathBetween(p, from, to);
+  Pattern seq(p.symbols());
+  PatternNodeId current = seq.CreateRoot(p.label(path[0]));
+  for (size_t i = 1; i < path.size(); ++i) {
+    current = seq.AddChild(current, p.label(path[i]), p.axis(path[i]));
+  }
+  seq.SetOutput(current);
+  return seq;
+}
+
+Pattern Mainline(const Pattern& p) {
+  return ExtractSeq(p, p.root(), p.output());
+}
+
+Pattern SubpatternAt(const Pattern& p, PatternNodeId n) {
+  Pattern sub(p.symbols());
+  const PatternNodeId sub_root = sub.CreateRoot(p.label(n));
+  std::vector<std::pair<PatternNodeId, PatternNodeId>> stack = {{n, sub_root}};
+  while (!stack.empty()) {
+    auto [src, dst] = stack.back();
+    stack.pop_back();
+    for (PatternNodeId c = p.first_child(src); c != kNullPatternNode;
+         c = p.next_sibling(c)) {
+      const PatternNodeId dst_child = sub.AddChild(dst, p.label(c), p.axis(c));
+      stack.emplace_back(c, dst_child);
+    }
+  }
+  sub.SetOutput(sub_root);
+  return sub;
+}
+
+size_t StarLength(const Pattern& p) {
+  if (!p.has_root()) return 0;
+  // chain_len[n]: length of the longest all-wildcard chain of child edges
+  // ending at n. Parents precede children in PreOrder (ids are assigned
+  // top-down), so a preorder sweep sees parents first.
+  std::vector<size_t> chain_len(p.size(), 0);
+  size_t best = 0;
+  for (PatternNodeId n : p.PreOrder()) {
+    if (!p.is_wildcard(n)) continue;
+    size_t len = 1;
+    const PatternNodeId parent = p.parent(n);
+    if (parent != kNullPatternNode && p.axis(n) == Axis::kChild &&
+        p.is_wildcard(parent)) {
+      len = chain_len[parent] + 1;
+    }
+    chain_len[n] = len;
+    best = std::max(best, len);
+  }
+  return best;
+}
+
+Tree ModelTree(const Pattern& p, Label star_fill,
+               std::vector<NodeId>* mapping) {
+  XMLUP_CHECK(p.has_root());
+  Tree tree(p.symbols());
+  if (mapping != nullptr) mapping->assign(p.size(), kNullNode);
+  auto fill = [&](PatternNodeId n) {
+    return p.is_wildcard(n) ? star_fill : p.label(n);
+  };
+  const NodeId root = tree.CreateRoot(fill(p.root()));
+  if (mapping != nullptr) (*mapping)[p.root()] = root;
+  std::vector<std::pair<PatternNodeId, NodeId>> stack = {{p.root(), root}};
+  while (!stack.empty()) {
+    auto [pn, tn] = stack.back();
+    stack.pop_back();
+    for (PatternNodeId c = p.first_child(pn); c != kNullPatternNode;
+         c = p.next_sibling(c)) {
+      const NodeId tc = tree.AddChild(tn, fill(c));
+      if (mapping != nullptr) (*mapping)[c] = tc;
+      stack.emplace_back(c, tc);
+    }
+  }
+  return tree;
+}
+
+NodeId GraftModel(Tree* tree, NodeId parent, const Pattern& p,
+                  PatternNodeId subpattern_root, Label star_fill) {
+  auto fill = [&](PatternNodeId n) {
+    return p.is_wildcard(n) ? star_fill : p.label(n);
+  };
+  const NodeId model_root = tree->AddChild(parent, fill(subpattern_root));
+  std::vector<std::pair<PatternNodeId, NodeId>> stack = {
+      {subpattern_root, model_root}};
+  while (!stack.empty()) {
+    auto [pn, tn] = stack.back();
+    stack.pop_back();
+    for (PatternNodeId c = p.first_child(pn); c != kNullPatternNode;
+         c = p.next_sibling(c)) {
+      const NodeId tc = tree->AddChild(tn, fill(c));
+      stack.emplace_back(c, tc);
+    }
+  }
+  return model_root;
+}
+
+PatternNodeId GraftPattern(Pattern* dst, PatternNodeId parent,
+                           const Pattern& src, Axis axis) {
+  const PatternNodeId copy_root = dst->AddChild(parent, src.label(src.root()),
+                                                axis);
+  std::vector<std::pair<PatternNodeId, PatternNodeId>> stack = {
+      {src.root(), copy_root}};
+  while (!stack.empty()) {
+    auto [s, d] = stack.back();
+    stack.pop_back();
+    for (PatternNodeId c = src.first_child(s); c != kNullPatternNode;
+         c = src.next_sibling(c)) {
+      const PatternNodeId dc = dst->AddChild(d, src.label(c), src.axis(c));
+      stack.emplace_back(c, dc);
+    }
+  }
+  return copy_root;
+}
+
+bool PatternsIdentical(const Pattern& p, const Pattern& q) {
+  if (p.size() != q.size()) return false;
+  if (!p.has_root() || !q.has_root()) return p.has_root() == q.has_root();
+  // Compare by parallel traversal in stored child order; also require label
+  // names to match (patterns may use different symbol tables).
+  std::vector<std::pair<PatternNodeId, PatternNodeId>> stack = {
+      {p.root(), q.root()}};
+  bool output_matched = false;
+  while (!stack.empty()) {
+    auto [a, b] = stack.back();
+    stack.pop_back();
+    if (p.is_wildcard(a) != q.is_wildcard(b)) return false;
+    if (!p.is_wildcard(a) && p.LabelName(a) != q.LabelName(b)) return false;
+    if (a != p.root() && p.axis(a) != q.axis(b)) return false;
+    if ((a == p.output()) != (b == q.output())) return false;
+    if (a == p.output()) output_matched = true;
+    PatternNodeId ca = p.first_child(a);
+    PatternNodeId cb = q.first_child(b);
+    while (ca != kNullPatternNode && cb != kNullPatternNode) {
+      stack.emplace_back(ca, cb);
+      ca = p.next_sibling(ca);
+      cb = q.next_sibling(cb);
+    }
+    if (ca != kNullPatternNode || cb != kNullPatternNode) return false;
+  }
+  return output_matched;
+}
+
+}  // namespace xmlup

@@ -1,0 +1,101 @@
+#include "pattern/pattern_writer.h"
+
+#include <vector>
+
+namespace xmlup {
+namespace {
+
+/// True if `node` lies on the root→output path.
+bool OnTrunk(const Pattern& p, PatternNodeId node) {
+  return p.IsAncestorOrSelf(node, p.output());
+}
+
+void WritePredicate(const Pattern& p, PatternNodeId node, std::string* out);
+
+/// Writes the subtree rooted at `node` in relative-path form, following the
+/// chain of descendants. Each node writes its non-path children as
+/// predicates. `trunk_child` selects which child continues the current
+/// path (kNullPatternNode if none).
+void WriteNodeAndPredicates(const Pattern& p, PatternNodeId node,
+                            PatternNodeId trunk_child, std::string* out) {
+  out->append(p.LabelName(node));
+  for (PatternNodeId c = p.first_child(node); c != kNullPatternNode;
+       c = p.next_sibling(c)) {
+    if (c == trunk_child) continue;
+    out->push_back('[');
+    WritePredicate(p, c, out);
+    out->push_back(']');
+  }
+}
+
+/// Writes the predicate path starting at `node` (relative to its parent).
+void WritePredicate(const Pattern& p, PatternNodeId node, std::string* out) {
+  if (p.axis(node) == Axis::kDescendant) out->append(".//");
+  // Follow the unique "spine" of this predicate. The parser appends the
+  // spine continuation *after* the predicates of a step, so picking the
+  // last child keeps rendering a fixpoint of parse∘render.
+  PatternNodeId current = node;
+  for (;;) {
+    const std::vector<PatternNodeId> children = p.Children(current);
+    const PatternNodeId spine =
+        children.empty() ? kNullPatternNode : children.back();
+    WriteNodeAndPredicates(p, current, spine, out);
+    if (spine == kNullPatternNode) return;
+    out->append(p.axis(spine) == Axis::kDescendant ? "//" : "/");
+    current = spine;
+  }
+}
+
+}  // namespace
+
+std::string ToXPathString(const Pattern& pattern) {
+  if (!pattern.has_root()) return "";
+  std::string out;
+  PatternNodeId current = pattern.root();
+  for (;;) {
+    // Find the trunk child (the child on the path to the output), if any.
+    PatternNodeId trunk_child = kNullPatternNode;
+    if (current != pattern.output()) {
+      for (PatternNodeId c = pattern.first_child(current);
+           c != kNullPatternNode; c = pattern.next_sibling(c)) {
+        if (OnTrunk(pattern, c)) {
+          trunk_child = c;
+          break;
+        }
+      }
+    }
+    WriteNodeAndPredicates(pattern, current, trunk_child, &out);
+    if (trunk_child == kNullPatternNode) break;
+    out.append(pattern.axis(trunk_child) == Axis::kDescendant ? "//" : "/");
+    current = trunk_child;
+  }
+  return out;
+}
+
+std::string DebugString(const Pattern& pattern) {
+  std::string out;
+  struct Frame {
+    PatternNodeId node;
+    int depth;
+  };
+  if (!pattern.has_root()) return "(empty pattern)\n";
+  std::vector<Frame> stack = {{pattern.root(), 0}};
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    out.append(static_cast<size_t>(frame.depth) * 2, ' ');
+    if (frame.node != pattern.root()) {
+      out.append(pattern.axis(frame.node) == Axis::kDescendant ? "//" : "/");
+    }
+    out.append(pattern.LabelName(frame.node));
+    if (frame.node == pattern.output()) out.append("  <== output");
+    out.push_back('\n');
+    std::vector<PatternNodeId> children = pattern.Children(frame.node);
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack.push_back({*it, frame.depth + 1});
+    }
+  }
+  return out;
+}
+
+}  // namespace xmlup

@@ -1,0 +1,22 @@
+#ifndef XMLUP_PATTERN_PATTERN_WRITER_H_
+#define XMLUP_PATTERN_PATTERN_WRITER_H_
+
+#include <string>
+
+#include "pattern/pattern.h"
+
+namespace xmlup {
+
+/// Renders a pattern back to the XPath fragment syntax accepted by
+/// ParseXPath. The trunk is the root→output path; all other subtrees are
+/// emitted as predicates (`[...]` with a `.//` prefix for descendant
+/// edges). Round-trips with ParseXPath up to predicate ordering.
+std::string ToXPathString(const Pattern& pattern);
+
+/// Multi-line debug rendering showing the node tree, edge kinds and the
+/// output node marker.
+std::string DebugString(const Pattern& pattern);
+
+}  // namespace xmlup
+
+#endif  // XMLUP_PATTERN_PATTERN_WRITER_H_

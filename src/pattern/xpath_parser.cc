@@ -1,0 +1,154 @@
+#include "pattern/xpath_parser.h"
+
+#include <string>
+
+namespace xmlup {
+namespace {
+
+bool IsNameStartChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
+}
+
+class XPathParser {
+ public:
+  XPathParser(std::string_view input, std::shared_ptr<SymbolTable> symbols)
+      : input_(input), pattern_(std::move(symbols)) {}
+
+  Result<Pattern> Parse() {
+    SkipWhitespace();
+    if (AtEnd()) return Error("empty XPath expression");
+
+    Axis axis = Axis::kChild;
+    if (PeekIs("//")) {
+      // Implicit wildcard root with a descendant edge to the first step.
+      pos_ += 2;
+      pattern_.CreateRoot(kWildcardLabel);
+      axis = Axis::kDescendant;
+    } else if (Peek() == '/') {
+      ++pos_;
+    }
+
+    PatternNodeId current = kNullPatternNode;
+    if (pattern_.has_root()) current = pattern_.root();
+
+    for (;;) {
+      XMLUP_ASSIGN_OR_RETURN(current, ParseStep(current, axis));
+      SkipWhitespace();
+      if (AtEnd()) break;
+      if (PeekIs("//")) {
+        pos_ += 2;
+        axis = Axis::kDescendant;
+      } else if (Peek() == '/') {
+        ++pos_;
+        axis = Axis::kChild;
+      } else {
+        return Error(std::string("unexpected character '") + Peek() + "'");
+      }
+    }
+    pattern_.SetOutput(current);
+    XMLUP_RETURN_NOT_OK(pattern_.Validate());
+    return std::move(pattern_);
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  bool PeekIs(std::string_view s) const {
+    return input_.substr(pos_, s.size()) == s;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && (Peek() == ' ' || Peek() == '\t')) ++pos_;
+  }
+
+  Status Error(std::string message) const {
+    return Status::ParseError("XPath position " + std::to_string(pos_) +
+                              ": " + std::move(message));
+  }
+
+  Result<Label> ParseNodeTest() {
+    SkipWhitespace();
+    if (AtEnd()) return Error("expected a name or '*'");
+    if (Peek() == '*') {
+      ++pos_;
+      return kWildcardLabel;
+    }
+    if (!IsNameStartChar(Peek())) return Error("expected a name or '*'");
+    const size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+    return pattern_.symbols()->Intern(input_.substr(start, pos_ - start));
+  }
+
+  /// Parses one step (node test plus predicates), attached to `parent` by
+  /// `axis`; a null parent creates the root. Returns the step's node.
+  Result<PatternNodeId> ParseStep(PatternNodeId parent, Axis axis) {
+    XMLUP_ASSIGN_OR_RETURN(Label label, ParseNodeTest());
+    const PatternNodeId node = parent == kNullPatternNode
+                                   ? pattern_.CreateRoot(label)
+                                   : pattern_.AddChild(parent, label, axis);
+    SkipWhitespace();
+    while (!AtEnd() && Peek() == '[') {
+      ++pos_;
+      XMLUP_RETURN_NOT_OK(ParsePredicateBody(node));
+      SkipWhitespace();
+      if (AtEnd() || Peek() != ']') return Error("expected ']'");
+      ++pos_;
+      SkipWhitespace();
+    }
+    return node;
+  }
+
+  /// Parses the relative path inside a predicate, attached under `anchor`.
+  Status ParsePredicateBody(PatternNodeId anchor) {
+    SkipWhitespace();
+    Axis axis = Axis::kChild;
+    if (PeekIs(".//")) {
+      pos_ += 3;
+      axis = Axis::kDescendant;
+    } else if (PeekIs("./")) {
+      pos_ += 2;
+    }
+    PatternNodeId current = anchor;
+    for (;;) {
+      XMLUP_ASSIGN_OR_RETURN(current, ParseStep(current, axis));
+      SkipWhitespace();
+      if (AtEnd() || Peek() == ']') return Status::OK();
+      if (PeekIs("//")) {
+        pos_ += 2;
+        axis = Axis::kDescendant;
+      } else if (Peek() == '/') {
+        ++pos_;
+        axis = Axis::kChild;
+      } else {
+        return Error(std::string("unexpected character '") + Peek() +
+                     "' in predicate");
+      }
+    }
+  }
+
+  std::string_view input_;
+  Pattern pattern_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Pattern> ParseXPath(std::string_view input,
+                           std::shared_ptr<SymbolTable> symbols) {
+  XPathParser parser(input, std::move(symbols));
+  return parser.Parse();
+}
+
+Pattern MustParseXPath(std::string_view input,
+                       std::shared_ptr<SymbolTable> symbols) {
+  Result<Pattern> result = ParseXPath(input, std::move(symbols));
+  XMLUP_CHECK_STREAM(result.ok())
+      << "MustParseXPath(\"" << input << "\"): " << result.status();
+  return std::move(result).value();
+}
+
+}  // namespace xmlup

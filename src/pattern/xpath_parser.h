@@ -1,0 +1,44 @@
+#ifndef XMLUP_PATTERN_XPATH_PARSER_H_
+#define XMLUP_PATTERN_XPATH_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/result.h"
+#include "pattern/pattern.h"
+
+namespace xmlup {
+
+/// Parses the paper's XPath fragment (§2.2) into a tree pattern:
+///
+///   e → e/e | e//e | e[e] | e[.//e] | σ | *
+///
+/// Concrete syntax accepted:
+///   pattern    := ['/' | '//'] step (('/' | '//') step)*
+///   step       := (name | '*') predicate*
+///   predicate  := '[' ['.//' | './'] step (('/' | '//') step)* ']'
+///
+/// Semantics and conventions:
+///  - The pattern root maps to the tree root (ROOT-PRESERVING embeddings),
+///    so `a/b` and `/a/b` both denote a pattern whose root is labeled `a`.
+///  - A leading `//` introduces an implicit wildcard root with a descendant
+///    edge: `//b` is the pattern * with a // edge to b. (The paper's model
+///    has no document node above the root; this keeps `//b` meaningful.)
+///  - Predicates nest arbitrarily (`a[b[c]//d]` is accepted), matching the
+///    recursive grammar.
+///  - Inside a predicate, `.//` attaches the first step by a descendant
+///    edge; `./` or nothing attaches it by a child edge.
+///  - The output node O(p) is the last step of the trunk (outside any
+///    predicate) — the standard XPath result node.
+///
+/// Examples: `a[.//c]/b[d][*//f]` (Figure 2), `book[.//quantity]` (§1).
+Result<Pattern> ParseXPath(std::string_view input,
+                           std::shared_ptr<SymbolTable> symbols);
+
+/// Convenience for tests/examples: parses or aborts.
+Pattern MustParseXPath(std::string_view input,
+                       std::shared_ptr<SymbolTable> symbols);
+
+}  // namespace xmlup
+
+#endif  // XMLUP_PATTERN_XPATH_PARSER_H_

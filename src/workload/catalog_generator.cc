@@ -1,0 +1,32 @@
+#include "workload/catalog_generator.h"
+
+namespace xmlup {
+
+Tree GenerateCatalog(const std::shared_ptr<SymbolTable>& symbols,
+                     const CatalogOptions& options, Rng* rng) {
+  const Label catalog = symbols->Intern("catalog");
+  const Label book = symbols->Intern("book");
+  const Label title = symbols->Intern("title");
+  const Label author = symbols->Intern("author");
+  const Label publisher = symbols->Intern("publisher");
+  const Label stock = symbols->Intern("stock");
+  const Label quantity = symbols->Intern("quantity");
+  const Label low = symbols->Intern("low");
+  const Label high = symbols->Intern("high");
+
+  Tree tree(symbols);
+  const NodeId root = tree.CreateRoot(catalog);
+  for (size_t i = 0; i < options.num_books; ++i) {
+    const NodeId b = tree.AddChild(root, book);
+    tree.AddChild(b, title);
+    const size_t authors = 1 + rng->NextBounded(options.max_authors);
+    for (size_t a = 0; a < authors; ++a) tree.AddChild(b, author);
+    tree.AddChild(b, publisher);
+    const NodeId s = tree.AddChild(b, stock);
+    const NodeId q = tree.AddChild(s, quantity);
+    tree.AddChild(q, rng->NextBool(options.low_fraction) ? low : high);
+  }
+  return tree;
+}
+
+}  // namespace xmlup

@@ -1,0 +1,36 @@
+#ifndef XMLUP_WORKLOAD_CATALOG_GENERATOR_H_
+#define XMLUP_WORKLOAD_CATALOG_GENERATOR_H_
+
+#include <memory>
+
+#include "common/random.h"
+#include "xml/tree.h"
+
+namespace xmlup {
+
+/// Generates book-catalog documents in the shape of the paper's Figure 1:
+///
+///   <catalog>
+///     <book>
+///       <title/> <author/>... <publisher/>
+///       <stock><quantity><low/|high/></quantity></stock>
+///     </book>...
+///   </catalog>
+///
+/// The paper's data model has no text values, so the Figure-1 predicate
+/// "quantity < 10" is encoded structurally: a quantity holds a <low/> or
+/// <high/> marker, making `//book[.//low]` the analogue of
+/// `//book[.//quantity < 10]`, and `<restock/>` insertion meaningful.
+struct CatalogOptions {
+  size_t num_books = 50;
+  /// Fraction of books whose quantity is low (restock candidates).
+  double low_fraction = 0.3;
+  size_t max_authors = 3;
+};
+
+Tree GenerateCatalog(const std::shared_ptr<SymbolTable>& symbols,
+                     const CatalogOptions& options, Rng* rng);
+
+}  // namespace xmlup
+
+#endif  // XMLUP_WORKLOAD_CATALOG_GENERATOR_H_

@@ -1,0 +1,73 @@
+#include "workload/pattern_generator.h"
+
+namespace xmlup {
+
+RandomPatternGenerator::RandomPatternGenerator(
+    std::shared_ptr<SymbolTable> symbols, PatternGenOptions options)
+    : symbols_(std::move(symbols)), options_(std::move(options)) {
+  XMLUP_CHECK(!options_.alphabet.empty());
+  XMLUP_CHECK(options_.size >= 1);
+}
+
+Label RandomPatternGenerator::RandomLabel(Rng* rng) const {
+  if (rng->NextBool(options_.wildcard_prob)) return kWildcardLabel;
+  return options_.alphabet[rng->NextBounded(options_.alphabet.size())];
+}
+
+Axis RandomPatternGenerator::RandomAxis(Rng* rng) const {
+  return rng->NextBool(options_.descendant_prob) ? Axis::kDescendant
+                                                 : Axis::kChild;
+}
+
+Pattern RandomPatternGenerator::GenerateLinear(Rng* rng) const {
+  Pattern p(symbols_);
+  PatternNodeId current = p.CreateRoot(RandomLabel(rng));
+  for (size_t i = 1; i < options_.size; ++i) {
+    current = p.AddChild(current, RandomLabel(rng), RandomAxis(rng));
+  }
+  p.SetOutput(current);
+  return p;
+}
+
+Pattern RandomPatternGenerator::GenerateBranching(Rng* rng) const {
+  Pattern p(symbols_);
+  // Grow a trunk first, then sprinkle branches on random existing nodes.
+  const size_t trunk_len =
+      1 + static_cast<size_t>(rng->NextBounded(options_.size));
+  std::vector<PatternNodeId> trunk;
+  trunk.push_back(p.CreateRoot(RandomLabel(rng)));
+  for (size_t i = 1; i < trunk_len; ++i) {
+    trunk.push_back(p.AddChild(trunk.back(), RandomLabel(rng),
+                               RandomAxis(rng)));
+  }
+  while (p.size() < options_.size) {
+    if (!rng->NextBool(options_.branch_prob)) {
+      // Extend a random node with a chain node anyway, to reach the size.
+      const PatternNodeId at =
+          static_cast<PatternNodeId>(rng->NextBounded(p.size()));
+      p.AddChild(at, RandomLabel(rng), RandomAxis(rng));
+      continue;
+    }
+    const PatternNodeId at =
+        static_cast<PatternNodeId>(rng->NextBounded(p.size()));
+    p.AddChild(at, RandomLabel(rng), RandomAxis(rng));
+  }
+  p.SetOutput(trunk[rng->NextBounded(trunk.size())]);
+  return p;
+}
+
+Pattern RandomPatternGenerator::GenerateBranchingNonRootOutput(
+    Rng* rng) const {
+  for (;;) {
+    Pattern p = GenerateBranching(rng);
+    if (p.output() != p.root()) return p;
+    if (p.size() == 1) continue;  // single-node pattern: output is the root
+    // Move the output to a random non-root node.
+    const PatternNodeId out =
+        1 + static_cast<PatternNodeId>(rng->NextBounded(p.size() - 1));
+    p.SetOutput(out);
+    return p;
+  }
+}
+
+}  // namespace xmlup

@@ -1,0 +1,54 @@
+#ifndef XMLUP_WORKLOAD_PATTERN_GENERATOR_H_
+#define XMLUP_WORKLOAD_PATTERN_GENERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "pattern/pattern.h"
+
+namespace xmlup {
+
+/// Random tree patterns over a small alphabet (small alphabets make
+/// pattern pairs overlap often, which is what exercises the conflict
+/// detectors).
+struct PatternGenOptions {
+  /// Number of nodes for linear patterns; approximate size for branching.
+  size_t size = 5;
+  /// Probability a node is labeled '*'.
+  double wildcard_prob = 0.25;
+  /// Probability an edge is a descendant (//) edge.
+  double descendant_prob = 0.4;
+  /// For branching patterns: probability a node spawns an extra branch.
+  double branch_prob = 0.35;
+  std::vector<Label> alphabet;
+};
+
+class RandomPatternGenerator {
+ public:
+  RandomPatternGenerator(std::shared_ptr<SymbolTable> symbols,
+                         PatternGenOptions options);
+
+  /// A random linear pattern (P^{//,*}) with exactly options.size nodes;
+  /// output = leaf.
+  Pattern GenerateLinear(Rng* rng) const;
+
+  /// A random branching pattern (P^{//,[],*}) with ~options.size nodes;
+  /// the output node is a random trunk node (never guaranteed non-root —
+  /// use GenerateBranchingNonRootOutput for delete patterns).
+  Pattern GenerateBranching(Rng* rng) const;
+
+  /// As GenerateBranching but with O(p) != ROOT(p), suitable for DELETE.
+  Pattern GenerateBranchingNonRootOutput(Rng* rng) const;
+
+ private:
+  Label RandomLabel(Rng* rng) const;
+  Axis RandomAxis(Rng* rng) const;
+
+  std::shared_ptr<SymbolTable> symbols_;
+  PatternGenOptions options_;
+};
+
+}  // namespace xmlup
+
+#endif  // XMLUP_WORKLOAD_PATTERN_GENERATOR_H_

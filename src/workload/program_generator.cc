@@ -1,0 +1,71 @@
+#include "workload/program_generator.h"
+
+#include "xml/tree_algos.h"
+
+namespace xmlup {
+
+RandomProgramGenerator::RandomProgramGenerator(
+    std::shared_ptr<SymbolTable> symbols, ProgramGenOptions options)
+    : symbols_(symbols),
+      options_(options),
+      patterns_(symbols, options.pattern) {}
+
+std::vector<std::string> RandomProgramGenerator::VariableNames() const {
+  std::vector<std::string> names;
+  for (size_t i = 0; i < options_.num_variables; ++i) {
+    names.push_back("v" + std::to_string(i));
+  }
+  return names;
+}
+
+Program RandomProgramGenerator::Generate(Rng* rng) const {
+  Program program;
+  const std::vector<std::string> vars = VariableNames();
+  std::vector<Pattern> read_pool;
+  size_t read_counter = 0;
+
+  for (size_t i = 0; i < options_.num_statements; ++i) {
+    const std::string& var = vars[rng->NextBounded(vars.size())];
+    const double roll = rng->NextDouble();
+    if (roll < options_.read_fraction) {
+      Pattern pattern =
+          (!read_pool.empty() && rng->NextBool(options_.repeat_read_prob))
+              ? read_pool[rng->NextBounded(read_pool.size())]
+              : patterns_.GenerateLinear(rng);
+      read_pool.push_back(pattern);
+      program.AddRead("r" + std::to_string(read_counter++), var,
+                      std::move(pattern));
+    } else if (roll < options_.read_fraction + options_.insert_fraction) {
+      // Inserted content: a tiny tree over the same alphabet.
+      Tree content(symbols_);
+      const Label label =
+          options_.pattern
+              .alphabet[rng->NextBounded(options_.pattern.alphabet.size())];
+      const NodeId root = content.CreateRoot(label);
+      if (rng->NextBool(0.5)) {
+        content.AddChild(
+            root,
+            options_.pattern
+                .alphabet[rng->NextBounded(options_.pattern.alphabet.size())]);
+      }
+      program.AddInsert(var, patterns_.GenerateLinear(rng),
+                        std::make_shared<const Tree>(std::move(content)));
+    } else {
+      // Delete patterns must not select the root: use linear patterns of
+      // length >= 2 (output is the leaf).
+      Pattern pattern = patterns_.GenerateLinear(rng);
+      if (pattern.size() < 2) {
+        Pattern extended(symbols_);
+        PatternNodeId root = extended.CreateRoot(pattern.label(pattern.root()));
+        PatternNodeId leaf =
+            extended.AddChild(root, kWildcardLabel, Axis::kDescendant);
+        extended.SetOutput(leaf);
+        pattern = std::move(extended);
+      }
+      program.AddDelete(var, std::move(pattern));
+    }
+  }
+  return program;
+}
+
+}  // namespace xmlup

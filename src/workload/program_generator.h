@@ -1,0 +1,44 @@
+#ifndef XMLUP_WORKLOAD_PROGRAM_GENERATOR_H_
+#define XMLUP_WORKLOAD_PROGRAM_GENERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "analysis/program.h"
+#include "common/random.h"
+#include "workload/pattern_generator.h"
+
+namespace xmlup {
+
+/// Random straight-line update programs for the analysis benchmarks and
+/// the optimizer's semantics-preservation property tests.
+struct ProgramGenOptions {
+  size_t num_statements = 12;
+  size_t num_variables = 2;
+  double read_fraction = 0.5;
+  double insert_fraction = 0.3;  // remainder are deletes
+  /// Probability a read re-uses a previously generated pattern verbatim
+  /// (creates CSE opportunities).
+  double repeat_read_prob = 0.3;
+  PatternGenOptions pattern;
+};
+
+class RandomProgramGenerator {
+ public:
+  RandomProgramGenerator(std::shared_ptr<SymbolTable> symbols,
+                         ProgramGenOptions options);
+
+  Program Generate(Rng* rng) const;
+
+  /// Names of the tree variables the generated programs use (v0..vK-1).
+  std::vector<std::string> VariableNames() const;
+
+ private:
+  std::shared_ptr<SymbolTable> symbols_;
+  ProgramGenOptions options_;
+  RandomPatternGenerator patterns_;
+};
+
+}  // namespace xmlup
+
+#endif  // XMLUP_WORKLOAD_PROGRAM_GENERATOR_H_

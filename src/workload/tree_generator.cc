@@ -1,0 +1,55 @@
+#include "workload/tree_generator.h"
+
+#include <string>
+
+namespace xmlup {
+
+RandomTreeGenerator::RandomTreeGenerator(std::shared_ptr<SymbolTable> symbols,
+                                         TreeGenOptions options)
+    : symbols_(std::move(symbols)), options_(std::move(options)) {
+  XMLUP_CHECK(!options_.alphabet.empty());
+}
+
+Tree RandomTreeGenerator::Generate(Rng* rng) const {
+  Tree tree(symbols_);
+  auto random_label = [&] {
+    return options_.alphabet[rng->NextBounded(options_.alphabet.size())];
+  };
+  const NodeId root = tree.CreateRoot(random_label());
+  // Frontier-based growth: repeatedly pick a random expandable node and
+  // give it a child, until the size target is met. Produces a good mix of
+  // shallow-wide and deep-narrow shapes.
+  struct Slot {
+    NodeId node;
+    size_t depth;
+    size_t children;
+  };
+  std::vector<Slot> frontier = {{root, 0, 0}};
+  while (tree.size() < options_.target_size && !frontier.empty()) {
+    const size_t pick = rng->NextBounded(frontier.size());
+    Slot& slot = frontier[pick];
+    const NodeId child = tree.AddChild(slot.node, random_label());
+    ++slot.children;
+    const size_t child_depth = slot.depth + 1;
+    if (slot.children >= options_.max_children) {
+      frontier[pick] = frontier.back();
+      frontier.pop_back();
+    }
+    if (child_depth < options_.max_depth) {
+      frontier.push_back({child, child_depth, 0});
+    }
+  }
+  return tree;
+}
+
+std::vector<Label> RandomTreeGenerator::MakeAlphabet(SymbolTable* symbols,
+                                                     size_t count) {
+  std::vector<Label> alphabet;
+  alphabet.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    alphabet.push_back(symbols->Intern("a" + std::to_string(i)));
+  }
+  return alphabet;
+}
+
+}  // namespace xmlup

@@ -1,0 +1,44 @@
+#ifndef XMLUP_WORKLOAD_TREE_GENERATOR_H_
+#define XMLUP_WORKLOAD_TREE_GENERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "xml/tree.h"
+
+namespace xmlup {
+
+/// Random unordered labeled trees for tests and benchmarks. Deterministic
+/// given the Rng seed.
+struct TreeGenOptions {
+  /// Approximate target node count; generation stops adding children once
+  /// reached.
+  size_t target_size = 32;
+  /// Maximum children per node.
+  size_t max_children = 4;
+  /// Maximum depth.
+  size_t max_depth = 12;
+  /// Labels are drawn uniformly from this alphabet.
+  std::vector<Label> alphabet;
+};
+
+class RandomTreeGenerator {
+ public:
+  RandomTreeGenerator(std::shared_ptr<SymbolTable> symbols,
+                      TreeGenOptions options);
+
+  /// Generates one random tree. The alphabet must be non-empty.
+  Tree Generate(Rng* rng) const;
+
+  /// Convenience: an alphabet of `count` labels named a0..a{count-1}.
+  static std::vector<Label> MakeAlphabet(SymbolTable* symbols, size_t count);
+
+ private:
+  std::shared_ptr<SymbolTable> symbols_;
+  TreeGenOptions options_;
+};
+
+}  // namespace xmlup
+
+#endif  // XMLUP_WORKLOAD_TREE_GENERATOR_H_

@@ -1,0 +1,82 @@
+#include "xml/isomorphism.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace xmlup {
+namespace {
+
+/// Computes codes bottom-up without recursion (inputs may be deep chains).
+/// Codes use label *names* so that trees over different SymbolTables
+/// compare correctly.
+std::string CodeOf(const Tree& tree, NodeId root) {
+  // Postorder over the subtree.
+  std::vector<NodeId> order;
+  std::vector<NodeId> stack = {root};
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    order.push_back(n);
+    for (NodeId c = tree.first_child(n); c != kNullNode;
+         c = tree.next_sibling(c)) {
+      stack.push_back(c);
+    }
+  }
+  std::reverse(order.begin(), order.end());  // children before parents
+
+  std::map<NodeId, std::string> codes;
+  for (NodeId n : order) {
+    std::vector<std::string> child_codes;
+    for (NodeId c = tree.first_child(n); c != kNullNode;
+         c = tree.next_sibling(c)) {
+      child_codes.push_back(std::move(codes[c]));
+      codes.erase(c);
+    }
+    std::sort(child_codes.begin(), child_codes.end());
+    std::string code = "(";
+    code += tree.LabelName(n);
+    for (const std::string& cc : child_codes) code += cc;
+    code += ")";
+    codes[n] = std::move(code);
+  }
+  return codes[root];
+}
+
+}  // namespace
+
+std::string CanonicalCode(const Tree& tree, NodeId node) {
+  XMLUP_DCHECK(tree.alive(node));
+  return CodeOf(tree, node);
+}
+
+std::string CanonicalCode(const Tree& tree) {
+  if (!tree.has_root()) return "";
+  return CanonicalCode(tree, tree.root());
+}
+
+bool Isomorphic(const Tree& t1, NodeId n1, const Tree& t2, NodeId n2) {
+  return CanonicalCode(t1, n1) == CanonicalCode(t2, n2);
+}
+
+bool SetsIsomorphic(const Tree& t1, const std::vector<NodeId>& roots1,
+                    const Tree& t2, const std::vector<NodeId>& roots2) {
+  std::set<std::string> codes1;
+  std::set<std::string> codes2;
+  for (NodeId n : roots1) codes1.insert(CanonicalCode(t1, n));
+  for (NodeId n : roots2) codes2.insert(CanonicalCode(t2, n));
+  return codes1 == codes2;
+}
+
+bool MultisetsIsomorphic(const Tree& t1, const std::vector<NodeId>& roots1,
+                         const Tree& t2, const std::vector<NodeId>& roots2) {
+  std::vector<std::string> codes1;
+  std::vector<std::string> codes2;
+  for (NodeId n : roots1) codes1.push_back(CanonicalCode(t1, n));
+  for (NodeId n : roots2) codes2.push_back(CanonicalCode(t2, n));
+  std::sort(codes1.begin(), codes1.end());
+  std::sort(codes2.begin(), codes2.end());
+  return codes1 == codes2;
+}
+
+}  // namespace xmlup

@@ -1,0 +1,39 @@
+#ifndef XMLUP_XML_ISOMORPHISM_H_
+#define XMLUP_XML_ISOMORPHISM_H_
+
+#include <string>
+#include <vector>
+
+#include "xml/tree.h"
+
+namespace xmlup {
+
+/// Canonical code of the subtree rooted at `node`: label name plus the
+/// sorted canonical codes of the children. Two subtrees are isomorphic in
+/// the sense of the paper's Definition 1 iff their canonical codes are
+/// equal. This is the labeled-tree variant of the Aho-Hopcroft-Ullman
+/// canonization the paper cites for Lemma 1.
+std::string CanonicalCode(const Tree& tree, NodeId node);
+
+/// Canonical code of the whole tree.
+std::string CanonicalCode(const Tree& tree);
+
+/// Definition 1: t ≅ t' on the given subtree roots.
+bool Isomorphic(const Tree& t1, NodeId n1, const Tree& t2, NodeId n2);
+
+/// Definition 1, lifted to *sets* of trees exactly as the paper does: T ≅ T'
+/// iff every tree of T is isomorphic to some tree of T' and vice versa
+/// (set semantics — duplicates collapse).
+bool SetsIsomorphic(const Tree& t1, const std::vector<NodeId>& roots1,
+                    const Tree& t2, const std::vector<NodeId>& roots2);
+
+/// Stricter multiset variant: the two collections contain the same
+/// canonical codes with the same multiplicities. Useful for detecting
+/// changes the set semantics hides (e.g. a deletion that removes one of two
+/// isomorphic results).
+bool MultisetsIsomorphic(const Tree& t1, const std::vector<NodeId>& roots1,
+                         const Tree& t2, const std::vector<NodeId>& roots2);
+
+}  // namespace xmlup
+
+#endif  // XMLUP_XML_ISOMORPHISM_H_

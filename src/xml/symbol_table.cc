@@ -1,0 +1,43 @@
+#include "xml/symbol_table.h"
+
+#include "common/check.h"
+
+namespace xmlup {
+
+Label SymbolTable::Intern(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  const Label label = static_cast<Label>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), label);
+  return label;
+}
+
+Label SymbolTable::Lookup(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? kInvalidLabel : it->second;
+}
+
+const std::string& SymbolTable::Name(Label label) const {
+  XMLUP_DCHECK(label < names_.size()) << "label " << label << " out of range";
+  return names_[label];
+}
+
+Label SymbolTable::Fresh(std::string_view prefix) {
+  for (;;) {
+    std::string candidate(prefix);
+    candidate += '$';
+    candidate += std::to_string(fresh_counter_++);
+    if (index_.find(candidate) == index_.end()) {
+      return Intern(candidate);
+    }
+  }
+}
+
+const std::shared_ptr<SymbolTable>& SymbolTable::Shared() {
+  static const std::shared_ptr<SymbolTable>& table =
+      *new std::shared_ptr<SymbolTable>(new SymbolTable());
+  return table;
+}
+
+}  // namespace xmlup

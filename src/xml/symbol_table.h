@@ -1,0 +1,62 @@
+#ifndef XMLUP_XML_SYMBOL_TABLE_H_
+#define XMLUP_XML_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace xmlup {
+
+/// An interned element label. The paper's alphabet Σ is infinite; labels are
+/// minted on demand from a SymbolTable. Label values are dense indices and
+/// only meaningful relative to the table that produced them.
+using Label = uint32_t;
+
+inline constexpr Label kInvalidLabel = 0xFFFFFFFFu;
+
+/// Interns label strings to dense Label ids. Trees and patterns that are
+/// compared or combined must share a SymbolTable (enforced with DCHECKs at
+/// the comparison sites).
+///
+/// The table also supports minting *fresh* symbols — symbols guaranteed not
+/// to have been interned before — which the paper's constructions rely on
+/// ("a label α not used in R, I or X", Definition 10; the α/β/γ/δ labels of
+/// the reductions in Section 5).
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  /// Returns the Label for `name`, interning it if new.
+  Label Intern(std::string_view name);
+
+  /// Returns the Label for `name`, or kInvalidLabel if never interned.
+  Label Lookup(std::string_view name) const;
+
+  /// Returns the string for a label minted by this table.
+  const std::string& Name(Label label) const;
+
+  /// Mints a label whose name (`<prefix>$<n>`) has never been interned.
+  Label Fresh(std::string_view prefix);
+
+  /// Number of distinct labels interned so far.
+  size_t size() const { return names_.size(); }
+
+  /// Convenience: a process-local table for examples and tests that do not
+  /// need isolation.
+  static const std::shared_ptr<SymbolTable>& Shared();
+
+ private:
+  std::unordered_map<std::string, Label> index_;
+  std::vector<std::string> names_;
+  uint64_t fresh_counter_ = 0;
+};
+
+}  // namespace xmlup
+
+#endif  // XMLUP_XML_SYMBOL_TABLE_H_

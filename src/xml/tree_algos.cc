@@ -1,0 +1,91 @@
+#include "xml/tree_algos.h"
+
+#include <algorithm>
+
+namespace xmlup {
+
+namespace {
+
+/// Copies the subtree of `source` at `src_root` into `dest` (which must be
+/// empty), filling `mapping` if provided.
+void CopyInto(const Tree& source, NodeId src_root, Tree* dest,
+              std::unordered_map<NodeId, NodeId>* mapping) {
+  const NodeId dst_root = dest->CreateRoot(source.label(src_root));
+  if (mapping != nullptr) (*mapping)[src_root] = dst_root;
+  std::vector<std::pair<NodeId, NodeId>> stack = {{src_root, dst_root}};
+  while (!stack.empty()) {
+    auto [src, dst] = stack.back();
+    stack.pop_back();
+    for (NodeId c = source.first_child(src); c != kNullNode;
+         c = source.next_sibling(c)) {
+      const NodeId dst_child = dest->AddChild(dst, source.label(c));
+      if (mapping != nullptr) (*mapping)[c] = dst_child;
+      stack.emplace_back(c, dst_child);
+    }
+  }
+}
+
+}  // namespace
+
+Tree CopyTree(const Tree& source, std::unordered_map<NodeId, NodeId>* mapping) {
+  Tree dest(source.symbols());
+  if (source.has_root()) CopyInto(source, source.root(), &dest, mapping);
+  return dest;
+}
+
+Tree CopySubtree(const Tree& source, NodeId subtree_root,
+                 std::unordered_map<NodeId, NodeId>* mapping) {
+  XMLUP_DCHECK(source.alive(subtree_root));
+  Tree dest(source.symbols());
+  CopyInto(source, subtree_root, &dest, mapping);
+  return dest;
+}
+
+Tree BuildPathTree(const std::shared_ptr<SymbolTable>& symbols,
+                   const std::vector<Label>& labels) {
+  XMLUP_CHECK(!labels.empty());
+  Tree tree(symbols);
+  NodeId current = tree.CreateRoot(labels[0]);
+  for (size_t i = 1; i < labels.size(); ++i) {
+    current = tree.AddChild(current, labels[i]);
+  }
+  return tree;
+}
+
+bool OrderedEqual(const Tree& t1, const Tree& t2) {
+  if (t1.has_root() != t2.has_root()) return false;
+  if (!t1.has_root()) return true;
+  std::vector<std::pair<NodeId, NodeId>> stack = {{t1.root(), t2.root()}};
+  while (!stack.empty()) {
+    auto [a, b] = stack.back();
+    stack.pop_back();
+    if (t1.LabelName(a) != t2.LabelName(b)) return false;
+    NodeId ca = t1.first_child(a);
+    NodeId cb = t2.first_child(b);
+    while (ca != kNullNode && cb != kNullNode) {
+      stack.emplace_back(ca, cb);
+      ca = t1.next_sibling(ca);
+      cb = t2.next_sibling(cb);
+    }
+    if (ca != kNullNode || cb != kNullNode) return false;
+  }
+  return true;
+}
+
+SubtreeSnapshot SnapshotSubtree(const Tree& tree, NodeId root) {
+  SubtreeSnapshot snapshot;
+  snapshot.root = root;
+  for (NodeId n : tree.SubtreeNodes(root)) {
+    snapshot.edges.emplace_back(n, n == root ? kNullNode : tree.parent(n));
+  }
+  std::sort(snapshot.edges.begin(), snapshot.edges.end());
+  return snapshot;
+}
+
+bool SnapshotUnchanged(const Tree& tree, const SubtreeSnapshot& snapshot) {
+  if (!tree.alive(snapshot.root)) return false;
+  SubtreeSnapshot now = SnapshotSubtree(tree, snapshot.root);
+  return now.edges == snapshot.edges;
+}
+
+}  // namespace xmlup

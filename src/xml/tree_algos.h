@@ -1,0 +1,47 @@
+#ifndef XMLUP_XML_TREE_ALGOS_H_
+#define XMLUP_XML_TREE_ALGOS_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "xml/tree.h"
+
+namespace xmlup {
+
+/// Deep copy of `source`. If `mapping` is non-null, it receives
+/// source-NodeId → copy-NodeId for every live node.
+Tree CopyTree(const Tree& source,
+              std::unordered_map<NodeId, NodeId>* mapping = nullptr);
+
+/// Deep copy of the subtree of `source` rooted at `subtree_root`, as a new
+/// standalone tree.
+Tree CopySubtree(const Tree& source, NodeId subtree_root,
+                 std::unordered_map<NodeId, NodeId>* mapping = nullptr);
+
+/// Builds a path tree: labels[0] is the root, labels[i+1] a child of
+/// labels[i]. Requires a non-empty label list.
+Tree BuildPathTree(const std::shared_ptr<SymbolTable>& symbols,
+                   const std::vector<Label>& labels);
+
+/// Structural equality *including stored child order*. The data model is
+/// unordered — use Isomorphic() for model-level equality — but ordered
+/// equality is handy for serialization round-trip tests.
+bool OrderedEqual(const Tree& t1, const Tree& t2);
+
+/// Snapshot of the (node, parent) structure of one subtree, used by the
+/// tree-conflict checker to detect whether a subtree was modified in place.
+struct SubtreeSnapshot {
+  NodeId root = kNullNode;
+  /// Pairs (node, parent-within-subtree or kNullNode for the root), sorted.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+};
+
+SubtreeSnapshot SnapshotSubtree(const Tree& tree, NodeId root);
+
+/// True if the snapshot still exactly describes the live subtree at
+/// `snapshot.root` (same node set, same parent links, all alive).
+bool SnapshotUnchanged(const Tree& tree, const SubtreeSnapshot& snapshot);
+
+}  // namespace xmlup
+
+#endif  // XMLUP_XML_TREE_ALGOS_H_

@@ -1,0 +1,47 @@
+#include "xml/tree_builder.h"
+
+namespace xmlup {
+
+TreeBuilder::TreeBuilder(std::shared_ptr<SymbolTable> symbols)
+    : tree_(std::move(symbols)) {}
+
+TreeBuilder& TreeBuilder::Begin(std::string_view name) {
+  if (error_) return *this;
+  const Label label = tree_.symbols()->Intern(name);
+  if (!tree_.has_root()) {
+    open_.push_back(tree_.CreateRoot(label));
+    return *this;
+  }
+  if (open_.empty()) {
+    error_ = true;
+    error_message_ = "Begin() after the root element was closed";
+    return *this;
+  }
+  open_.push_back(tree_.AddChild(open_.back(), label));
+  return *this;
+}
+
+TreeBuilder& TreeBuilder::Leaf(std::string_view name) {
+  return Begin(name).End();
+}
+
+TreeBuilder& TreeBuilder::End() {
+  if (error_) return *this;
+  if (open_.empty()) {
+    error_ = true;
+    error_message_ = "End() without a matching Begin()";
+    return *this;
+  }
+  open_.pop_back();
+  return *this;
+}
+
+Result<Tree> TreeBuilder::Build() && {
+  if (error_) return Status::InvalidArgument(error_message_);
+  if (!tree_.has_root()) {
+    return Status::InvalidArgument("Build() without any elements");
+  }
+  return std::move(tree_);
+}
+
+}  // namespace xmlup

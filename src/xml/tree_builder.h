@@ -1,0 +1,42 @@
+#ifndef XMLUP_XML_TREE_BUILDER_H_
+#define XMLUP_XML_TREE_BUILDER_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/tree.h"
+
+namespace xmlup {
+
+/// Fluent construction of trees, mainly for tests and examples:
+///
+///   TreeBuilder b(symbols);
+///   b.Begin("site").Begin("book").Leaf("quantity").End().End();
+///   Tree t = std::move(b).Build().value();
+///
+/// Begin(name) opens an element (the first Begin creates the root), End()
+/// closes the innermost open element, Leaf(name) is Begin+End.
+class TreeBuilder {
+ public:
+  explicit TreeBuilder(std::shared_ptr<SymbolTable> symbols);
+
+  TreeBuilder& Begin(std::string_view name);
+  TreeBuilder& Leaf(std::string_view name);
+  TreeBuilder& End();
+
+  /// Returns the finished tree. Fails if no root was created or elements
+  /// remain open (other than the root, which Build closes implicitly).
+  Result<Tree> Build() &&;
+
+ private:
+  Tree tree_;
+  std::vector<NodeId> open_;
+  bool error_ = false;
+  std::string error_message_;
+};
+
+}  // namespace xmlup
+
+#endif  // XMLUP_XML_TREE_BUILDER_H_

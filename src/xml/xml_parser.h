@@ -1,0 +1,33 @@
+#ifndef XMLUP_XML_XML_PARSER_H_
+#define XMLUP_XML_XML_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/result.h"
+#include "xml/tree.h"
+
+namespace xmlup {
+
+/// Options for the XML subset parser.
+struct XmlParseOptions {
+  /// The paper's data model has element labels only. By default attributes
+  /// and text content are accepted and discarded; set to false to reject
+  /// documents that contain them.
+  bool ignore_attributes = true;
+  bool ignore_text = true;
+};
+
+/// Parses an XML document (subset: elements, attributes, text, comments,
+/// CDATA, XML declaration — everything except elements is discarded per the
+/// paper's model) into a Tree using `symbols` for label interning.
+///
+/// This is a self-contained recursive-descent parser: the reproduction
+/// builds its substrate from scratch rather than depending on libxml2.
+Result<Tree> ParseXml(std::string_view input,
+                      std::shared_ptr<SymbolTable> symbols,
+                      const XmlParseOptions& options = {});
+
+}  // namespace xmlup
+
+#endif  // XMLUP_XML_XML_PARSER_H_

@@ -1,0 +1,50 @@
+#include "xml/xml_writer.h"
+
+#include <string>
+
+namespace xmlup {
+namespace {
+
+void WriteNode(const Tree& tree, NodeId node, const XmlWriteOptions& options,
+               int depth, std::string* out) {
+  const std::string& name = tree.LabelName(node);
+  if (options.indent > 0) {
+    out->append(static_cast<size_t>(depth * options.indent), ' ');
+  }
+  out->push_back('<');
+  out->append(name);
+  if (tree.first_child(node) == kNullNode) {
+    out->append("/>");
+    if (options.indent > 0) out->push_back('\n');
+    return;
+  }
+  out->push_back('>');
+  if (options.indent > 0) out->push_back('\n');
+  for (NodeId c = tree.first_child(node); c != kNullNode;
+       c = tree.next_sibling(c)) {
+    WriteNode(tree, c, options, depth + 1, out);
+  }
+  if (options.indent > 0) {
+    out->append(static_cast<size_t>(depth * options.indent), ' ');
+  }
+  out->append("</");
+  out->append(name);
+  out->push_back('>');
+  if (options.indent > 0) out->push_back('\n');
+}
+
+}  // namespace
+
+std::string WriteXml(const Tree& tree, NodeId node,
+                     const XmlWriteOptions& options) {
+  std::string out;
+  WriteNode(tree, node, options, 0, &out);
+  return out;
+}
+
+std::string WriteXml(const Tree& tree, const XmlWriteOptions& options) {
+  if (!tree.has_root()) return "";
+  return WriteXml(tree, tree.root(), options);
+}
+
+}  // namespace xmlup

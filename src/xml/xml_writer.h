@@ -1,0 +1,27 @@
+#ifndef XMLUP_XML_XML_WRITER_H_
+#define XMLUP_XML_XML_WRITER_H_
+
+#include <string>
+
+#include "xml/tree.h"
+
+namespace xmlup {
+
+struct XmlWriteOptions {
+  /// Pretty-print with this many spaces per depth level; 0 emits a single
+  /// line.
+  int indent = 0;
+};
+
+/// Serializes the subtree rooted at `node` as XML. Children appear in
+/// stored order (the data model is unordered; serialization order is an
+/// implementation detail chosen for reproducibility).
+std::string WriteXml(const Tree& tree, NodeId node,
+                     const XmlWriteOptions& options = {});
+
+/// Serializes the whole tree.
+std::string WriteXml(const Tree& tree, const XmlWriteOptions& options = {});
+
+}  // namespace xmlup
+
+#endif  // XMLUP_XML_XML_WRITER_H_

@@ -1,0 +1,118 @@
+#include "automata/nfa_ops.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace xmlup {
+namespace {
+
+using testing_util::NewSymbols;
+
+class AutomataTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<SymbolTable> symbols_ = NewSymbols();
+  Label L(const char* name) { return symbols_->Intern(name); }
+};
+
+TEST_F(AutomataTest, ClassIntersection) {
+  LabelClass out;
+  EXPECT_TRUE(IntersectClasses(LabelClass::Any(), LabelClass::Any(), &out));
+  EXPECT_TRUE(out.any);
+  EXPECT_TRUE(IntersectClasses(LabelClass::Any(), LabelClass::Of(3), &out));
+  EXPECT_FALSE(out.any);
+  EXPECT_EQ(out.label, 3u);
+  EXPECT_TRUE(IntersectClasses(LabelClass::Of(3), LabelClass::Of(3), &out));
+  EXPECT_EQ(out.label, 3u);
+  EXPECT_FALSE(IntersectClasses(LabelClass::Of(3), LabelClass::Of(4), &out));
+}
+
+TEST_F(AutomataTest, SymbolIntersection) {
+  const Nfa a = Nfa::FromRegex(Regex::Symbol(L("x")));
+  const Nfa b = Nfa::FromRegex(Regex::Symbol(L("x")));
+  const Nfa c = Nfa::FromRegex(Regex::Symbol(L("y")));
+  EXPECT_TRUE(IntersectionNonEmpty(a, b));
+  EXPECT_FALSE(IntersectionNonEmpty(a, c));
+}
+
+TEST_F(AutomataTest, DotMatchesAnything) {
+  const Nfa dot = Nfa::FromRegex(Regex::Dot());
+  const Nfa x = Nfa::FromRegex(Regex::Symbol(L("x")));
+  EXPECT_TRUE(IntersectionNonEmpty(dot, x));
+  const std::optional<ClassWord> word = IntersectionWitness(dot, x);
+  ASSERT_TRUE(word.has_value());
+  ASSERT_EQ(word->size(), 1u);
+  EXPECT_EQ((*word)[0].label, L("x"));
+}
+
+TEST_F(AutomataTest, ConcatOrdersSymbols) {
+  const Regex ab = Regex::Concat(Regex::Symbol(L("a")), Regex::Symbol(L("b")));
+  const Regex ba = Regex::Concat(Regex::Symbol(L("b")), Regex::Symbol(L("a")));
+  const Nfa n_ab = Nfa::FromRegex(ab);
+  EXPECT_TRUE(IntersectionNonEmpty(n_ab, Nfa::FromRegex(ab)));
+  EXPECT_FALSE(IntersectionNonEmpty(n_ab, Nfa::FromRegex(ba)));
+}
+
+TEST_F(AutomataTest, StarAllowsRepetition) {
+  // a(.)*b  ∩  a c b  — the dot-star absorbs the middle symbol.
+  const Regex a_dotstar_b = Regex::Concat(
+      Regex::Concat(Regex::Symbol(L("a")), Regex::Star(Regex::Dot())),
+      Regex::Symbol(L("b")));
+  const Regex acb = Regex::Concat(
+      Regex::Concat(Regex::Symbol(L("a")), Regex::Symbol(L("c"))),
+      Regex::Symbol(L("b")));
+  EXPECT_TRUE(IntersectionNonEmpty(Nfa::FromRegex(a_dotstar_b),
+                                   Nfa::FromRegex(acb)));
+  // Zero repetitions also work: a b.
+  const Regex ab = Regex::Concat(Regex::Symbol(L("a")), Regex::Symbol(L("b")));
+  EXPECT_TRUE(IntersectionNonEmpty(Nfa::FromRegex(a_dotstar_b),
+                                   Nfa::FromRegex(ab)));
+}
+
+TEST_F(AutomataTest, WitnessIsShortest) {
+  // a(.)*b against itself: the shortest common word is "ab".
+  const Regex r = Regex::Concat(
+      Regex::Concat(Regex::Symbol(L("a")), Regex::Star(Regex::Dot())),
+      Regex::Symbol(L("b")));
+  const std::optional<ClassWord> word =
+      IntersectionWitness(Nfa::FromRegex(r), Nfa::FromRegex(r));
+  ASSERT_TRUE(word.has_value());
+  EXPECT_EQ(word->size(), 2u);
+}
+
+TEST_F(AutomataTest, EpsilonRegex) {
+  const Nfa eps = Nfa::FromRegex(Regex::Epsilon());
+  const Nfa x = Nfa::FromRegex(Regex::Symbol(L("x")));
+  EXPECT_TRUE(IntersectionNonEmpty(eps, eps));
+  EXPECT_FALSE(IntersectionNonEmpty(eps, x));
+  const std::optional<ClassWord> word = IntersectionWitness(eps, eps);
+  ASSERT_TRUE(word.has_value());
+  EXPECT_TRUE(word->empty());
+}
+
+TEST_F(AutomataTest, NestedStars) {
+  // ((a)*)* accepts the empty word and any run of a's.
+  const Regex r = Regex::Star(Regex::Star(Regex::Symbol(L("a"))));
+  const Regex aa = Regex::Concat(Regex::Symbol(L("a")), Regex::Symbol(L("a")));
+  EXPECT_TRUE(IntersectionNonEmpty(Nfa::FromRegex(r), Nfa::FromRegex(aa)));
+  EXPECT_TRUE(
+      IntersectionNonEmpty(Nfa::FromRegex(r), Nfa::FromRegex(Regex::Epsilon())));
+}
+
+TEST_F(AutomataTest, RegexToString) {
+  const Regex r = Regex::Concat(
+      Regex::Concat(Regex::Symbol(L("a")), Regex::Star(Regex::Dot())),
+      Regex::Symbol(L("b")));
+  EXPECT_EQ(r.ToString(*symbols_), "a.((.))*.b");
+}
+
+TEST_F(AutomataTest, EpsilonClosure) {
+  const Nfa star = Nfa::FromRegex(Regex::Star(Regex::Symbol(L("a"))));
+  const std::vector<StateId> closure = star.EpsilonClosure({star.start()});
+  // The closure of a star's entry reaches its accept state (empty word).
+  bool has_accept = false;
+  for (StateId s : closure) has_accept |= (s == star.accept());
+  EXPECT_TRUE(has_accept);
+}
+
+}  // namespace
+}  // namespace xmlup

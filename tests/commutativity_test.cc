@@ -1,0 +1,111 @@
+#include "conflict/commutativity.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace xmlup {
+namespace {
+
+using testing_util::NewSymbols;
+using testing_util::Xml;
+using testing_util::Xp;
+
+class CommutativityTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<SymbolTable> symbols_ = NewSymbols();
+
+  UpdateOp Ins(const char* pattern, const char* x) {
+    return UpdateOp::MakeInsert(
+        Xp(pattern, symbols_),
+        std::make_shared<const Tree>(Xml(x, symbols_)));
+  }
+  UpdateOp Del(const char* pattern) {
+    Result<UpdateOp> op = UpdateOp::MakeDelete(Xp(pattern, symbols_));
+    EXPECT_TRUE(op.ok());
+    return std::move(op).value();
+  }
+};
+
+TEST_F(CommutativityTest, DeleteRejectsRootPattern) {
+  EXPECT_FALSE(UpdateOp::MakeDelete(Xp("a", symbols_)).ok());
+}
+
+TEST_F(CommutativityTest, IdenticalInsertsCommute) {
+  // §6: identical insertions ought not to conflict under value semantics.
+  const UpdateOp i1 = Ins("a/b", "<c/>");
+  const UpdateOp i2 = Ins("a/b", "<c/>");
+  Tree t = Xml("<a><b/></a>", symbols_);
+  EXPECT_TRUE(UpdatesCommuteOn(t, i1, i2));
+  BoundedSearchOptions options;
+  options.max_nodes = 4;
+  const BruteForceResult r = FindCommutativityViolation(i1, i2, options);
+  EXPECT_EQ(r.outcome, SearchOutcome::kExhaustedNoWitness);
+}
+
+TEST_F(CommutativityTest, InsertEnablingInsertDoesNotCommute) {
+  // i1 inserts <b/> under a; i2 inserts <c/> under b. Running i1 first
+  // creates more b's for i2 to fire on.
+  const UpdateOp i1 = Ins("a", "<b/>");
+  const UpdateOp i2 = Ins("a/b", "<c/>");
+  Tree t = Xml("<a/>", symbols_);
+  EXPECT_FALSE(UpdatesCommuteOn(t, i1, i2));
+  BoundedSearchOptions options;
+  options.max_nodes = 3;
+  const BruteForceResult r = FindCommutativityViolation(i1, i2, options);
+  ASSERT_EQ(r.outcome, SearchOutcome::kWitnessFound);
+  EXPECT_FALSE(UpdatesCommuteOn(*r.witness, i1, i2));
+}
+
+TEST_F(CommutativityTest, DeleteDeleteOverlapping) {
+  // d1 deletes b subtrees; d2 deletes c nodes under b. Order matters only
+  // for which points exist, but the final tree is the same: b is gone
+  // either way. These commute.
+  const UpdateOp d1 = Del("a/b");
+  const UpdateOp d2 = Del("a/b/c");
+  BoundedSearchOptions options;
+  options.max_nodes = 4;
+  const BruteForceResult r = FindCommutativityViolation(d1, d2, options);
+  EXPECT_EQ(r.outcome, SearchOutcome::kExhaustedNoWitness);
+}
+
+TEST_F(CommutativityTest, DeleteGuardedByPredicateDoesNotCommute) {
+  // d1 deletes b[c] nodes; d2 deletes c nodes. Running d2 first disarms
+  // d1's predicate, so the b survives.
+  const UpdateOp d1 = Del("a/b[c]");
+  const UpdateOp d2 = Del("a/b/c");
+  Tree t = Xml("<a><b><c/></b></a>", symbols_);
+  EXPECT_FALSE(UpdatesCommuteOn(t, d1, d2));
+  BoundedSearchOptions options;
+  options.max_nodes = 3;
+  const BruteForceResult r = FindCommutativityViolation(d1, d2, options);
+  ASSERT_EQ(r.outcome, SearchOutcome::kWitnessFound);
+}
+
+TEST_F(CommutativityTest, InsertDeleteInterference) {
+  // Insert adds a c under b; delete removes b[c]. Insert-then-delete kills
+  // every b; delete-then-insert keeps previously c-free b's (with a new c).
+  const UpdateOp ins = Ins("a/b", "<c/>");
+  const UpdateOp del = Del("a/b[c]");
+  Tree t = Xml("<a><b/></a>", symbols_);
+  EXPECT_FALSE(UpdatesCommuteOn(t, ins, del));
+}
+
+TEST_F(CommutativityTest, DisjointUpdatesCommute) {
+  const UpdateOp ins = Ins("a/x", "<m/>");
+  const UpdateOp del = Del("a/y");
+  BoundedSearchOptions options;
+  options.max_nodes = 4;
+  const BruteForceResult r = FindCommutativityViolation(ins, del, options);
+  EXPECT_EQ(r.outcome, SearchOutcome::kExhaustedNoWitness);
+}
+
+TEST_F(CommutativityTest, ApplyInPlaceSemantics) {
+  Tree t = Xml("<a><b/><b/></a>", symbols_);
+  Ins("a/b", "<c/>").ApplyInPlace(&t);
+  EXPECT_EQ(t.size(), 5u);
+  Del("a/b").ApplyInPlace(&t);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+}  // namespace
+}  // namespace xmlup

@@ -1,0 +1,163 @@
+#include "dtd/dtd_conflict.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace xmlup {
+namespace {
+
+using testing_util::NewSymbols;
+using testing_util::Xml;
+using testing_util::Xp;
+
+class DtdTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<SymbolTable> symbols_ = NewSymbols();
+  Label L(const char* name) { return symbols_->Intern(name); }
+};
+
+TEST_F(DtdTest, UnconstrainedSchemaAcceptsEverything) {
+  Dtd dtd(symbols_);
+  Tree t = Xml("<a><b><c/></b></a>", symbols_);
+  EXPECT_TRUE(dtd.Conforms(t));
+}
+
+TEST_F(DtdTest, RootLabelEnforced) {
+  Dtd dtd(symbols_);
+  dtd.SetRootLabel(L("catalog"));
+  Tree good = Xml("<catalog/>", symbols_);
+  Tree bad = Xml("<book/>", symbols_);
+  EXPECT_TRUE(dtd.Conforms(good));
+  std::string why;
+  EXPECT_FALSE(dtd.Conforms(bad, &why));
+  EXPECT_NE(why.find("root"), std::string::npos);
+}
+
+TEST_F(DtdTest, SealedParentRejectsUnknownChildren) {
+  Dtd dtd(symbols_);
+  dtd.Allow(L("book"), L("title"));
+  dtd.Allow(L("book"), L("author"));
+  EXPECT_TRUE(dtd.Conforms(Xml("<book><title/><author/></book>", symbols_)));
+  std::string why;
+  EXPECT_FALSE(dtd.Conforms(Xml("<book><price/></book>", symbols_), &why));
+  EXPECT_NE(why.find("not allowed"), std::string::npos);
+}
+
+TEST_F(DtdTest, SealWithoutAllowMeansLeafOnly) {
+  Dtd dtd(symbols_);
+  dtd.Seal(L("title"));
+  EXPECT_TRUE(dtd.Conforms(Xml("<book><title/></book>", symbols_)));
+  EXPECT_FALSE(dtd.Conforms(Xml("<book><title><x/></title></book>",
+                                symbols_)));
+}
+
+TEST_F(DtdTest, RequiredChildren) {
+  Dtd dtd(symbols_);
+  dtd.Require(L("book"), L("title"));
+  EXPECT_TRUE(dtd.Conforms(Xml("<c><book><title/></book></c>", symbols_)));
+  std::string why;
+  EXPECT_FALSE(dtd.Conforms(Xml("<c><book><author/></book></c>", symbols_),
+                            &why));
+  EXPECT_NE(why.find("required"), std::string::npos);
+}
+
+TEST_F(DtdTest, ParseDeclarationSyntax) {
+  Result<Dtd> dtd = Dtd::Parse(
+      "# catalog schema\n"
+      "root catalog\n"
+      "allow catalog : book\n"
+      "allow book : title author publisher stock\n"
+      "require book : title\n"
+      "seal title\n"
+      "\n",
+      symbols_);
+  ASSERT_TRUE(dtd.ok()) << dtd.status();
+  EXPECT_TRUE(dtd->Conforms(
+      Xml("<catalog><book><title/><author/></book></catalog>", symbols_)));
+  // Root label enforced.
+  EXPECT_FALSE(dtd->Conforms(Xml("<book/>", symbols_)));
+  // book requires a title.
+  EXPECT_FALSE(dtd->Conforms(
+      Xml("<catalog><book><author/></book></catalog>", symbols_)));
+  // catalog only allows book children.
+  EXPECT_FALSE(dtd->Conforms(Xml("<catalog><press/></catalog>", symbols_)));
+  // title is sealed (leaf only).
+  EXPECT_FALSE(dtd->Conforms(
+      Xml("<catalog><book><title><x/></title></book></catalog>", symbols_)));
+}
+
+TEST_F(DtdTest, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(Dtd::Parse("root a b", symbols_).ok());
+  EXPECT_FALSE(Dtd::Parse("frobnicate x", symbols_).ok());
+  EXPECT_FALSE(Dtd::Parse("allow onlyparent", symbols_).ok());
+  EXPECT_FALSE(Dtd::Parse("seal", symbols_).ok());
+  // Comments and blank lines are fine.
+  EXPECT_TRUE(Dtd::Parse("# nothing\n\n", symbols_).ok());
+}
+
+TEST_F(DtdTest, MentionedLabels) {
+  Dtd dtd(symbols_);
+  dtd.SetRootLabel(L("r"));
+  dtd.Allow(L("a"), L("b"));
+  dtd.Require(L("c"), L("d"));
+  const std::set<Label> labels = dtd.MentionedLabels();
+  EXPECT_EQ(labels.size(), 5u);
+}
+
+TEST_F(DtdTest, SchemaCanRuleOutConflict) {
+  // In general, read a/b/c conflicts with insert X=<c/> at a/b. Under a
+  // schema where b may only contain d children, no conforming witness
+  // exists: the insertion itself would break conformance — but more to
+  // the point, the searched space of *conforming* trees has no witness
+  // where the read changes.
+  const Pattern read = Xp("a/b/q", symbols_);
+  const Pattern ins = Xp("a/b", symbols_);
+  Tree x = Xml("<q/>", symbols_);
+
+  BoundedSearchOptions options;
+  options.max_nodes = 4;
+
+  // Without schema: conflict found.
+  const BruteForceResult unrestricted = BruteForceReadInsertSearch(
+      read, ins, x, ConflictSemantics::kNode, options);
+  EXPECT_EQ(unrestricted.outcome, SearchOutcome::kWitnessFound);
+
+  // With a schema that forbids b under a entirely, the insert can never
+  // fire on a conforming document.
+  Dtd dtd(symbols_);
+  dtd.SetRootLabel(L("a"));
+  dtd.Allow(L("a"), L("d"));  // a children: only d
+  const BruteForceResult restricted = FindReadInsertConflictUnderDtd(
+      read, ins, x, dtd, ConflictSemantics::kNode, options);
+  EXPECT_EQ(restricted.outcome, SearchOutcome::kExhaustedNoWitness);
+}
+
+TEST_F(DtdTest, ConformingWitnessFound) {
+  const Pattern read = Xp("a//q", symbols_);
+  const Pattern ins = Xp("a/b", symbols_);
+  Tree x = Xml("<q/>", symbols_);
+  Dtd dtd(symbols_);
+  dtd.SetRootLabel(L("a"));
+  BoundedSearchOptions options;
+  options.max_nodes = 3;
+  const BruteForceResult r = FindReadInsertConflictUnderDtd(
+      read, ins, x, dtd, ConflictSemantics::kNode, options);
+  ASSERT_EQ(r.outcome, SearchOutcome::kWitnessFound);
+  EXPECT_TRUE(dtd.Conforms(*r.witness));
+}
+
+TEST_F(DtdTest, ReadDeleteUnderDtd) {
+  const Pattern read = Xp("a//m", symbols_);
+  const Pattern del = Xp("a/b", symbols_);
+  Dtd dtd(symbols_);
+  dtd.SetRootLabel(L("a"));
+  dtd.Allow(L("a"), L("z"));  // no b children allowed: delete never fires
+  BoundedSearchOptions options;
+  options.max_nodes = 4;
+  const BruteForceResult r = FindReadDeleteConflictUnderDtd(
+      read, del, dtd, ConflictSemantics::kNode, options);
+  EXPECT_EQ(r.outcome, SearchOutcome::kExhaustedNoWitness);
+}
+
+}  // namespace
+}  // namespace xmlup

@@ -1,0 +1,102 @@
+#include "eval/embedding_enumerator.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace xmlup {
+namespace {
+
+using testing_util::NewSymbols;
+using testing_util::Xml;
+using testing_util::Xp;
+
+class EmbeddingTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<SymbolTable> symbols_ = NewSymbols();
+};
+
+TEST_F(EmbeddingTest, SingleEmbedding) {
+  Tree t = Xml("<a><b/></a>", symbols_);
+  Pattern p = Xp("a/b", symbols_);
+  const std::vector<Embedding> all = EnumerateEmbeddings(p, t, 100);
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_TRUE(IsValidEmbedding(p, t, all[0]));
+  EXPECT_EQ(all[0][p.root()], t.root());
+}
+
+TEST_F(EmbeddingTest, CountsEmbeddingsNotResults) {
+  // Two b children: a//b has two embeddings; a[b] has two as well even
+  // though the result set is a single node.
+  Tree t = Xml("<a><b/><b/></a>", symbols_);
+  EXPECT_EQ(EnumerateEmbeddings(Xp("a//b", symbols_), t, 100).size(), 2u);
+  EXPECT_EQ(EnumerateEmbeddings(Xp("a[b]", symbols_), t, 100).size(), 2u);
+}
+
+TEST_F(EmbeddingTest, NoEmbeddings) {
+  Tree t = Xml("<a/>", symbols_);
+  EXPECT_TRUE(EnumerateEmbeddings(Xp("a/b", symbols_), t, 100).empty());
+  EXPECT_TRUE(EnumerateEmbeddings(Xp("c", symbols_), t, 100).empty());
+}
+
+TEST_F(EmbeddingTest, LimitTruncates) {
+  Tree t = Xml("<a><b/><b/><b/><b/></a>", symbols_);
+  bool truncated = false;
+  const std::vector<Embedding> some =
+      EnumerateEmbeddings(Xp("a//b", symbols_), t, 2, &truncated);
+  EXPECT_EQ(some.size(), 2u);
+  EXPECT_TRUE(truncated);
+}
+
+TEST_F(EmbeddingTest, FindEmbeddingSelectingSpecificNode) {
+  Tree t = Xml("<a><b/><b><c/></b></a>", symbols_);
+  Pattern p = Xp("a//b", symbols_);
+  const std::vector<NodeId> kids = t.Children(t.root());
+  for (NodeId target : kids) {
+    const Embedding e = FindEmbeddingSelecting(p, t, target);
+    ASSERT_FALSE(e.empty());
+    EXPECT_EQ(e[p.output()], target);
+    EXPECT_TRUE(IsValidEmbedding(p, t, e));
+  }
+  // The c node is not labeled b: no embedding selects it.
+  const NodeId c = t.first_child(kids[1]);
+  EXPECT_TRUE(FindEmbeddingSelecting(p, t, c).empty());
+}
+
+TEST_F(EmbeddingTest, ValidEmbeddingChecker) {
+  Tree t = Xml("<a><b><c/></b></a>", symbols_);
+  Pattern p = Xp("a//c", symbols_);
+  const std::vector<Embedding> all = EnumerateEmbeddings(p, t, 10);
+  ASSERT_EQ(all.size(), 1u);
+  Embedding good = all[0];
+  EXPECT_TRUE(IsValidEmbedding(p, t, good));
+
+  Embedding wrong_root = good;
+  wrong_root[p.root()] = t.first_child(t.root());
+  EXPECT_FALSE(IsValidEmbedding(p, t, wrong_root));
+
+  Embedding wrong_size = good;
+  wrong_size.pop_back();
+  EXPECT_FALSE(IsValidEmbedding(p, t, wrong_size));
+
+  // Label violation: map the c pattern node onto the b tree node.
+  Embedding wrong_label = good;
+  wrong_label[p.output()] = t.first_child(t.root());
+  EXPECT_FALSE(IsValidEmbedding(p, t, wrong_label));
+}
+
+TEST_F(EmbeddingTest, ChildEdgeValidation) {
+  Tree t = Xml("<a><b><c/></b></a>", symbols_);
+  Pattern p = Xp("a/c", symbols_);  // c must be a *child* of the root
+  EXPECT_TRUE(EnumerateEmbeddings(p, t, 10).empty());
+}
+
+TEST_F(EmbeddingTest, BranchingPatternEmbeddings) {
+  Tree t = Xml("<a><b/><c/></a>", symbols_);
+  Pattern p = Xp("a[b][c]", symbols_);
+  const std::vector<Embedding> all = EnumerateEmbeddings(p, t, 10);
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_TRUE(IsValidEmbedding(p, t, all[0]));
+}
+
+}  // namespace
+}  // namespace xmlup

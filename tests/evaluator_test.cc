@@ -1,0 +1,200 @@
+#include "eval/evaluator.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/random.h"
+#include "eval/embedding_enumerator.h"
+#include "eval/fast_evaluator.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+#include "workload/pattern_generator.h"
+#include "workload/tree_generator.h"
+
+namespace xmlup {
+namespace {
+
+using testing_util::NewSymbols;
+using testing_util::Xml;
+using testing_util::Xp;
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<SymbolTable> symbols_ = NewSymbols();
+};
+
+TEST_F(EvaluatorTest, RootOnlyPattern) {
+  Tree t = Xml("<a><b/></a>", symbols_);
+  EXPECT_EQ(Evaluate(Xp("a", symbols_), t), std::vector<NodeId>{t.root()});
+  EXPECT_TRUE(Evaluate(Xp("x", symbols_), t).empty());
+  EXPECT_EQ(Evaluate(Xp("*", symbols_), t), std::vector<NodeId>{t.root()});
+}
+
+TEST_F(EvaluatorTest, ChildAxis) {
+  Tree t = Xml("<a><b/><b><b/></b><c/></a>", symbols_);
+  const std::vector<NodeId> result = Evaluate(Xp("a/b", symbols_), t);
+  EXPECT_EQ(result.size(), 2u);  // only direct b children
+}
+
+TEST_F(EvaluatorTest, DescendantAxis) {
+  Tree t = Xml("<a><b/><b><b/></b><c><b/></c></a>", symbols_);
+  EXPECT_EQ(Evaluate(Xp("a//b", symbols_), t).size(), 4u);
+}
+
+TEST_F(EvaluatorTest, DescendantIsProper) {
+  // a//a must not select the root itself (DESC is proper descendants).
+  Tree t = Xml("<a><a/></a>", symbols_);
+  const std::vector<NodeId> result = Evaluate(Xp("a//a", symbols_), t);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_NE(result[0], t.root());
+}
+
+TEST_F(EvaluatorTest, WildcardMatchesAnyLabel) {
+  Tree t = Xml("<a><b/><c/></a>", symbols_);
+  EXPECT_EQ(Evaluate(Xp("a/*", symbols_), t).size(), 2u);
+  EXPECT_EQ(Evaluate(Xp("*//*", symbols_), t).size(), 2u);
+}
+
+TEST_F(EvaluatorTest, PredicateFiltersResults) {
+  Tree t = Xml("<r><book><quantity/></book><book/></r>", symbols_);
+  EXPECT_EQ(Evaluate(Xp("r/book", symbols_), t).size(), 2u);
+  EXPECT_EQ(Evaluate(Xp("r/book[quantity]", symbols_), t).size(), 1u);
+}
+
+TEST_F(EvaluatorTest, DescendantPredicate) {
+  Tree t = Xml("<r><b><s><q/></s></b><b><s/></b></r>", symbols_);
+  EXPECT_EQ(Evaluate(Xp("r/b[.//q]", symbols_), t).size(), 1u);
+  EXPECT_EQ(Evaluate(Xp("r/b[q]", symbols_), t).size(), 0u);  // q not a child
+}
+
+TEST_F(EvaluatorTest, OutputCanBeInternalNode) {
+  // Output in the middle of the trunk: a/b[c] selects b nodes having c.
+  Tree t = Xml("<a><b><c/></b><b/></a>", symbols_);
+  const std::vector<NodeId> result = Evaluate(Xp("a/b[c]", symbols_), t);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(t.LabelName(result[0]), "b");
+}
+
+TEST_F(EvaluatorTest, MultiplePredicatesConjoin) {
+  Tree t = Xml("<a><b><c/><d/></b><b><c/></b></a>", symbols_);
+  EXPECT_EQ(Evaluate(Xp("a/b[c][d]", symbols_), t).size(), 1u);
+}
+
+TEST_F(EvaluatorTest, Figure1Scenario) {
+  // The paper's Figure 1/§1: books whose quantity is low.
+  Tree t = Xml(
+      "<catalog>"
+      "<book><title/><stock><quantity><low/></quantity></stock></book>"
+      "<book><title/><stock><quantity><high/></quantity></stock></book>"
+      "</catalog>",
+      symbols_);
+  const std::vector<NodeId> low_books =
+      Evaluate(Xp("catalog/book[.//low]", symbols_), t);
+  ASSERT_EQ(low_books.size(), 1u);
+  EXPECT_EQ(t.LabelName(low_books[0]), "book");
+}
+
+TEST_F(EvaluatorTest, EmbeddingsNeedNotBeInjective) {
+  // Two predicate branches may map onto the same tree path.
+  Tree t = Xml("<a><b><c/></b></a>", symbols_);
+  EXPECT_EQ(Evaluate(Xp("a[b][b/c]", symbols_), t).size(), 1u);
+}
+
+TEST_F(EvaluatorTest, EvaluationAfterMutationSeesCurrentTree) {
+  Tree t = Xml("<a><b/></a>", symbols_);
+  Pattern p = Xp("a//c", symbols_);
+  EXPECT_TRUE(Evaluate(p, t).empty());
+  const NodeId b = t.first_child(t.root());
+  t.AddChild(b, symbols_->Intern("c"));
+  EXPECT_EQ(Evaluate(p, t).size(), 1u);
+  t.DeleteSubtree(b);
+  EXPECT_TRUE(Evaluate(p, t).empty());
+}
+
+TEST_F(EvaluatorTest, EmbedsAtAnchorsAtGivenNode) {
+  Tree t = Xml("<r><x><a><b/></a></x></r>", symbols_);
+  Pattern p = Xp("a/b", symbols_);
+  EXPECT_FALSE(HasEmbedding(p, t));  // root is r, not a
+  const NodeId x = t.first_child(t.root());
+  const NodeId a = t.first_child(x);
+  EXPECT_TRUE(EmbedsAt(p, t, a));
+  EXPECT_FALSE(EmbedsAt(p, t, x));
+  EXPECT_TRUE(EmbedsAnywhereIn(p, t, t.root()));
+  EXPECT_TRUE(EmbedsAnywhereIn(p, t, x));
+  const NodeId b = t.first_child(a);
+  EXPECT_FALSE(EmbedsAnywhereIn(p, t, b));
+}
+
+TEST_F(EvaluatorTest, CountEmbeddingsHandCases) {
+  Tree t = Xml("<a><b/><b/></a>", symbols_);
+  EXPECT_EQ(CountEmbeddings(Xp("a", symbols_), t), 1u);
+  EXPECT_EQ(CountEmbeddings(Xp("a/b", symbols_), t), 2u);
+  EXPECT_EQ(CountEmbeddings(Xp("a[b]", symbols_), t), 2u);
+  EXPECT_EQ(CountEmbeddings(Xp("a[b][b]", symbols_), t), 4u);
+  EXPECT_EQ(CountEmbeddings(Xp("a/c", symbols_), t), 0u);
+}
+
+TEST_F(EvaluatorTest, CountEmbeddingsDescendant) {
+  Tree t = Xml("<a><b><b/></b></a>", symbols_);
+  EXPECT_EQ(CountEmbeddings(Xp("a//b", symbols_), t), 2u);
+  EXPECT_EQ(CountEmbeddings(Xp("a//b//b", symbols_), t), 1u);
+  EXPECT_EQ(CountEmbeddings(Xp("a//*", symbols_), t), 2u);
+}
+
+TEST_F(EvaluatorTest, CountEmbeddingsLargeWithoutOverflowIssues) {
+  // A bushy tree where a[*][*][*] has fanout^3 embeddings.
+  Tree t(symbols_);
+  const NodeId root = t.CreateRoot(symbols_->Intern("a"));
+  for (int i = 0; i < 100; ++i) t.AddChild(root, symbols_->Intern("b"));
+  EXPECT_EQ(CountEmbeddings(Xp("a[*][*][*]", symbols_), t), 1000000u);
+}
+
+/// Property sweep: the polynomial evaluator agrees with explicit embedding
+/// enumeration on random (tree, pattern) pairs.
+class EvaluatorPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EvaluatorPropertyTest, MatchesEmbeddingEnumeration) {
+  auto symbols = NewSymbols();
+  Rng rng(1000 + GetParam());
+
+  TreeGenOptions tree_options;
+  tree_options.target_size = 18;
+  tree_options.alphabet = RandomTreeGenerator::MakeAlphabet(symbols.get(), 3);
+  RandomTreeGenerator trees(symbols, tree_options);
+
+  PatternGenOptions pat_options;
+  pat_options.size = 4;
+  pat_options.alphabet = tree_options.alphabet;
+  RandomPatternGenerator patterns(symbols, pat_options);
+
+  for (int iter = 0; iter < 20; ++iter) {
+    const Tree t = trees.Generate(&rng);
+    const Pattern p = rng.NextBool(0.5) ? patterns.GenerateLinear(&rng)
+                                        : patterns.GenerateBranching(&rng);
+    const std::vector<NodeId> fast = Evaluate(p, t);
+
+    bool truncated = false;
+    const std::vector<Embedding> embeddings =
+        EnumerateEmbeddings(p, t, 200000, &truncated);
+    ASSERT_FALSE(truncated);
+    std::set<NodeId> slow;
+    for (const Embedding& e : embeddings) {
+      EXPECT_TRUE(IsValidEmbedding(p, t, e));
+      slow.insert(e[p.output()]);
+    }
+    EXPECT_EQ(std::set<NodeId>(fast.begin(), fast.end()), slow)
+        << "seed=" << GetParam() << " iter=" << iter;
+    // The counting DP agrees with explicit enumeration.
+    EXPECT_EQ(CountEmbeddings(p, t), embeddings.size())
+        << "seed=" << GetParam() << " iter=" << iter;
+    // The bit-parallel evaluator agrees with the baseline.
+    EXPECT_EQ(EvaluateFast(p, t), fast)
+        << "seed=" << GetParam() << " iter=" << iter;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EvaluatorPropertyTest,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace xmlup

@@ -1,0 +1,157 @@
+#include "eval/incremental_read.h"
+
+#include "common/random.h"
+#include "eval/evaluator.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+#include "workload/pattern_generator.h"
+#include "workload/tree_generator.h"
+
+namespace xmlup {
+namespace {
+
+using testing_util::NewSymbols;
+using testing_util::Xml;
+using testing_util::Xp;
+
+class IncrementalReadTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<SymbolTable> symbols_ = NewSymbols();
+};
+
+TEST_F(IncrementalReadTest, InitialResultsMatchEvaluator) {
+  Tree t = Xml("<a><b><c/></b><b/><d><b/></d></a>", symbols_);
+  const Pattern p = Xp("a//b", symbols_);
+  Result<IncrementalRead> read = IncrementalRead::Make(p, &t);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->Results(), Evaluate(p, t));
+}
+
+TEST_F(IncrementalReadTest, RejectsBranchingAndHugePatterns) {
+  Tree t = Xml("<a/>", symbols_);
+  EXPECT_FALSE(IncrementalRead::Make(Xp("a[b]", symbols_), &t).ok());
+  Pattern huge(symbols_);
+  PatternNodeId n = huge.CreateRoot(symbols_->Intern("a"));
+  for (int i = 0; i < 70; ++i) {
+    n = huge.AddChild(n, kWildcardLabel, Axis::kChild);
+  }
+  huge.SetOutput(n);
+  EXPECT_FALSE(IncrementalRead::Make(huge, &t).ok());
+}
+
+TEST_F(IncrementalReadTest, InsertAddsResultsIncrementally) {
+  Tree t = Xml("<a><B/></a>", symbols_);
+  const Pattern p = Xp("a//C", symbols_);
+  Result<IncrementalRead> read = IncrementalRead::Make(p, &t);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->Results().empty());
+
+  InsertOp insert(Xp("a/B", symbols_),
+                  std::make_shared<const Tree>(Xml("<C><C/></C>", symbols_)));
+  const InsertOp::Applied applied = insert.ApplyInPlace(&t);
+  read->OnInsert(applied);
+  EXPECT_EQ(read->Results(), Evaluate(p, t));
+  EXPECT_EQ(read->Results().size(), 2u);
+}
+
+TEST_F(IncrementalReadTest, DeleteRemovesResultsLazily) {
+  Tree t = Xml("<a><b><m/></b><c><m/></c></a>", symbols_);
+  const Pattern p = Xp("a//m", symbols_);
+  Result<IncrementalRead> read = IncrementalRead::Make(p, &t);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->Results().size(), 2u);
+
+  Result<DeleteOp> del = DeleteOp::Make(Xp("a/b", symbols_));
+  ASSERT_TRUE(del.ok());
+  del->ApplyInPlace(&t);
+  read->OnDelete();
+  EXPECT_EQ(read->Results(), Evaluate(p, t));
+  EXPECT_EQ(read->Results().size(), 1u);
+}
+
+TEST_F(IncrementalReadTest, MixedUpdateSequence) {
+  Tree t = Xml("<r><x/><y/></r>", symbols_);
+  const Pattern p = Xp("r//q", symbols_);
+  Result<IncrementalRead> read = IncrementalRead::Make(p, &t);
+  ASSERT_TRUE(read.ok());
+
+  InsertOp ins1(Xp("r/x", symbols_),
+                std::make_shared<const Tree>(Xml("<q/>", symbols_)));
+  read->OnInsert(ins1.ApplyInPlace(&t));
+  EXPECT_EQ(read->Results(), Evaluate(p, t));
+
+  InsertOp ins2(Xp("r//q", symbols_),
+                std::make_shared<const Tree>(Xml("<q/>", symbols_)));
+  read->OnInsert(ins2.ApplyInPlace(&t));
+  EXPECT_EQ(read->Results(), Evaluate(p, t));
+
+  Result<DeleteOp> del = DeleteOp::Make(Xp("r/x", symbols_));
+  ASSERT_TRUE(del.ok());
+  del->ApplyInPlace(&t);
+  read->OnDelete();
+  EXPECT_EQ(read->Results(), Evaluate(p, t));
+}
+
+TEST_F(IncrementalReadTest, ChildAxisAndWildcards) {
+  Tree t = Xml("<a><w/></a>", symbols_);
+  const Pattern p = Xp("a/*/n", symbols_);
+  Result<IncrementalRead> read = IncrementalRead::Make(p, &t);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->Results().empty());
+  InsertOp ins(Xp("a/w", symbols_),
+               std::make_shared<const Tree>(Xml("<n/>", symbols_)));
+  read->OnInsert(ins.ApplyInPlace(&t));
+  ASSERT_EQ(read->Results().size(), 1u);
+  EXPECT_EQ(t.LabelName(read->Results()[0]), "n");
+}
+
+/// Property: a random interleaving of inserts and deletes, with the
+/// incremental result set cross-checked against full evaluation at every
+/// step.
+class IncrementalPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalPropertyTest, AgreesWithFullEvaluation) {
+  auto symbols = NewSymbols();
+  Rng rng(70000 + GetParam());
+
+  PatternGenOptions pattern_options;
+  pattern_options.size = 3;
+  pattern_options.alphabet = {symbols->Intern("a"), symbols->Intern("b"),
+                              symbols->Intern("c")};
+  RandomPatternGenerator patterns(symbols, pattern_options);
+
+  TreeGenOptions tree_options;
+  tree_options.target_size = 25;
+  tree_options.alphabet = pattern_options.alphabet;
+  RandomTreeGenerator trees(symbols, tree_options);
+
+  for (int iter = 0; iter < 5; ++iter) {
+    Tree t = trees.Generate(&rng);
+    const Pattern watched = patterns.GenerateLinear(&rng);
+    Result<IncrementalRead> read = IncrementalRead::Make(watched, &t);
+    ASSERT_TRUE(read.ok());
+    for (int step = 0; step < 12; ++step) {
+      if (rng.NextBool(0.6)) {
+        Tree content = trees.Generate(&rng);
+        InsertOp ins(patterns.GenerateLinear(&rng),
+                     std::make_shared<const Tree>(std::move(content)));
+        read->OnInsert(ins.ApplyInPlace(&t));
+      } else {
+        Pattern del_pattern = patterns.GenerateLinear(&rng);
+        if (del_pattern.output() == del_pattern.root()) continue;
+        Result<DeleteOp> del = DeleteOp::Make(std::move(del_pattern));
+        ASSERT_TRUE(del.ok());
+        del->ApplyInPlace(&t);
+        read->OnDelete();
+      }
+      ASSERT_EQ(read->Results(), Evaluate(watched, t))
+          << "seed=" << GetParam() << " iter=" << iter << " step=" << step;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IncrementalPropertyTest,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace xmlup

@@ -1,0 +1,97 @@
+#include "xml/isomorphism.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace xmlup {
+namespace {
+
+using testing_util::NewSymbols;
+using testing_util::Xml;
+
+class IsomorphismTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<SymbolTable> symbols_ = NewSymbols();
+};
+
+TEST_F(IsomorphismTest, IgnoresChildOrder) {
+  Tree t1 = Xml("<a><b/><c/></a>", symbols_);
+  Tree t2 = Xml("<a><c/><b/></a>", symbols_);
+  EXPECT_TRUE(Isomorphic(t1, t1.root(), t2, t2.root()));
+  EXPECT_EQ(CanonicalCode(t1), CanonicalCode(t2));
+}
+
+TEST_F(IsomorphismTest, LabelsMatter) {
+  Tree t1 = Xml("<a><b/></a>", symbols_);
+  Tree t2 = Xml("<a><c/></a>", symbols_);
+  EXPECT_FALSE(Isomorphic(t1, t1.root(), t2, t2.root()));
+}
+
+TEST_F(IsomorphismTest, MultiplicityMatters) {
+  Tree t1 = Xml("<a><b/><b/></a>", symbols_);
+  Tree t2 = Xml("<a><b/></a>", symbols_);
+  EXPECT_FALSE(Isomorphic(t1, t1.root(), t2, t2.root()));
+}
+
+TEST_F(IsomorphismTest, DeepPermutation) {
+  Tree t1 = Xml("<r><a><x/><y><z/></y></a><b/></r>", symbols_);
+  Tree t2 = Xml("<r><b/><a><y><z/></y><x/></a></r>", symbols_);
+  EXPECT_TRUE(Isomorphic(t1, t1.root(), t2, t2.root()));
+}
+
+TEST_F(IsomorphismTest, SubtreeComparison) {
+  Tree t = Xml("<r><a><x/></a><b><x/></b></r>", symbols_);
+  const std::vector<NodeId> kids = t.Children(t.root());
+  ASSERT_EQ(kids.size(), 2u);
+  // <a><x/></a> vs <b><x/></b>: different root labels.
+  EXPECT_FALSE(Isomorphic(t, kids[0], t, kids[1]));
+  // But their x children are isomorphic.
+  EXPECT_TRUE(Isomorphic(t, t.first_child(kids[0]), t,
+                         t.first_child(kids[1])));
+}
+
+TEST_F(IsomorphismTest, CrossSymbolTableComparison) {
+  auto other = NewSymbols();
+  other->Intern("decoy1");  // shift label ids
+  other->Intern("decoy2");
+  Tree t1 = Xml("<a><b/></a>", symbols_);
+  Tree t2 = Xml("<a><b/></a>", other);
+  EXPECT_TRUE(Isomorphic(t1, t1.root(), t2, t2.root()));
+}
+
+TEST_F(IsomorphismTest, SetSemanticsCollapsesDuplicates) {
+  // This is the paper's Figure 3 situation: a set containing two
+  // isomorphic subtrees is set-isomorphic to a set containing one.
+  Tree t1 = Xml("<r><g/><g/></r>", symbols_);
+  Tree t2 = Xml("<r><g/></r>", symbols_);
+  const std::vector<NodeId> roots1 = t1.Children(t1.root());
+  const std::vector<NodeId> roots2 = t2.Children(t2.root());
+  EXPECT_TRUE(SetsIsomorphic(t1, roots1, t2, roots2));
+  EXPECT_FALSE(MultisetsIsomorphic(t1, roots1, t2, roots2));
+}
+
+TEST_F(IsomorphismTest, SetSemanticsBothDirections) {
+  Tree t1 = Xml("<r><a/><b/></r>", symbols_);
+  Tree t2 = Xml("<r><a/></r>", symbols_);
+  EXPECT_FALSE(SetsIsomorphic(t1, t1.Children(t1.root()), t2,
+                              t2.Children(t2.root())));
+}
+
+TEST_F(IsomorphismTest, EmptySets) {
+  Tree t1 = Xml("<r/>", symbols_);
+  Tree t2 = Xml("<r/>", symbols_);
+  EXPECT_TRUE(SetsIsomorphic(t1, {}, t2, {}));
+  EXPECT_FALSE(SetsIsomorphic(t1, {t1.root()}, t2, {}));
+}
+
+TEST_F(IsomorphismTest, CanonicalCodeOnDeepChain) {
+  // Exercise the iterative code path on a deep chain.
+  Tree t(symbols_);
+  NodeId n = t.CreateRoot(symbols_->Intern("c"));
+  for (int i = 0; i < 500; ++i) n = t.AddChild(n, symbols_->Intern("c"));
+  const std::string code = CanonicalCode(t);
+  EXPECT_EQ(code.size(), 501u * 3);  // "(c" + ")" per node
+}
+
+}  // namespace
+}  // namespace xmlup

@@ -1,0 +1,121 @@
+#include "conflict/minimize.h"
+
+#include "common/random.h"
+#include "conflict/bounded_search.h"
+#include "eval/evaluator.h"
+#include "gtest/gtest.h"
+#include "pattern/pattern_writer.h"
+#include "tests/test_util.h"
+#include "workload/pattern_generator.h"
+
+namespace xmlup {
+namespace {
+
+using testing_util::NewSymbols;
+using testing_util::Xp;
+
+class MinimizeTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<SymbolTable> symbols_ = NewSymbols();
+};
+
+TEST_F(MinimizeTest, RemoveLeafDropsExactlyOneNode) {
+  Pattern p = Xp("a[b][c]/d", symbols_);
+  // Find the b leaf.
+  PatternNodeId b = kNullPatternNode;
+  for (PatternNodeId n : p.PreOrder()) {
+    if (p.LabelName(n) == "b") b = n;
+  }
+  ASSERT_NE(b, kNullPatternNode);
+  const Pattern reduced = RemoveLeaf(p, b);
+  EXPECT_EQ(reduced.size(), p.size() - 1);
+  EXPECT_EQ(ToXPathString(reduced), "a[c]/d");
+}
+
+TEST_F(MinimizeTest, DuplicatePredicateRemoved) {
+  // a[b][b]/c: one of the two identical predicates is redundant.
+  const Pattern minimized = MinimizePattern(Xp("a[b][b]/c", symbols_));
+  EXPECT_EQ(minimized.size(), 3u);
+  EXPECT_EQ(ToXPathString(minimized), "a[b]/c");
+}
+
+TEST_F(MinimizeTest, WildcardSubsumedByConcretePredicate) {
+  // a[*][b]: the wildcard predicate is implied by the b predicate.
+  const Pattern minimized = MinimizePattern(Xp("a[*][b]", symbols_));
+  EXPECT_EQ(ToXPathString(minimized), "a[b]");
+}
+
+TEST_F(MinimizeTest, DescendantPredicateSubsumedByChildPath) {
+  // a[.//c][b/c]: having a c somewhere below is implied by having b/c.
+  const Pattern minimized = MinimizePattern(Xp("a[.//c][b/c]", symbols_));
+  EXPECT_EQ(minimized.size(), 3u);
+  EXPECT_EQ(ToXPathString(minimized), "a[b/c]");
+}
+
+TEST_F(MinimizeTest, IndependentPredicatesKept) {
+  const Pattern minimized = MinimizePattern(Xp("a[b][c]", symbols_));
+  EXPECT_EQ(minimized.size(), 3u);
+}
+
+TEST_F(MinimizeTest, TrunkNeverRemoved) {
+  const Pattern minimized = MinimizePattern(Xp("a/b/c", symbols_));
+  EXPECT_EQ(minimized.size(), 3u);
+}
+
+TEST_F(MinimizeTest, AlreadyMinimalSingleNode) {
+  const Pattern minimized = MinimizePattern(Xp("a", symbols_));
+  EXPECT_EQ(minimized.size(), 1u);
+}
+
+TEST_F(MinimizeTest, HomomorphismRespectsOutput) {
+  // a/b and a[b]: same tree shape, different output node — no
+  // output-preserving homomorphism either way.
+  EXPECT_FALSE(HasOutputPreservingHomomorphism(Xp("a/b", symbols_),
+                                               Xp("a[b]", symbols_)));
+  EXPECT_FALSE(HasOutputPreservingHomomorphism(Xp("a[b]", symbols_),
+                                               Xp("a/b", symbols_)));
+  EXPECT_TRUE(HasOutputPreservingHomomorphism(Xp("a/b", symbols_),
+                                              Xp("a/b", symbols_)));
+}
+
+/// Property: minimization preserves the query — on every small tree, the
+/// minimized pattern returns exactly the same node set.
+class MinimizePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinimizePropertyTest, MinimizedPatternIsEquivalent) {
+  auto symbols = NewSymbols();
+  Rng rng(50000 + GetParam());
+  PatternGenOptions options;
+  options.size = 5;
+  options.branch_prob = 0.6;
+  options.alphabet = {symbols->Intern("a"), symbols->Intern("b")};
+  RandomPatternGenerator gen(symbols, options);
+
+  std::vector<Label> alphabet = options.alphabet;
+  alphabet.push_back(symbols->Fresh("z"));
+  TreeEnumerator enumerator(symbols, alphabet, 5);
+
+  for (int iter = 0; iter < 6; ++iter) {
+    const Pattern p = gen.GenerateBranching(&rng);
+    const Pattern minimized = MinimizePattern(p);
+    EXPECT_LE(minimized.size(), p.size());
+    EXPECT_TRUE(minimized.Validate().ok());
+    bool all_equal = true;
+    enumerator.Enumerate([&](const Tree& t) {
+      if (Evaluate(p, t) != Evaluate(minimized, t)) {
+        all_equal = false;
+        return false;
+      }
+      return true;
+    });
+    EXPECT_TRUE(all_equal)
+        << "minimization changed results; seed=" << GetParam()
+        << "\noriginal:  " << ToXPathString(p)
+        << "\nminimized: " << ToXPathString(minimized);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MinimizePropertyTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace xmlup

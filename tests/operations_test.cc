@@ -1,0 +1,132 @@
+#include "ops/operations.h"
+
+#include "eval/evaluator.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+#include "xml/tree_algos.h"
+#include "xml/xml_writer.h"
+
+namespace xmlup {
+namespace {
+
+using testing_util::NewSymbols;
+using testing_util::Xml;
+using testing_util::Xp;
+
+class OperationsTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<SymbolTable> symbols_ = NewSymbols();
+
+  std::shared_ptr<const Tree> Content(const char* xml) {
+    return std::make_shared<const Tree>(Xml(xml, symbols_));
+  }
+};
+
+TEST_F(OperationsTest, ReadProjectsNodes) {
+  Tree t = Xml("<a><b/><b/></a>", symbols_);
+  ReadOp read(Xp("a/b", symbols_));
+  EXPECT_EQ(read.Apply(t).size(), 2u);
+}
+
+TEST_F(OperationsTest, InsertAtEverySelectedPoint) {
+  Tree t = Xml("<a><b/><b/></a>", symbols_);
+  InsertOp insert(Xp("a/b", symbols_), Content("<c/>"));
+  const InsertOp::Applied applied = insert.ApplyInPlace(&t);
+  EXPECT_EQ(applied.insertion_points.size(), 2u);
+  EXPECT_EQ(applied.copy_roots.size(), 2u);
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_EQ(Evaluate(Xp("a/b/c", symbols_), t).size(), 2u);
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST_F(OperationsTest, InsertCopiesAreFreshAndDisjoint) {
+  Tree t = Xml("<a><b/></a>", symbols_);
+  InsertOp insert(Xp("a/b", symbols_), Content("<x><y/></x>"));
+  const InsertOp::Applied applied = insert.ApplyInPlace(&t);
+  ASSERT_EQ(applied.copy_roots.size(), 1u);
+  // The inserted copy's nodes are new slots, disjoint from prior nodes.
+  EXPECT_GE(applied.copy_roots[0], 2u);
+  EXPECT_EQ(t.size(), 4u);
+  // The content tree itself is untouched.
+  EXPECT_EQ(insert.content().size(), 2u);
+}
+
+TEST_F(OperationsTest, InsertEvaluatesBeforeMutating) {
+  // Inserting <b/> under b nodes must not cascade into the fresh copies.
+  Tree t = Xml("<a><b/></a>", symbols_);
+  InsertOp insert(Xp("a//b", symbols_), Content("<b/>"));
+  insert.ApplyInPlace(&t);
+  EXPECT_EQ(t.size(), 3u);  // exactly one copy inserted
+}
+
+TEST_F(OperationsTest, InsertNoMatchIsNoOp) {
+  Tree t = Xml("<a/>", symbols_);
+  InsertOp insert(Xp("a/zzz", symbols_), Content("<c/>"));
+  const InsertOp::Applied applied = insert.ApplyInPlace(&t);
+  EXPECT_TRUE(applied.insertion_points.empty());
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST_F(OperationsTest, FunctionalInsertLeavesOriginal) {
+  Tree t = Xml("<a><b/></a>", symbols_);
+  InsertOp insert(Xp("a/b", symbols_), Content("<c/>"));
+  Tree modified = insert.ApplyFunctional(t);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(modified.size(), 3u);
+}
+
+TEST_F(OperationsTest, DeleteRemovesSubtrees) {
+  Tree t = Xml("<a><b><x/><y/></b><c/></a>", symbols_);
+  Result<DeleteOp> del = DeleteOp::Make(Xp("a/b", symbols_));
+  ASSERT_TRUE(del.ok());
+  const DeleteOp::Applied applied = del->ApplyInPlace(&t);
+  EXPECT_EQ(applied.deletion_points.size(), 1u);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(WriteXml(t), "<a><c/></a>");
+}
+
+TEST_F(OperationsTest, DeleteRejectsRootSelection) {
+  EXPECT_FALSE(DeleteOp::Make(Xp("a", symbols_)).ok());
+  Pattern p = Xp("a/b", symbols_);
+  p.SetOutput(p.root());
+  EXPECT_FALSE(DeleteOp::Make(p).ok());
+}
+
+TEST_F(OperationsTest, DeleteNestedPointsSubsumed) {
+  // a//b selects nested b's; deleting the outer removes the inner.
+  Tree t = Xml("<a><b><b/></b></a>", symbols_);
+  Result<DeleteOp> del = DeleteOp::Make(Xp("a//b", symbols_));
+  ASSERT_TRUE(del.ok());
+  const DeleteOp::Applied applied = del->ApplyInPlace(&t);
+  EXPECT_EQ(t.size(), 1u);
+  // Only the outer b is reported (the inner died with it) — either way the
+  // resulting tree is just the root.
+  EXPECT_GE(applied.deletion_points.size(), 1u);
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST_F(OperationsTest, FunctionalDeleteLeavesOriginal) {
+  Tree t = Xml("<a><b/></a>", symbols_);
+  Result<DeleteOp> del = DeleteOp::Make(Xp("a/b", symbols_));
+  ASSERT_TRUE(del.ok());
+  Tree modified = del->ApplyFunctional(t);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(modified.size(), 1u);
+}
+
+TEST_F(OperationsTest, PaperSection1Example) {
+  // §1: insert $x/B, <C/> then read $x//C sees the new nodes, read $x//D
+  // does not change.
+  Tree t = Xml("<root><B/><D/></root>", symbols_);
+  ReadOp read_c(Xp("root//C", symbols_));
+  ReadOp read_d(Xp("root//D", symbols_));
+  const auto d_before = read_d.Apply(t);
+  EXPECT_TRUE(read_c.Apply(t).empty());
+  InsertOp insert(Xp("root/B", symbols_), Content("<C/>"));
+  insert.ApplyInPlace(&t);
+  EXPECT_EQ(read_c.Apply(t).size(), 1u);
+  EXPECT_EQ(read_d.Apply(t), d_before);
+}
+
+}  // namespace
+}  // namespace xmlup

@@ -1,0 +1,155 @@
+#include "pattern/pattern_ops.h"
+
+#include "eval/evaluator.h"
+#include "gtest/gtest.h"
+#include "pattern/pattern_writer.h"
+#include "tests/test_util.h"
+
+namespace xmlup {
+namespace {
+
+using testing_util::NewSymbols;
+using testing_util::Xp;
+
+class PatternOpsTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<SymbolTable> symbols_ = NewSymbols();
+};
+
+TEST_F(PatternOpsTest, PathBetweenRootAndOutput) {
+  Pattern p = Xp("a/b//c", symbols_);
+  const std::vector<PatternNodeId> path =
+      PathBetween(p, p.root(), p.output());
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path.front(), p.root());
+  EXPECT_EQ(path.back(), p.output());
+}
+
+TEST_F(PatternOpsTest, ExtractSeqPreservesAxes) {
+  Pattern p = Xp("a/b//c/d", symbols_);
+  const Pattern seq = ExtractSeq(p, p.root(), p.output());
+  ASSERT_EQ(seq.size(), 4u);
+  EXPECT_TRUE(seq.IsLinear());
+  EXPECT_EQ(ToXPathString(seq), "a/b//c/d");
+}
+
+TEST_F(PatternOpsTest, ExtractSeqPrefix) {
+  Pattern p = Xp("a/b/c", symbols_);
+  const PatternNodeId b = p.first_child(p.root());
+  const Pattern prefix = ExtractSeq(p, p.root(), b);
+  EXPECT_EQ(ToXPathString(prefix), "a/b");
+  EXPECT_EQ(prefix.output(), prefix.size() - 1);
+}
+
+TEST_F(PatternOpsTest, SingleNodeSeq) {
+  Pattern p = Xp("a/b", symbols_);
+  const Pattern seq = ExtractSeq(p, p.root(), p.root());
+  EXPECT_EQ(seq.size(), 1u);
+  EXPECT_TRUE(seq.IsLinear());
+}
+
+TEST_F(PatternOpsTest, MainlineDropsBranches) {
+  Pattern p = Xp("a[x][.//y]/b[z]//c", symbols_);
+  const Pattern main = Mainline(p);
+  EXPECT_TRUE(main.IsLinear());
+  EXPECT_EQ(ToXPathString(main), "a/b//c");
+}
+
+TEST_F(PatternOpsTest, MainlineOfLinearIsIdentity) {
+  Pattern p = Xp("a//b/c", symbols_);
+  EXPECT_TRUE(PatternsIdentical(p, Mainline(p)));
+}
+
+TEST_F(PatternOpsTest, SubpatternAt) {
+  Pattern p = Xp("a/b[c//d]/e", symbols_);
+  const PatternNodeId b = p.first_child(p.root());
+  const Pattern sub = SubpatternAt(p, b);
+  EXPECT_EQ(sub.size(), 4u);  // b, c, d, e
+  EXPECT_EQ(sub.LabelName(sub.root()), "b");
+  EXPECT_EQ(sub.output(), sub.root());
+}
+
+TEST_F(PatternOpsTest, StarLengthSimple) {
+  EXPECT_EQ(StarLength(Xp("a/b/c", symbols_)), 0u);
+  EXPECT_EQ(StarLength(Xp("*", symbols_)), 1u);
+  EXPECT_EQ(StarLength(Xp("*/*/*", symbols_)), 3u);
+  EXPECT_EQ(StarLength(Xp("a/*/*/b/*", symbols_)), 2u);
+}
+
+TEST_F(PatternOpsTest, StarLengthBrokenByDescendantEdges) {
+  // Chains are consecutive *child* edges; a // edge breaks the chain.
+  EXPECT_EQ(StarLength(Xp("*//*", symbols_)), 1u);
+  EXPECT_EQ(StarLength(Xp("*/*//*/*/*", symbols_)), 3u);
+}
+
+TEST_F(PatternOpsTest, StarLengthInBranches) {
+  EXPECT_EQ(StarLength(Xp("a[*/*/*/*]/b", symbols_)), 4u);
+}
+
+TEST_F(PatternOpsTest, ModelTreeHasEmbedding) {
+  // §2.3: M_p is a model — p always embeds into it.
+  const char* cases[] = {"a/b//c", "a[.//c]/b[d][*//f]", "*[*]/a",
+                         "x//y[z]"};
+  for (const char* xpath : cases) {
+    Pattern p = Xp(xpath, symbols_);
+    const Label fill = symbols_->Intern("sigma");
+    std::vector<NodeId> mapping;
+    Tree model = ModelTree(p, fill, &mapping);
+    EXPECT_EQ(model.size(), p.size()) << xpath;
+    EXPECT_TRUE(HasEmbedding(p, model)) << xpath;
+    // The recorded mapping is a valid embedding image set: same size.
+    EXPECT_EQ(mapping.size(), p.size());
+    for (NodeId n : mapping) EXPECT_NE(n, kNullNode);
+  }
+}
+
+TEST_F(PatternOpsTest, ModelTreeFillsWildcards) {
+  Pattern p = Xp("*/a", symbols_);
+  const Label fill = symbols_->Intern("w");
+  Tree model = ModelTree(p, fill);
+  EXPECT_EQ(model.LabelName(model.root()), "w");
+}
+
+TEST_F(PatternOpsTest, GraftModelAttachesSubpattern) {
+  Pattern p = Xp("a/b[c]/d", symbols_);
+  Tree t(symbols_);
+  const NodeId root = t.CreateRoot(symbols_->Intern("root"));
+  const PatternNodeId b = p.first_child(p.root());
+  const NodeId grafted =
+      GraftModel(&t, root, p, b, symbols_->Intern("fill"));
+  EXPECT_EQ(t.LabelName(grafted), "b");
+  EXPECT_EQ(t.size(), 4u);  // root + b,c,d
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST_F(PatternOpsTest, PatternsIdenticalPositive) {
+  Pattern p = Xp("a[b]//c", symbols_);
+  Pattern q = Xp("a[b]//c", symbols_);
+  EXPECT_TRUE(PatternsIdentical(p, q));
+}
+
+TEST_F(PatternOpsTest, PatternsIdenticalDetectsDifferences) {
+  Pattern base = Xp("a[b]/c", symbols_);
+  EXPECT_FALSE(PatternsIdentical(base, Xp("a[b]//c", symbols_)));  // axis
+  EXPECT_FALSE(PatternsIdentical(base, Xp("a[x]/c", symbols_)));   // label
+  EXPECT_FALSE(PatternsIdentical(base, Xp("a[b]/c/d", symbols_))); // size
+  EXPECT_FALSE(PatternsIdentical(base, Xp("a[b]/*", symbols_)));   // wildcard
+  // Same tree, different output node.
+  Pattern q = Xp("a[b]/c", symbols_);
+  q.SetOutput(q.root());
+  EXPECT_FALSE(PatternsIdentical(base, q));
+}
+
+TEST_F(PatternOpsTest, GraftPatternCopiesStructure) {
+  Pattern dst = Xp("root", symbols_);
+  Pattern src = Xp("a[b]//c", symbols_);
+  const PatternNodeId copy =
+      GraftPattern(&dst, dst.root(), src, Axis::kDescendant);
+  EXPECT_EQ(dst.size(), 4u);
+  EXPECT_EQ(dst.axis(copy), Axis::kDescendant);
+  EXPECT_EQ(dst.LabelName(copy), "a");
+  EXPECT_TRUE(dst.Validate().ok());
+}
+
+}  // namespace
+}  // namespace xmlup

@@ -1,0 +1,116 @@
+#include "pattern/pattern.h"
+
+#include "gtest/gtest.h"
+#include "pattern/pattern_writer.h"
+#include "tests/test_util.h"
+
+namespace xmlup {
+namespace {
+
+using testing_util::NewSymbols;
+using testing_util::Xp;
+
+class PatternTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<SymbolTable> symbols_ = NewSymbols();
+  Label L(const char* name) { return symbols_->Intern(name); }
+};
+
+TEST_F(PatternTest, SingleNodePattern) {
+  Pattern p(symbols_);
+  const PatternNodeId root = p.CreateRoot(L("a"));
+  EXPECT_EQ(p.size(), 1u);
+  EXPECT_EQ(p.output(), root);  // root is the default output
+  EXPECT_TRUE(p.IsLinear());
+  EXPECT_TRUE(p.Validate().ok());
+}
+
+TEST_F(PatternTest, EdgesCarryAxes) {
+  Pattern p(symbols_);
+  const PatternNodeId root = p.CreateRoot(L("a"));
+  const PatternNodeId b = p.AddChild(root, L("b"), Axis::kChild);
+  const PatternNodeId c = p.AddChild(b, L("c"), Axis::kDescendant);
+  EXPECT_EQ(p.axis(b), Axis::kChild);
+  EXPECT_EQ(p.axis(c), Axis::kDescendant);
+  EXPECT_EQ(p.parent(c), b);
+}
+
+TEST_F(PatternTest, WildcardNodes) {
+  Pattern p(symbols_);
+  const PatternNodeId root = p.CreateRoot(kWildcardLabel);
+  EXPECT_TRUE(p.is_wildcard(root));
+  EXPECT_EQ(p.LabelName(root), "*");
+  const PatternNodeId b = p.AddChild(root, L("b"), Axis::kChild);
+  EXPECT_FALSE(p.is_wildcard(b));
+}
+
+TEST_F(PatternTest, LinearityRequiresSingleChildren) {
+  Pattern p(symbols_);
+  const PatternNodeId root = p.CreateRoot(L("a"));
+  const PatternNodeId b = p.AddChild(root, L("b"), Axis::kChild);
+  p.SetOutput(b);
+  EXPECT_TRUE(p.IsLinear());
+  p.AddChild(root, L("c"), Axis::kChild);
+  EXPECT_FALSE(p.IsLinear());
+}
+
+TEST_F(PatternTest, LinearityRequiresOutputAtLeaf) {
+  Pattern p(symbols_);
+  const PatternNodeId root = p.CreateRoot(L("a"));
+  const PatternNodeId b = p.AddChild(root, L("b"), Axis::kChild);
+  p.SetOutput(root);  // path shape, but output not at the leaf
+  EXPECT_FALSE(p.IsLinear());
+  p.SetOutput(b);
+  EXPECT_TRUE(p.IsLinear());
+}
+
+TEST_F(PatternTest, AncestorOrSelf) {
+  Pattern p = Xp("a/b[c]/d", symbols_);
+  EXPECT_TRUE(p.IsAncestorOrSelf(p.root(), p.output()));
+  EXPECT_TRUE(p.IsAncestorOrSelf(p.output(), p.output()));
+  EXPECT_FALSE(p.IsAncestorOrSelf(p.output(), p.root()));
+}
+
+TEST_F(PatternTest, DistinctLabelsExcludeWildcards) {
+  Pattern p = Xp("a[*//b]/a", symbols_);
+  const std::vector<Label> labels = p.DistinctLabels();
+  EXPECT_EQ(labels.size(), 2u);  // a, b — deduplicated, no '*'
+}
+
+TEST_F(PatternTest, ChildrenAndCounts) {
+  Pattern p = Xp("a[b][c]/d", symbols_);
+  EXPECT_EQ(p.ChildCount(p.root()), 3u);
+  EXPECT_EQ(p.Children(p.root()).size(), 3u);
+}
+
+TEST_F(PatternTest, PreOrderVisitsAll) {
+  Pattern p = Xp("a[b[c]]/d//e", symbols_);
+  EXPECT_EQ(p.PreOrder().size(), p.size());
+  EXPECT_EQ(p.PostOrder().size(), p.size());
+  EXPECT_EQ(p.PreOrder().front(), p.root());
+  EXPECT_EQ(p.PostOrder().back(), p.root());
+}
+
+TEST_F(PatternTest, DepthOfNodes) {
+  Pattern p = Xp("a/b/c", symbols_);
+  EXPECT_EQ(p.Depth(p.root()), 0u);
+  EXPECT_EQ(p.Depth(p.output()), 2u);
+}
+
+TEST_F(PatternTest, CopySemantics) {
+  Pattern p = Xp("a/b", symbols_);
+  Pattern q = p;  // patterns are value types
+  q.AddChild(q.root(), L("extra"), Axis::kChild);
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_EQ(q.size(), 3u);
+}
+
+TEST_F(PatternTest, DebugStringMarksOutput) {
+  Pattern p = Xp("a/b", symbols_);
+  const std::string debug = DebugString(p);
+  EXPECT_NE(debug.find("<== output"), std::string::npos);
+  EXPECT_NE(debug.find("a"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xmlup

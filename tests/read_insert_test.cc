@@ -1,0 +1,226 @@
+#include "conflict/read_insert.h"
+
+#include "common/random.h"
+#include "conflict/bounded_search.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+#include "workload/pattern_generator.h"
+#include "workload/tree_generator.h"
+
+namespace xmlup {
+namespace {
+
+using testing_util::NewSymbols;
+using testing_util::Xml;
+using testing_util::Xp;
+
+class ReadInsertTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<SymbolTable> symbols_ = NewSymbols();
+
+  LinearConflictReport Detect(const char* read, const char* ins,
+                              const char* x,
+                              ConflictSemantics semantics =
+                                  ConflictSemantics::kNode) {
+    Tree inserted = Xml(x, symbols_);
+    Result<LinearConflictReport> r = DetectReadInsertConflictLinear(
+        Xp(read, symbols_), Xp(ins, symbols_), inserted, semantics);
+    EXPECT_TRUE(r.ok()) << r.status();
+    return std::move(r).value();
+  }
+};
+
+TEST_F(ReadInsertTest, PaperSection1Conflict) {
+  // read $x//C vs insert $x/B, <C/> — the motivating example.
+  EXPECT_TRUE(Detect("x//C", "x/B", "<C/>").conflict);
+}
+
+TEST_F(ReadInsertTest, PaperSection1NoConflict) {
+  // read $x//D cannot see the inserted <C/>.
+  EXPECT_FALSE(Detect("x//D", "x/B", "<C/>").conflict);
+}
+
+TEST_F(ReadInsertTest, PaperSection1FunctionalExample) {
+  // read $x/*/A vs insert $x/B, <C/> — the inserted C (a grandchild)
+  // cannot be an A grandchild, and nothing below it is at depth 2.
+  EXPECT_FALSE(Detect("x/*/A", "x/B", "<C/>").conflict);
+  // With X containing an A child, the grandchild read *does* see it:
+  // x/B/A — wait, /*/A selects grandchildren; A inside X at depth 1 under
+  // B lands at depth 2: conflict.
+  EXPECT_TRUE(Detect("x/*/A", "x/B", "<A/>").conflict);
+}
+
+TEST_F(ReadInsertTest, ChildEdgeNeedsInsertAtExactDepth) {
+  // read a/b/c: c at depth 2. insert at a/b adds X=<c/> at depth 2 ✓.
+  EXPECT_TRUE(Detect("a/b/c", "a/b", "<c/>").conflict);
+  // insert at a adds <c/> at depth 1 ✗.
+  EXPECT_FALSE(Detect("a/b/c", "a//q", "<q/>").conflict);
+}
+
+TEST_F(ReadInsertTest, SuffixMustEmbedIntoX) {
+  EXPECT_TRUE(Detect("a//m/n", "a/b", "<m><n/></m>").conflict);
+  EXPECT_FALSE(Detect("a//m/n", "a/b", "<m><k/></m>").conflict);
+  // Descendant edge: the suffix may anchor deeper inside X.
+  EXPECT_TRUE(Detect("a//n", "a/b", "<m><n/></m>").conflict);
+  // Child edge into X requires the suffix at X's *root*.
+  EXPECT_FALSE(Detect("a/b/n", "a/b", "<m><n/></m>").conflict);
+  EXPECT_TRUE(Detect("a/b/m", "a/b", "<m><n/></m>").conflict);
+}
+
+TEST_F(ReadInsertTest, WildcardReadSeesAnyInsertion) {
+  EXPECT_TRUE(Detect("a//*", "a/b", "<z/>").conflict);
+  EXPECT_TRUE(Detect("*/*", "*", "<z/>").conflict);
+}
+
+TEST_F(ReadInsertTest, RootLabelMismatchNoConflict) {
+  EXPECT_FALSE(Detect("a//b", "z//q", "<b/>").conflict);
+}
+
+TEST_F(ReadInsertTest, BranchingInsertUsesMainline) {
+  // Corollary 2: branching insert patterns behave like their mainline.
+  EXPECT_TRUE(Detect("a/b/c", "a[x][.//y]/b[z]", "<c/>").conflict);
+  EXPECT_FALSE(Detect("a/q", "a[x][.//y]/b[z]", "<c/>").conflict);
+}
+
+TEST_F(ReadInsertTest, SingleNodeReadNeverNodeConflicts) {
+  EXPECT_FALSE(Detect("a", "a//b", "<c/>").conflict);
+  // Tree semantics: the root's subtree is modified whenever an insertion
+  // can happen at all.
+  EXPECT_TRUE(Detect("a", "a//b", "<c/>",
+                     ConflictSemantics::kTree).conflict);
+  EXPECT_TRUE(Detect("a", "a//b", "<c/>",
+                     ConflictSemantics::kValue).conflict);
+}
+
+TEST_F(ReadInsertTest, TreeConflictWhenInsertionBelowResult) {
+  // Insertion lands strictly below what the read returns.
+  EXPECT_FALSE(Detect("a/b", "a/b/c", "<z/>").conflict);
+  EXPECT_TRUE(
+      Detect("a/b", "a/b/c", "<z/>", ConflictSemantics::kTree).conflict);
+  EXPECT_TRUE(
+      Detect("a/b", "a/b/c", "<z/>", ConflictSemantics::kValue).conflict);
+}
+
+TEST_F(ReadInsertTest, RejectsNonLinearRead) {
+  Tree x = Xml("<c/>", symbols_);
+  Result<LinearConflictReport> r = DetectReadInsertConflictLinear(
+      Xp("a[q]/b", symbols_), Xp("a/b", symbols_), x);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(ReadInsertTest, WitnessesAreVerified) {
+  struct Case {
+    const char* read;
+    const char* ins;
+    const char* x;
+  };
+  const Case cases[] = {
+      {"x//C", "x/B", "<C/>"},
+      {"a/b/c", "a/b", "<c/>"},
+      {"a//m/n", "a/b", "<m><n/></m>"},
+      {"a//*", "a[p]//b[q]", "<z/>"},
+      {"*//w", "*//v", "<u><w/></u>"},
+  };
+  for (const Case& c : cases) {
+    const LinearConflictReport r = Detect(c.read, c.ins, c.x);
+    if (!r.conflict) continue;
+    ASSERT_TRUE(r.witness.has_value());
+    Tree x = Xml(c.x, symbols_);
+    EXPECT_TRUE(IsReadInsertWitness(Xp(c.read, symbols_), Xp(c.ins, symbols_),
+                                    x, *r.witness, ConflictSemantics::kNode))
+        << c.read << " / " << c.ins;
+  }
+}
+
+/// Property sweep against the exhaustive oracle (cf. read_delete_test).
+class ReadInsertPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReadInsertPropertyTest, AgreesWithBruteForce) {
+  auto symbols = NewSymbols();
+  Rng rng(9000 + GetParam());
+  PatternGenOptions options;
+  options.size = 3;
+  options.alphabet = {symbols->Intern("a"), symbols->Intern("b")};
+  RandomPatternGenerator gen(symbols, options);
+
+  TreeGenOptions content_options;
+  content_options.target_size = 3;
+  content_options.alphabet = options.alphabet;
+  RandomTreeGenerator contents(symbols, content_options);
+
+  BoundedSearchOptions search;
+  search.max_nodes = 4;
+
+  for (int iter = 0; iter < 10; ++iter) {
+    const Pattern read = gen.GenerateLinear(&rng);
+    const Pattern ins = rng.NextBool(0.5) ? gen.GenerateLinear(&rng)
+                                          : gen.GenerateBranching(&rng);
+    const Tree x = contents.Generate(&rng);
+
+    for (ConflictSemantics semantics :
+         {ConflictSemantics::kNode, ConflictSemantics::kTree,
+          ConflictSemantics::kValue}) {
+      Result<LinearConflictReport> detect =
+          DetectReadInsertConflictLinear(read, ins, x, semantics);
+      ASSERT_TRUE(detect.ok())
+          << detect.status() << " seed=" << GetParam() << " iter=" << iter;
+      const BruteForceResult brute =
+          BruteForceReadInsertSearch(read, ins, x, semantics, search);
+      if (brute.outcome == SearchOutcome::kWitnessFound) {
+        EXPECT_TRUE(detect->conflict)
+            << "brute force found a witness the detector missed; seed="
+            << GetParam() << " iter=" << iter << " semantics="
+            << ConflictSemanticsName(semantics);
+      }
+      if (detect->conflict) {
+        ASSERT_TRUE(detect->witness.has_value());
+        EXPECT_TRUE(
+            IsReadInsertWitness(read, ins, x, *detect->witness, semantics));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ReadInsertPropertyTest,
+                         ::testing::Range(0, 14));
+
+/// Lemma 2 for read-insert: tree and value semantics coincide on linear
+/// patterns; node conflicts imply both.
+class Lemma2InsertTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(Lemma2InsertTest, TreeAndValueSemanticsCoincide) {
+  auto symbols = NewSymbols();
+  Rng rng(63000 + GetParam());
+  PatternGenOptions options;
+  options.size = 4;
+  options.alphabet = {symbols->Intern("a"), symbols->Intern("b")};
+  RandomPatternGenerator gen(symbols, options);
+  TreeGenOptions content_options;
+  content_options.target_size = 3;
+  content_options.alphabet = options.alphabet;
+  RandomTreeGenerator contents(symbols, content_options);
+  for (int iter = 0; iter < 20; ++iter) {
+    const Pattern read = gen.GenerateLinear(&rng);
+    const Pattern ins = gen.GenerateLinear(&rng);
+    const Tree x = contents.Generate(&rng);
+    Result<LinearConflictReport> tree_sem = DetectReadInsertConflictLinear(
+        read, ins, x, ConflictSemantics::kTree);
+    Result<LinearConflictReport> value_sem = DetectReadInsertConflictLinear(
+        read, ins, x, ConflictSemantics::kValue);
+    ASSERT_TRUE(tree_sem.ok()) << tree_sem.status();
+    ASSERT_TRUE(value_sem.ok()) << value_sem.status();
+    EXPECT_EQ(tree_sem->conflict, value_sem->conflict)
+        << "Lemma 2 violated; seed=" << GetParam() << " iter=" << iter;
+    Result<LinearConflictReport> node_sem = DetectReadInsertConflictLinear(
+        read, ins, x, ConflictSemantics::kNode);
+    ASSERT_TRUE(node_sem.ok());
+    if (node_sem->conflict) {
+      EXPECT_TRUE(tree_sem->conflict);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Lemma2InsertTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace xmlup

@@ -1,0 +1,58 @@
+#include "common/string_util.h"
+
+#include "gtest/gtest.h"
+
+namespace xmlup {
+namespace {
+
+TEST(SplitTest, Basic) {
+  const auto pieces = Split("a,b,c", ',');
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "b");
+  EXPECT_EQ(pieces[2], "c");
+}
+
+TEST(SplitTest, KeepsEmptyPieces) {
+  const auto pieces = Split(",a,", ',');
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "");
+  EXPECT_EQ(pieces[1], "a");
+  EXPECT_EQ(pieces[2], "");
+}
+
+TEST(SplitTest, EmptyInputYieldsOneEmptyPiece) {
+  const auto pieces = Split("", ',');
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], "");
+}
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(Join({"x", "y", "z"}, "/"), "x/y/z");
+  EXPECT_EQ(Join({}, "/"), "");
+  EXPECT_EQ(Join({"solo"}, "/"), "solo");
+}
+
+TEST(StripWhitespaceTest, Basic) {
+  EXPECT_EQ(StripWhitespace("  hi \n\t"), "hi");
+  EXPECT_EQ(StripWhitespace("hi"), "hi");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(StartsEndsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("catalog", "cat"));
+  EXPECT_FALSE(StartsWith("cat", "catalog"));
+  EXPECT_TRUE(EndsWith("catalog", "log"));
+  EXPECT_FALSE(EndsWith("log", "catalog"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(XmlEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(XmlEscape("a<b>&\"'"), "a&lt;b&gt;&amp;&quot;&apos;");
+  EXPECT_EQ(XmlEscape("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace xmlup

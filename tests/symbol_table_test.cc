@@ -1,0 +1,54 @@
+#include "xml/symbol_table.h"
+
+#include "gtest/gtest.h"
+
+namespace xmlup {
+namespace {
+
+TEST(SymbolTableTest, InternIsIdempotent) {
+  SymbolTable table;
+  const Label a = table.Intern("book");
+  EXPECT_EQ(table.Intern("book"), a);
+  EXPECT_EQ(table.Name(a), "book");
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(SymbolTableTest, DistinctNamesDistinctLabels) {
+  SymbolTable table;
+  const Label a = table.Intern("a");
+  const Label b = table.Intern("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(SymbolTableTest, LookupWithoutIntern) {
+  SymbolTable table;
+  EXPECT_EQ(table.Lookup("ghost"), kInvalidLabel);
+  table.Intern("ghost");
+  EXPECT_NE(table.Lookup("ghost"), kInvalidLabel);
+}
+
+TEST(SymbolTableTest, FreshNeverCollides) {
+  SymbolTable table;
+  table.Intern("alpha$0");  // occupy the first candidate
+  const Label f1 = table.Fresh("alpha");
+  const Label f2 = table.Fresh("alpha");
+  EXPECT_NE(f1, f2);
+  EXPECT_NE(table.Name(f1), "alpha$0");
+  EXPECT_NE(table.Name(f1), table.Name(f2));
+}
+
+TEST(SymbolTableTest, FreshSymbolsAreInterned) {
+  SymbolTable table;
+  const Label f = table.Fresh("z");
+  EXPECT_EQ(table.Lookup(table.Name(f)), f);
+}
+
+TEST(SymbolTableTest, SharedSingletonIsStable) {
+  const auto& a = SymbolTable::Shared();
+  const auto& b = SymbolTable::Shared();
+  EXPECT_EQ(a.get(), b.get());
+}
+
+}  // namespace
+}  // namespace xmlup

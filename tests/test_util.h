@@ -1,0 +1,43 @@
+#ifndef XMLUP_TESTS_TEST_UTIL_H_
+#define XMLUP_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "gtest/gtest.h"
+#include "pattern/xpath_parser.h"
+#include "xml/symbol_table.h"
+#include "xml/tree.h"
+#include "xml/xml_parser.h"
+
+namespace xmlup {
+namespace testing_util {
+
+/// A fresh symbol table per fixture keeps label ids deterministic across
+/// test orderings.
+inline std::shared_ptr<SymbolTable> NewSymbols() {
+  return std::make_shared<SymbolTable>();
+}
+
+/// Parses XML or aborts the test binary (for hard-coded test documents).
+inline Tree Xml(std::string_view xml,
+                const std::shared_ptr<SymbolTable>& symbols) {
+  Result<Tree> tree = ParseXml(xml, symbols);
+  if (!tree.ok()) {
+    ADD_FAILURE() << "ParseXml failed: " << tree.status();
+  }
+  EXPECT_TRUE(tree.ok());
+  return std::move(tree).value();
+}
+
+/// Parses an XPath or fails the test.
+inline Pattern Xp(std::string_view xpath,
+                  const std::shared_ptr<SymbolTable>& symbols) {
+  return MustParseXPath(xpath, symbols);
+}
+
+}  // namespace testing_util
+}  // namespace xmlup
+
+#endif  // XMLUP_TESTS_TEST_UTIL_H_

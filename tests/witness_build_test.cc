@@ -1,0 +1,79 @@
+#include "conflict/witness_build.h"
+
+#include "eval/evaluator.h"
+#include "gtest/gtest.h"
+#include "pattern/pattern_ops.h"
+#include "tests/test_util.h"
+
+namespace xmlup {
+namespace {
+
+using testing_util::NewSymbols;
+using testing_util::Xp;
+
+class WitnessBuildTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<SymbolTable> symbols_ = NewSymbols();
+};
+
+TEST_F(WitnessBuildTest, MatchWordToPathResolvesClasses) {
+  const ClassWord word = {LabelClass::Of(symbols_->Intern("a")),
+                          LabelClass::Any(),
+                          LabelClass::Of(symbols_->Intern("b"))};
+  NodeId deepest = kNullNode;
+  Tree path = MatchWordToPath(word, symbols_, &deepest);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path.LabelName(path.root()), "a");
+  EXPECT_EQ(path.LabelName(deepest), "b");
+  // The Any position resolved to a fresh symbol, not to a or b.
+  const NodeId middle = path.first_child(path.root());
+  EXPECT_NE(path.LabelName(middle), "a");
+  EXPECT_NE(path.LabelName(middle), "b");
+  EXPECT_EQ(path.first_child(deepest), kNullNode);
+}
+
+TEST_F(WitnessBuildTest, FreshFillersDifferAcrossCalls) {
+  const ClassWord word = {LabelClass::Any()};
+  Tree p1 = MatchWordToPath(word, symbols_, nullptr);
+  Tree p2 = MatchWordToPath(word, symbols_, nullptr);
+  EXPECT_NE(p1.LabelName(p1.root()), p2.LabelName(p2.root()));
+}
+
+TEST_F(WitnessBuildTest, BranchModelsMakeFullPatternEmbed) {
+  // The mainline of a[x][.//y]/b embeds into the path a/b; after grafting
+  // branch models everywhere, the full pattern must embed too (the
+  // Lemma 4/8 extension step).
+  const Pattern full = Xp("a[x][.//y]/b", symbols_);
+  Tree path(symbols_);
+  const NodeId root = path.CreateRoot(symbols_->Intern("a"));
+  path.AddChild(root, symbols_->Intern("b"));
+  EXPECT_FALSE(HasEmbedding(full, path));  // predicates unsatisfied
+  GraftBranchModelsEverywhere(&path, full);
+  EXPECT_TRUE(HasEmbedding(full, path));
+  EXPECT_TRUE(path.Validate().ok());
+}
+
+TEST_F(WitnessBuildTest, LinearPatternGraftsNothing) {
+  const Pattern linear = Xp("a/b//c", symbols_);
+  Tree path(symbols_);
+  path.CreateRoot(symbols_->Intern("a"));
+  const size_t before = path.size();
+  GraftBranchModelsEverywhere(&path, linear);
+  EXPECT_EQ(path.size(), before);
+}
+
+TEST_F(WitnessBuildTest, DeepBranchSubtreesCopiedWhole) {
+  // Branches may themselves branch; the grafted model carries the whole
+  // subpattern.
+  const Pattern full = Xp("a[x[y][z]]/b", symbols_);
+  Tree path(symbols_);
+  const NodeId root = path.CreateRoot(symbols_->Intern("a"));
+  path.AddChild(root, symbols_->Intern("b"));
+  GraftBranchModelsEverywhere(&path, full);
+  EXPECT_TRUE(HasEmbedding(full, path));
+  // Each original node gained one branch model of 3 nodes (x, y, z).
+  EXPECT_EQ(path.size(), 2u + 2u * 3u);
+}
+
+}  // namespace
+}  // namespace xmlup

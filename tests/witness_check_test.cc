@@ -1,0 +1,133 @@
+#include "conflict/witness_check.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace xmlup {
+namespace {
+
+using testing_util::NewSymbols;
+using testing_util::Xml;
+using testing_util::Xp;
+
+class WitnessCheckTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<SymbolTable> symbols_ = NewSymbols();
+};
+
+TEST_F(WitnessCheckTest, SemanticsNames) {
+  EXPECT_EQ(ConflictSemanticsName(ConflictSemantics::kNode), "node");
+  EXPECT_EQ(ConflictSemanticsName(ConflictSemantics::kTree), "tree");
+  EXPECT_EQ(ConflictSemanticsName(ConflictSemantics::kValue), "value");
+}
+
+TEST_F(WitnessCheckTest, InsertCreatingNewResultIsNodeConflict) {
+  // §1: insert <C/> under B; read //C gains a node.
+  Tree t = Xml("<r><B/></r>", symbols_);
+  EXPECT_TRUE(IsReadInsertWitness(Xp("r//C", symbols_), Xp("r/B", symbols_),
+                                  Xml("<C/>", symbols_), t,
+                                  ConflictSemantics::kNode));
+}
+
+TEST_F(WitnessCheckTest, InsertWithoutMatchIsNotWitness) {
+  Tree t = Xml("<r><D/></r>", symbols_);  // no B: insertion is a no-op
+  EXPECT_FALSE(IsReadInsertWitness(Xp("r//C", symbols_), Xp("r/B", symbols_),
+                                   Xml("<C/>", symbols_), t,
+                                   ConflictSemantics::kNode));
+}
+
+TEST_F(WitnessCheckTest, UnrelatedReadUnaffected) {
+  Tree t = Xml("<r><B/><D/></r>", symbols_);
+  EXPECT_FALSE(IsReadInsertWitness(Xp("r//D", symbols_), Xp("r/B", symbols_),
+                                   Xml("<C/>", symbols_), t,
+                                   ConflictSemantics::kNode));
+}
+
+TEST_F(WitnessCheckTest, PaperNodeVsTreeConflictExample) {
+  // §3 discussion after Definition 3: R returns the root; I inserts X
+  // under a B child. Node semantics: no conflict (the root is still
+  // returned). Tree semantics: conflict (the returned subtree changed).
+  Tree t = Xml("<r><B/></r>", symbols_);
+  const Pattern read = Xp("r", symbols_);
+  const Pattern ins = Xp("r/B", symbols_);
+  Tree x = Xml("<X/>", symbols_);
+  EXPECT_FALSE(
+      IsReadInsertWitness(read, ins, x, t, ConflictSemantics::kNode));
+  EXPECT_TRUE(IsReadInsertWitness(read, ins, x, t, ConflictSemantics::kTree));
+  EXPECT_TRUE(
+      IsReadInsertWitness(read, ins, x, t, ConflictSemantics::kValue));
+}
+
+TEST_F(WitnessCheckTest, DeleteRemovingResultIsNodeConflict) {
+  Tree t = Xml("<r><d><g/></d></r>", symbols_);
+  EXPECT_TRUE(IsReadDeleteWitness(Xp("r//g", symbols_), Xp("r/d", symbols_),
+                                  t, ConflictSemantics::kNode));
+}
+
+TEST_F(WitnessCheckTest, Figure3NodeConflictButNoValueConflict) {
+  // Figure 3: the root has a δ child containing γ, and another γ elsewhere
+  // with an isomorphic subtree. Deleting δ children removes one γ from the
+  // result (node conflict) but the set of result *values* is unchanged.
+  Tree t = Xml("<r><d><g/></d><e><g/></e></r>", symbols_);
+  const Pattern read = Xp("r//g", symbols_);
+  const Pattern del = Xp("r/d", symbols_);
+  EXPECT_TRUE(IsReadDeleteWitness(read, del, t, ConflictSemantics::kNode));
+  EXPECT_TRUE(IsReadDeleteWitness(read, del, t, ConflictSemantics::kTree));
+  EXPECT_FALSE(IsReadDeleteWitness(read, del, t, ConflictSemantics::kValue));
+}
+
+TEST_F(WitnessCheckTest, ValueConflictWhenSubtreesDiffer) {
+  // As Figure 3 but the two γ subtrees are not isomorphic: value conflict.
+  Tree t = Xml("<r><d><g><u/></g></d><e><g/></e></r>", symbols_);
+  EXPECT_TRUE(IsReadDeleteWitness(Xp("r//g", symbols_), Xp("r/d", symbols_),
+                                  t, ConflictSemantics::kValue));
+}
+
+TEST_F(WitnessCheckTest, TreeConflictOnModifiedResultSubtree) {
+  // Deletion strictly below a read result: node sets equal, subtree
+  // modified.
+  Tree t = Xml("<r><a><b/></a></r>", symbols_);
+  const Pattern read = Xp("r/a", symbols_);
+  const Pattern del = Xp("r/a/b", symbols_);
+  EXPECT_FALSE(IsReadDeleteWitness(read, del, t, ConflictSemantics::kNode));
+  EXPECT_TRUE(IsReadDeleteWitness(read, del, t, ConflictSemantics::kTree));
+  EXPECT_TRUE(IsReadDeleteWitness(read, del, t, ConflictSemantics::kValue));
+}
+
+TEST_F(WitnessCheckTest, CheckersDoNotMutateInput) {
+  Tree t = Xml("<r><B/></r>", symbols_);
+  const uint64_t version = t.version();
+  IsReadInsertWitness(Xp("r//C", symbols_), Xp("r/B", symbols_),
+                      Xml("<C/>", symbols_), t, ConflictSemantics::kNode);
+  IsReadDeleteWitness(Xp("r//B", symbols_), Xp("r/B", symbols_), t,
+                      ConflictSemantics::kValue);
+  EXPECT_EQ(t.version(), version);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST_F(WitnessCheckTest, InsertValueConflictDetectedOnIsomorphicResults) {
+  // Read selects two isomorphic b subtrees; insertion modifies one of
+  // them. Under value semantics the result sets differ ({b, b+x} vs {b}).
+  Tree t = Xml("<r><b/><b><m/></b></r>", symbols_);
+  const Pattern read = Xp("r/b", symbols_);
+  const Pattern ins = Xp("r/b/m", symbols_);
+  Tree x = Xml("<x/>", symbols_);
+  EXPECT_FALSE(IsReadInsertWitness(read, ins, x, t, ConflictSemantics::kNode));
+  EXPECT_TRUE(IsReadInsertWitness(read, ins, x, t, ConflictSemantics::kTree));
+  EXPECT_TRUE(IsReadInsertWitness(read, ins, x, t, ConflictSemantics::kValue));
+}
+
+TEST_F(WitnessCheckTest, ValueSemanticsMissesCollapsedDuplicates) {
+  // Insertion makes one of two isomorphic results distinct from the other,
+  // but the modified value is isomorphic to a third result: sets of values
+  // unchanged — a case value semantics deliberately ignores.
+  Tree t = Xml("<r><b/><b><x/></b></r>", symbols_);
+  const Pattern read = Xp("r/b", symbols_);
+  const Pattern ins = Xp("r/b", symbols_);  // inserts <x/> under every b
+  Tree x = Xml("<x/>", symbols_);
+  // After insertion: values {b[x], b[x][x]} vs before {b, b[x]} — differ.
+  EXPECT_TRUE(IsReadInsertWitness(read, ins, x, t, ConflictSemantics::kValue));
+}
+
+}  // namespace
+}  // namespace xmlup

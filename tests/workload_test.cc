@@ -1,0 +1,154 @@
+#include "workload/catalog_generator.h"
+
+#include <set>
+
+#include "common/random.h"
+#include "eval/evaluator.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+#include "workload/pattern_generator.h"
+#include "workload/program_generator.h"
+#include "workload/tree_generator.h"
+
+namespace xmlup {
+namespace {
+
+using testing_util::NewSymbols;
+using testing_util::Xp;
+
+TEST(TreeGeneratorTest, RespectsTargetsAndDeterminism) {
+  auto symbols = NewSymbols();
+  TreeGenOptions options;
+  options.target_size = 40;
+  options.max_depth = 6;
+  options.alphabet = RandomTreeGenerator::MakeAlphabet(symbols.get(), 3);
+  RandomTreeGenerator gen(symbols, options);
+
+  Rng rng1(42);
+  Rng rng2(42);
+  const Tree t1 = gen.Generate(&rng1);
+  const Tree t2 = gen.Generate(&rng2);
+  EXPECT_TRUE(t1.Validate().ok());
+  EXPECT_EQ(t1.size(), t2.size());
+  EXPECT_GE(t1.size(), 1u);
+  // Depth limit holds.
+  for (NodeId n : t1.PreOrder()) EXPECT_LE(t1.Depth(n), 6u);
+}
+
+TEST(TreeGeneratorTest, ReachesLargeSizes) {
+  auto symbols = NewSymbols();
+  TreeGenOptions options;
+  options.target_size = 5000;
+  options.max_depth = 30;
+  options.max_children = 8;
+  options.alphabet = RandomTreeGenerator::MakeAlphabet(symbols.get(), 5);
+  RandomTreeGenerator gen(symbols, options);
+  Rng rng(7);
+  const Tree t = gen.Generate(&rng);
+  EXPECT_GE(t.size(), 4000u);
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(PatternGeneratorTest, LinearPatternsAreLinear) {
+  auto symbols = NewSymbols();
+  PatternGenOptions options;
+  options.size = 6;
+  options.alphabet = {symbols->Intern("a"), symbols->Intern("b")};
+  RandomPatternGenerator gen(symbols, options);
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const Pattern p = gen.GenerateLinear(&rng);
+    EXPECT_TRUE(p.IsLinear());
+    EXPECT_EQ(p.size(), 6u);
+    EXPECT_TRUE(p.Validate().ok());
+  }
+}
+
+TEST(PatternGeneratorTest, BranchingPatternsValid) {
+  auto symbols = NewSymbols();
+  PatternGenOptions options;
+  options.size = 7;
+  options.alphabet = {symbols->Intern("a"), symbols->Intern("b")};
+  RandomPatternGenerator gen(symbols, options);
+  Rng rng(2);
+  bool saw_branching = false;
+  for (int i = 0; i < 50; ++i) {
+    const Pattern p = gen.GenerateBranching(&rng);
+    EXPECT_TRUE(p.Validate().ok());
+    EXPECT_GE(p.size(), 7u);
+    saw_branching |= !p.IsLinear();
+  }
+  EXPECT_TRUE(saw_branching);
+}
+
+TEST(PatternGeneratorTest, NonRootOutputVariant) {
+  auto symbols = NewSymbols();
+  PatternGenOptions options;
+  options.size = 4;
+  options.alphabet = {symbols->Intern("a")};
+  RandomPatternGenerator gen(symbols, options);
+  Rng rng(3);
+  for (int i = 0; i < 30; ++i) {
+    const Pattern p = gen.GenerateBranchingNonRootOutput(&rng);
+    EXPECT_NE(p.output(), p.root());
+  }
+}
+
+TEST(CatalogGeneratorTest, ShapeMatchesFigure1) {
+  auto symbols = NewSymbols();
+  CatalogOptions options;
+  options.num_books = 20;
+  options.low_fraction = 0.5;
+  Rng rng(11);
+  const Tree catalog = GenerateCatalog(symbols, options, &rng);
+  EXPECT_TRUE(catalog.Validate().ok());
+  EXPECT_EQ(catalog.LabelName(catalog.root()), "catalog");
+  EXPECT_EQ(Evaluate(Xp("catalog/book", symbols), catalog).size(), 20u);
+  // Every book has a quantity with a low or high marker.
+  EXPECT_EQ(Evaluate(Xp("catalog/book[.//quantity]", symbols), catalog).size(),
+            20u);
+  const size_t low =
+      Evaluate(Xp("catalog/book[.//low]", symbols), catalog).size();
+  const size_t high =
+      Evaluate(Xp("catalog/book[.//high]", symbols), catalog).size();
+  EXPECT_EQ(low + high, 20u);
+  EXPECT_GT(low, 0u);
+  EXPECT_GT(high, 0u);
+}
+
+TEST(ProgramGeneratorTest, GeneratesValidPrograms) {
+  auto symbols = NewSymbols();
+  ProgramGenOptions options;
+  options.num_statements = 20;
+  options.num_variables = 3;
+  options.pattern.size = 3;
+  options.pattern.alphabet = {symbols->Intern("a"), symbols->Intern("b")};
+  RandomProgramGenerator gen(symbols, options);
+  Rng rng(5);
+  const Program program = gen.Generate(&rng);
+  EXPECT_EQ(program.size(), 20u);
+  const std::vector<std::string> names = gen.VariableNames();
+  std::set<std::string> vars(names.begin(), names.end());
+  bool saw_read = false;
+  bool saw_update = false;
+  for (const Statement& s : program.statements()) {
+    EXPECT_TRUE(vars.count(s.target_var) > 0);
+    if (s.kind == Statement::Kind::kRead) {
+      saw_read = true;
+    } else {
+      saw_update = true;
+    }
+    if (s.kind == Statement::Kind::kDelete) {
+      EXPECT_NE(s.pattern.output(), s.pattern.root());
+    }
+    if (s.kind == Statement::Kind::kInsert) {
+      ASSERT_NE(s.content, nullptr);
+      EXPECT_TRUE(s.content->has_root());
+    }
+  }
+  EXPECT_TRUE(saw_read);
+  EXPECT_TRUE(saw_update);
+}
+
+}  // namespace
+}  // namespace xmlup

@@ -1,0 +1,154 @@
+#include "pattern/xpath_parser.h"
+
+#include "gtest/gtest.h"
+#include "pattern/pattern_writer.h"
+#include "tests/test_util.h"
+
+namespace xmlup {
+namespace {
+
+using testing_util::NewSymbols;
+
+class XPathParserTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<SymbolTable> symbols_ = NewSymbols();
+
+  Pattern Parse(const char* s) {
+    Result<Pattern> p = ParseXPath(s, symbols_);
+    EXPECT_TRUE(p.ok()) << p.status();
+    return std::move(p).value();
+  }
+};
+
+TEST_F(XPathParserTest, SingleStep) {
+  Pattern p = Parse("book");
+  EXPECT_EQ(p.size(), 1u);
+  EXPECT_EQ(p.LabelName(p.root()), "book");
+  EXPECT_EQ(p.output(), p.root());
+}
+
+TEST_F(XPathParserTest, LeadingSlashOptional) {
+  Pattern p1 = Parse("a/b");
+  Pattern p2 = Parse("/a/b");
+  EXPECT_EQ(ToXPathString(p1), ToXPathString(p2));
+}
+
+TEST_F(XPathParserTest, ChildAndDescendantAxes) {
+  Pattern p = Parse("a/b//c");
+  ASSERT_EQ(p.size(), 3u);
+  const PatternNodeId b = p.first_child(p.root());
+  const PatternNodeId c = p.first_child(b);
+  EXPECT_EQ(p.axis(b), Axis::kChild);
+  EXPECT_EQ(p.axis(c), Axis::kDescendant);
+  EXPECT_EQ(p.output(), c);
+  EXPECT_TRUE(p.IsLinear());
+}
+
+TEST_F(XPathParserTest, LeadingDescendantMakesWildcardRoot) {
+  Pattern p = Parse("//book");
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_TRUE(p.is_wildcard(p.root()));
+  const PatternNodeId book = p.first_child(p.root());
+  EXPECT_EQ(p.axis(book), Axis::kDescendant);
+  EXPECT_EQ(p.output(), book);
+}
+
+TEST_F(XPathParserTest, Wildcards) {
+  Pattern p = Parse("*/A");
+  EXPECT_TRUE(p.is_wildcard(p.root()));
+  EXPECT_EQ(p.LabelName(p.output()), "A");
+}
+
+TEST_F(XPathParserTest, SimplePredicate) {
+  Pattern p = Parse("a[b]");
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.output(), p.root());
+  const PatternNodeId b = p.first_child(p.root());
+  EXPECT_EQ(p.axis(b), Axis::kChild);
+  EXPECT_FALSE(p.IsLinear());
+}
+
+TEST_F(XPathParserTest, DescendantPredicate) {
+  Pattern p = Parse("a[.//b]");
+  const PatternNodeId b = p.first_child(p.root());
+  EXPECT_EQ(p.axis(b), Axis::kDescendant);
+}
+
+TEST_F(XPathParserTest, DotSlashPredicate) {
+  Pattern p = Parse("a[./b]");
+  const PatternNodeId b = p.first_child(p.root());
+  EXPECT_EQ(p.axis(b), Axis::kChild);
+}
+
+TEST_F(XPathParserTest, Figure2Pattern) {
+  // The paper's Figure 2 example: a[.//c]/b[d][*//f].
+  Pattern p = Parse("a[.//c]/b[d][*//f]");
+  ASSERT_TRUE(p.Validate().ok());
+  EXPECT_EQ(p.size(), 6u);
+  EXPECT_EQ(p.LabelName(p.root()), "a");
+  // Root has two children: the c predicate (descendant) and the trunk b.
+  const std::vector<PatternNodeId> root_kids = p.Children(p.root());
+  ASSERT_EQ(root_kids.size(), 2u);
+  EXPECT_EQ(p.LabelName(root_kids[0]), "c");
+  EXPECT_EQ(p.axis(root_kids[0]), Axis::kDescendant);
+  const PatternNodeId b = root_kids[1];
+  EXPECT_EQ(p.LabelName(b), "b");
+  EXPECT_EQ(p.output(), b);
+  // b has predicates d (child) and * (child) with f below it (descendant).
+  const std::vector<PatternNodeId> b_kids = p.Children(b);
+  ASSERT_EQ(b_kids.size(), 2u);
+  EXPECT_EQ(p.LabelName(b_kids[0]), "d");
+  EXPECT_EQ(p.LabelName(b_kids[1]), "*");
+  const PatternNodeId f = p.first_child(b_kids[1]);
+  EXPECT_EQ(p.LabelName(f), "f");
+  EXPECT_EQ(p.axis(f), Axis::kDescendant);
+}
+
+TEST_F(XPathParserTest, NestedPredicates) {
+  Pattern p = Parse("a[b[c]/d]");
+  EXPECT_EQ(p.size(), 4u);
+  const PatternNodeId b = p.first_child(p.root());
+  const std::vector<PatternNodeId> b_kids = p.Children(b);
+  ASSERT_EQ(b_kids.size(), 2u);  // c (nested predicate) and d (spine)
+}
+
+TEST_F(XPathParserTest, PredicateAfterOutput) {
+  Pattern p = Parse("a/b[c]");
+  EXPECT_EQ(p.LabelName(p.output()), "b");
+  EXPECT_EQ(p.ChildCount(p.output()), 1u);
+}
+
+TEST_F(XPathParserTest, WhitespaceTolerated) {
+  Pattern p = Parse(" a [ b ] / c ");
+  EXPECT_EQ(p.size(), 3u);
+}
+
+TEST_F(XPathParserTest, ErrorCases) {
+  EXPECT_FALSE(ParseXPath("", symbols_).ok());
+  EXPECT_FALSE(ParseXPath("a[", symbols_).ok());
+  EXPECT_FALSE(ParseXPath("a]", symbols_).ok());
+  EXPECT_FALSE(ParseXPath("a//", symbols_).ok());
+  EXPECT_FALSE(ParseXPath("/", symbols_).ok());
+  EXPECT_FALSE(ParseXPath("a b", symbols_).ok());
+  EXPECT_FALSE(ParseXPath("a[]", symbols_).ok());
+  EXPECT_FALSE(ParseXPath("[a]", symbols_).ok());
+}
+
+TEST_F(XPathParserTest, WriterRoundTrip) {
+  const char* cases[] = {
+      "a",           "a/b",        "a//b",           "a/b//c",
+      "*",           "a[b]",       "a[.//b]",        "a[b][c]/d",
+      "a[.//c]/b[d][*//f]",        "a[b[c]/d]//e",   "*//*",
+  };
+  for (const char* xpath : cases) {
+    Pattern p = Parse(xpath);
+    const std::string rendered = ToXPathString(p);
+    Pattern reparsed = Parse(rendered.c_str());
+    // Round trip: rendering the reparsed pattern is a fixpoint.
+    EXPECT_EQ(ToXPathString(reparsed), rendered) << "input: " << xpath;
+    EXPECT_EQ(reparsed.size(), p.size()) << "input: " << xpath;
+  }
+}
+
+}  // namespace
+}  // namespace xmlup
