@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_commutativity.dir/bench_commutativity.cc.o"
+  "CMakeFiles/bench_commutativity.dir/bench_commutativity.cc.o.d"
+  "bench_commutativity"
+  "bench_commutativity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_commutativity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

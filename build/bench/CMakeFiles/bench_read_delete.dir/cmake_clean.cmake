@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_read_delete.dir/bench_read_delete.cc.o"
+  "CMakeFiles/bench_read_delete.dir/bench_read_delete.cc.o.d"
+  "bench_read_delete"
+  "bench_read_delete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_read_delete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

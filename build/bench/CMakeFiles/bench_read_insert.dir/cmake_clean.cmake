@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_read_insert.dir/bench_read_insert.cc.o"
+  "CMakeFiles/bench_read_insert.dir/bench_read_insert.cc.o.d"
+  "bench_read_insert"
+  "bench_read_insert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_read_insert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conflict_matrix.dir/conflict_matrix.cpp.o"
+  "CMakeFiles/conflict_matrix.dir/conflict_matrix.cpp.o.d"
+  "conflict_matrix"
+  "conflict_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conflict_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

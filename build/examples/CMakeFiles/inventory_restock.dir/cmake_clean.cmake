@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inventory_restock.dir/inventory_restock.cpp.o"
+  "CMakeFiles/inventory_restock.dir/inventory_restock.cpp.o.d"
+  "inventory_restock"
+  "inventory_restock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inventory_restock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_guard.dir/schema_guard.cpp.o"
+  "CMakeFiles/schema_guard.dir/schema_guard.cpp.o.d"
+  "schema_guard"
+  "schema_guard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlup_cli.dir/xmlup_cli.cpp.o"
+  "CMakeFiles/xmlup_cli.dir/xmlup_cli.cpp.o.d"
+  "xmlup_cli"
+  "xmlup_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlup_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/dependence.cc" "src/CMakeFiles/xmlup.dir/analysis/dependence.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/analysis/dependence.cc.o.d"
+  "/root/repo/src/analysis/interpreter.cc" "src/CMakeFiles/xmlup.dir/analysis/interpreter.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/analysis/interpreter.cc.o.d"
+  "/root/repo/src/analysis/optimizer.cc" "src/CMakeFiles/xmlup.dir/analysis/optimizer.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/analysis/optimizer.cc.o.d"
+  "/root/repo/src/analysis/program.cc" "src/CMakeFiles/xmlup.dir/analysis/program.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/analysis/program.cc.o.d"
+  "/root/repo/src/automata/nfa.cc" "src/CMakeFiles/xmlup.dir/automata/nfa.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/automata/nfa.cc.o.d"
+  "/root/repo/src/automata/nfa_ops.cc" "src/CMakeFiles/xmlup.dir/automata/nfa_ops.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/automata/nfa_ops.cc.o.d"
+  "/root/repo/src/automata/regex.cc" "src/CMakeFiles/xmlup.dir/automata/regex.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/automata/regex.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/xmlup.dir/common/random.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/xmlup.dir/common/status.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/xmlup.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/common/string_util.cc.o.d"
+  "/root/repo/src/conflict/bounded_search.cc" "src/CMakeFiles/xmlup.dir/conflict/bounded_search.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/conflict/bounded_search.cc.o.d"
+  "/root/repo/src/conflict/commutativity.cc" "src/CMakeFiles/xmlup.dir/conflict/commutativity.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/conflict/commutativity.cc.o.d"
+  "/root/repo/src/conflict/containment.cc" "src/CMakeFiles/xmlup.dir/conflict/containment.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/conflict/containment.cc.o.d"
+  "/root/repo/src/conflict/detector.cc" "src/CMakeFiles/xmlup.dir/conflict/detector.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/conflict/detector.cc.o.d"
+  "/root/repo/src/conflict/minimize.cc" "src/CMakeFiles/xmlup.dir/conflict/minimize.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/conflict/minimize.cc.o.d"
+  "/root/repo/src/conflict/read_delete.cc" "src/CMakeFiles/xmlup.dir/conflict/read_delete.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/conflict/read_delete.cc.o.d"
+  "/root/repo/src/conflict/read_insert.cc" "src/CMakeFiles/xmlup.dir/conflict/read_insert.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/conflict/read_insert.cc.o.d"
+  "/root/repo/src/conflict/reductions.cc" "src/CMakeFiles/xmlup.dir/conflict/reductions.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/conflict/reductions.cc.o.d"
+  "/root/repo/src/conflict/reparent.cc" "src/CMakeFiles/xmlup.dir/conflict/reparent.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/conflict/reparent.cc.o.d"
+  "/root/repo/src/conflict/transactions.cc" "src/CMakeFiles/xmlup.dir/conflict/transactions.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/conflict/transactions.cc.o.d"
+  "/root/repo/src/conflict/update_independence.cc" "src/CMakeFiles/xmlup.dir/conflict/update_independence.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/conflict/update_independence.cc.o.d"
+  "/root/repo/src/conflict/witness_build.cc" "src/CMakeFiles/xmlup.dir/conflict/witness_build.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/conflict/witness_build.cc.o.d"
+  "/root/repo/src/conflict/witness_check.cc" "src/CMakeFiles/xmlup.dir/conflict/witness_check.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/conflict/witness_check.cc.o.d"
+  "/root/repo/src/dtd/dtd.cc" "src/CMakeFiles/xmlup.dir/dtd/dtd.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/dtd/dtd.cc.o.d"
+  "/root/repo/src/dtd/dtd_conflict.cc" "src/CMakeFiles/xmlup.dir/dtd/dtd_conflict.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/dtd/dtd_conflict.cc.o.d"
+  "/root/repo/src/eval/embedding_enumerator.cc" "src/CMakeFiles/xmlup.dir/eval/embedding_enumerator.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/eval/embedding_enumerator.cc.o.d"
+  "/root/repo/src/eval/evaluator.cc" "src/CMakeFiles/xmlup.dir/eval/evaluator.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/eval/evaluator.cc.o.d"
+  "/root/repo/src/eval/fast_evaluator.cc" "src/CMakeFiles/xmlup.dir/eval/fast_evaluator.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/eval/fast_evaluator.cc.o.d"
+  "/root/repo/src/eval/incremental_read.cc" "src/CMakeFiles/xmlup.dir/eval/incremental_read.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/eval/incremental_read.cc.o.d"
+  "/root/repo/src/match/dp_matcher.cc" "src/CMakeFiles/xmlup.dir/match/dp_matcher.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/match/dp_matcher.cc.o.d"
+  "/root/repo/src/match/matching.cc" "src/CMakeFiles/xmlup.dir/match/matching.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/match/matching.cc.o.d"
+  "/root/repo/src/ops/operations.cc" "src/CMakeFiles/xmlup.dir/ops/operations.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/ops/operations.cc.o.d"
+  "/root/repo/src/pattern/pattern.cc" "src/CMakeFiles/xmlup.dir/pattern/pattern.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/pattern/pattern.cc.o.d"
+  "/root/repo/src/pattern/pattern_ops.cc" "src/CMakeFiles/xmlup.dir/pattern/pattern_ops.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/pattern/pattern_ops.cc.o.d"
+  "/root/repo/src/pattern/pattern_writer.cc" "src/CMakeFiles/xmlup.dir/pattern/pattern_writer.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/pattern/pattern_writer.cc.o.d"
+  "/root/repo/src/pattern/xpath_parser.cc" "src/CMakeFiles/xmlup.dir/pattern/xpath_parser.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/pattern/xpath_parser.cc.o.d"
+  "/root/repo/src/workload/catalog_generator.cc" "src/CMakeFiles/xmlup.dir/workload/catalog_generator.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/workload/catalog_generator.cc.o.d"
+  "/root/repo/src/workload/pattern_generator.cc" "src/CMakeFiles/xmlup.dir/workload/pattern_generator.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/workload/pattern_generator.cc.o.d"
+  "/root/repo/src/workload/program_generator.cc" "src/CMakeFiles/xmlup.dir/workload/program_generator.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/workload/program_generator.cc.o.d"
+  "/root/repo/src/workload/tree_generator.cc" "src/CMakeFiles/xmlup.dir/workload/tree_generator.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/workload/tree_generator.cc.o.d"
+  "/root/repo/src/xml/isomorphism.cc" "src/CMakeFiles/xmlup.dir/xml/isomorphism.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/xml/isomorphism.cc.o.d"
+  "/root/repo/src/xml/symbol_table.cc" "src/CMakeFiles/xmlup.dir/xml/symbol_table.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/xml/symbol_table.cc.o.d"
+  "/root/repo/src/xml/tree.cc" "src/CMakeFiles/xmlup.dir/xml/tree.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/xml/tree.cc.o.d"
+  "/root/repo/src/xml/tree_algos.cc" "src/CMakeFiles/xmlup.dir/xml/tree_algos.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/xml/tree_algos.cc.o.d"
+  "/root/repo/src/xml/tree_builder.cc" "src/CMakeFiles/xmlup.dir/xml/tree_builder.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/xml/tree_builder.cc.o.d"
+  "/root/repo/src/xml/xml_parser.cc" "src/CMakeFiles/xmlup.dir/xml/xml_parser.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/xml/xml_parser.cc.o.d"
+  "/root/repo/src/xml/xml_writer.cc" "src/CMakeFiles/xmlup.dir/xml/xml_writer.cc.o" "gcc" "src/CMakeFiles/xmlup.dir/xml/xml_writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

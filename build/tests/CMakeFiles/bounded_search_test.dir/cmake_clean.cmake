@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounded_search_test.dir/bounded_search_test.cc.o"
+  "CMakeFiles/bounded_search_test.dir/bounded_search_test.cc.o.d"
+  "bounded_search_test"
+  "bounded_search_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounded_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

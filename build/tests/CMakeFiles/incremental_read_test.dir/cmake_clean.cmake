@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_read_test.dir/incremental_read_test.cc.o"
+  "CMakeFiles/incremental_read_test.dir/incremental_read_test.cc.o.d"
+  "incremental_read_test"
+  "incremental_read_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_read_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/read_delete_test.dir/read_delete_test.cc.o"
+  "CMakeFiles/read_delete_test.dir/read_delete_test.cc.o.d"
+  "read_delete_test"
+  "read_delete_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/read_delete_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

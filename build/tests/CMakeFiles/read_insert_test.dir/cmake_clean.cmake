@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/read_insert_test.dir/read_insert_test.cc.o"
+  "CMakeFiles/read_insert_test.dir/read_insert_test.cc.o.d"
+  "read_insert_test"
+  "read_insert_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/read_insert_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

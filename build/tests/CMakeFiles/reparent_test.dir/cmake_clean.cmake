@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reparent_test.dir/reparent_test.cc.o"
+  "CMakeFiles/reparent_test.dir/reparent_test.cc.o.d"
+  "reparent_test"
+  "reparent_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reparent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

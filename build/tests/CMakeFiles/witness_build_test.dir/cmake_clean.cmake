@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/witness_build_test.dir/witness_build_test.cc.o"
+  "CMakeFiles/witness_build_test.dir/witness_build_test.cc.o.d"
+  "witness_build_test"
+  "witness_build_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/witness_build_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

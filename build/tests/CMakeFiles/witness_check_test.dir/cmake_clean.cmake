@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/witness_check_test.dir/witness_check_test.cc.o"
+  "CMakeFiles/witness_check_test.dir/witness_check_test.cc.o.d"
+  "witness_check_test"
+  "witness_check_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/witness_check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
