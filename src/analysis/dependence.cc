@@ -1,6 +1,7 @@
 #include "analysis/dependence.h"
 
 #include <optional>
+#include <unordered_map>
 
 #include "conflict/update_independence.h"
 
@@ -24,7 +25,10 @@ std::optional<UpdateOp> ToUpdateOp(const Statement& s) {
 }  // namespace
 
 DependenceAnalyzer::DependenceAnalyzer(DetectorOptions options)
-    : options_(options) {}
+    : DependenceAnalyzer(BatchDetectorOptions{options, 0, true, true}) {}
+
+DependenceAnalyzer::DependenceAnalyzer(BatchDetectorOptions options)
+    : options_(options), batch_(options) {}
 
 bool DependenceAnalyzer::MustOrder(const Statement& a,
                                    const Statement& b) const {
@@ -40,7 +44,7 @@ bool DependenceAnalyzer::MustOrder(const Statement& a,
     std::optional<UpdateOp> op_b = ToUpdateOp(b);
     if (!op_a.has_value() || !op_b.has_value()) return true;
     Result<IndependenceReport> cert =
-        CertifyUpdatesCommute(*op_a, *op_b, options_);
+        CertifyUpdatesCommute(*op_a, *op_b, options_.detector);
     return !cert.ok() ||
            cert->certificate != CommutativityCertificate::kCertified;
   }
@@ -51,8 +55,8 @@ bool DependenceAnalyzer::MustOrder(const Statement& a,
   Result<ConflictReport> report =
       update.kind == Statement::Kind::kInsert
           ? DetectReadInsert(read.pattern, update.pattern, *update.content,
-                             options_)
-          : DetectReadDelete(read.pattern, update.pattern, options_);
+                             options_.detector)
+          : DetectReadDelete(read.pattern, update.pattern, options_.detector);
   if (!report.ok()) return true;  // malformed update: stay conservative
   return report->verdict != ConflictVerdict::kNoConflict;
 }
@@ -61,10 +65,65 @@ DependenceAnalysisResult DependenceAnalyzer::Analyze(
     const Program& program) const {
   DependenceAnalysisResult result;
   const auto& statements = program.statements();
+
+  // Pass 1: collect every read/update pair on a shared variable for the
+  // batch engine; each statement enters the read/update pools once.
+  std::vector<Pattern> reads;
+  std::vector<UpdateOp> updates;
+  std::unordered_map<size_t, size_t> read_slot;    // statement → reads idx
+  std::unordered_map<size_t, size_t> update_slot;  // statement → updates idx
+  std::vector<ReadUpdatePair> pairs;
+  auto read_index_of = [&](size_t s) {
+    auto [it, inserted] = read_slot.emplace(s, reads.size());
+    if (inserted) reads.push_back(statements[s].pattern);
+    return it->second;
+  };
+  auto update_index_of = [&](size_t s) -> std::optional<size_t> {
+    auto it = update_slot.find(s);
+    if (it != update_slot.end()) return it->second;
+    std::optional<UpdateOp> op = ToUpdateOp(statements[s]);
+    if (!op.has_value()) return std::nullopt;  // malformed: resolved inline
+    update_slot.emplace(s, updates.size());
+    updates.push_back(*std::move(op));
+    return updates.size() - 1;
+  };
+  for (size_t i = 0; i < statements.size(); ++i) {
+    for (size_t j = i + 1; j < statements.size(); ++j) {
+      const Statement& a = statements[i];
+      const Statement& b = statements[j];
+      if (a.target_var != b.target_var) continue;
+      if (IsUpdate(a) == IsUpdate(b)) continue;  // read/read, update/update
+      const size_t read_stmt = IsUpdate(a) ? j : i;
+      const size_t update_stmt = IsUpdate(a) ? i : j;
+      std::optional<size_t> u = update_index_of(update_stmt);
+      if (!u.has_value()) continue;
+      pairs.push_back({read_index_of(read_stmt), *u});
+    }
+  }
+  const std::vector<SharedConflictResult> verdicts =
+      batch_.DetectPairs(reads, updates, pairs);
+
+  // Pass 2: classify every pair in order, consuming batch verdicts in the
+  // order pass 1 enqueued them.
+  size_t next_verdict = 0;
   for (size_t i = 0; i < statements.size(); ++i) {
     for (size_t j = i + 1; j < statements.size(); ++j) {
       ++result.pairs_total;
-      if (MustOrder(statements[i], statements[j])) {
+      const Statement& a = statements[i];
+      const Statement& b = statements[j];
+      bool ordered;
+      if (a.target_var != b.target_var || (!IsUpdate(a) && !IsUpdate(b))) {
+        ordered = false;
+      } else if (IsUpdate(a) && IsUpdate(b)) {
+        ordered = MustOrder(a, b);
+      } else if (update_slot.count(IsUpdate(a) ? i : j) != 0) {
+        const Result<ConflictReport>& report = *verdicts[next_verdict++];
+        ordered = !report.ok() ||
+                  report->verdict != ConflictVerdict::kNoConflict;
+      } else {
+        ordered = true;  // malformed update: stay conservative
+      }
+      if (ordered) {
         std::string reason = statements[i].target_var;
         result.dependences.push_back({i, j, std::move(reason)});
       } else {
@@ -72,6 +131,7 @@ DependenceAnalysisResult DependenceAnalyzer::Analyze(
       }
     }
   }
+  result.batch_stats = batch_.stats();
   return result;
 }
 

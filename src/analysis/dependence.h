@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "analysis/program.h"
+#include "conflict/batch_detector.h"
 #include "conflict/detector.h"
 
 namespace xmlup {
@@ -23,6 +24,13 @@ namespace xmlup {
 ///  - update/update pairs on the same variable are conservatively
 ///    dependent (see §6 on the subtleties of update-update semantics;
 ///    commutativity checking is available separately).
+///
+/// Analyze() routes all read/update pairs through the batch
+/// conflict-matrix engine (conflict/batch_detector.h): the full pair set
+/// is solved on a thread pool with memoization on canonical pattern
+/// pairs, so programs with repeated patterns — the common case for
+/// generated programs — pay for each distinct pair once. The memo cache
+/// persists across Analyze() calls on the same analyzer.
 struct Dependence {
   size_t from;  // earlier statement index
   size_t to;    // later statement index
@@ -35,19 +43,28 @@ struct DependenceAnalysisResult {
   /// independent fraction).
   size_t pairs_total = 0;
   size_t pairs_independent = 0;
+  /// Snapshot of the batch engine's cumulative cache/solve counters after
+  /// this analysis.
+  BatchStats batch_stats;
 };
 
 class DependenceAnalyzer {
  public:
   explicit DependenceAnalyzer(DetectorOptions options = {});
+  /// Full control over threading and memoization of the batch engine.
+  explicit DependenceAnalyzer(BatchDetectorOptions options);
 
   /// True if statements a (earlier) and b (later) must stay ordered.
+  /// Single-pair entry point; Analyze() is the batched equivalent.
   bool MustOrder(const Statement& a, const Statement& b) const;
 
   DependenceAnalysisResult Analyze(const Program& program) const;
 
  private:
-  DetectorOptions options_;
+  BatchDetectorOptions options_;
+  /// Mutable: the memoization cache warms across Analyze() calls; the
+  /// analysis result itself is deterministic either way.
+  mutable BatchConflictDetector batch_;
 };
 
 }  // namespace xmlup

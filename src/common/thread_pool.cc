@@ -1,0 +1,87 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace xmlup {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads <= 1) return;  // inline mode
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  if (workers_.empty()) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+size_t ThreadPool::DefaultThreadCount() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ParallelFor(ThreadPool* pool, size_t count,
+                 const std::function<void(size_t)>& body) {
+  if (pool == nullptr || pool->num_workers() == 0) {
+    for (size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  // Dynamic work stealing off a shared counter: tasks are cheap to skip,
+  // so one submission per worker suffices and load-balances uneven items.
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  const size_t fan_out = std::min(pool->num_workers(), std::max<size_t>(count, 1));
+  for (size_t w = 0; w < fan_out; ++w) {
+    pool->Submit([next, count, &body] {
+      for (size_t i = next->fetch_add(1); i < count; i = next->fetch_add(1)) {
+        body(i);
+      }
+    });
+  }
+  pool->Wait();
+}
+
+}  // namespace xmlup

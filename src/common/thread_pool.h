@@ -1,0 +1,67 @@
+#ifndef XMLUP_COMMON_THREAD_POOL_H_
+#define XMLUP_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xmlup {
+
+/// A fixed-size pool of worker threads draining a FIFO task queue. Built
+/// for the batch conflict engine: tasks are independent closures that
+/// write their results into pre-assigned slots, so callers get
+/// deterministic output regardless of scheduling.
+///
+/// `num_threads == 0` or `1` selects *inline* mode: no threads are
+/// spawned and Submit runs the task on the calling thread. This makes a
+/// 1-thread pool bit-for-bit reproducible and keeps the pool usable in
+/// contexts where spawning is undesirable.
+///
+/// Tasks must not throw; an escaping exception terminates the process
+/// (the codebase reports failures through Status/Result, never
+/// exceptions).
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (0 in inline mode).
+  size_t num_workers() const { return workers_.size(); }
+
+  /// Enqueues `task`; in inline mode runs it immediately.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void Wait();
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static size_t DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // queued + currently executing
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs `body(i)` for every i in [0, count), distributing iterations over
+/// `pool` (or inline when `pool` is null or has no workers), and blocks
+/// until all iterations complete. Iterations must be independent.
+void ParallelFor(ThreadPool* pool, size_t count,
+                 const std::function<void(size_t)>& body);
+
+}  // namespace xmlup
+
+#endif  // XMLUP_COMMON_THREAD_POOL_H_

@@ -1,0 +1,197 @@
+#include "conflict/batch_detector.h"
+
+#include <utility>
+
+#include "conflict/minimize.h"
+#include "pattern/pattern_ops.h"
+#include "xml/isomorphism.h"
+
+namespace xmlup {
+namespace {
+
+/// Options that can change a verdict (Unknowns depend on the search
+/// budget) are folded into the cache key, so one engine reconfigured via
+/// a new instance never aliases another's entries.
+std::string OptionsSuffix(const DetectorOptions& options) {
+  std::string s = "#";
+  s += std::to_string(static_cast<int>(options.semantics));
+  s += ',';
+  s += std::to_string(static_cast<int>(options.matcher));
+  s += ',';
+  s += std::to_string(options.search.max_nodes);
+  s += ',';
+  s += std::to_string(options.search.extra_labels);
+  s += ',';
+  s += std::to_string(options.search.max_trees);
+  return s;
+}
+
+std::string PairKey(const std::string& read_code,
+                    const UpdateOp::Kind kind,
+                    const std::string& update_code,
+                    const std::string& content_code,
+                    const std::string& options_suffix) {
+  std::string key = kind == UpdateOp::Kind::kInsert ? "I" : "D";
+  key += read_code;
+  key += '|';
+  key += update_code;
+  key += '|';
+  key += content_code;
+  key += options_suffix;
+  return key;
+}
+
+Result<ConflictReport> SolvePair(const Pattern& read, const UpdateOp& update,
+                                 const Pattern& update_pattern,
+                                 const DetectorOptions& options) {
+  if (update.kind() == UpdateOp::Kind::kInsert) {
+    return DetectReadInsert(read, update_pattern, update.content(), options);
+  }
+  return DetectReadDelete(read, update_pattern, options);
+}
+
+}  // namespace
+
+BatchConflictDetector::BatchConflictDetector(BatchDetectorOptions options)
+    : options_(options) {
+  const size_t threads = options_.num_threads == 0
+                             ? ThreadPool::DefaultThreadCount()
+                             : options_.num_threads;
+  pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+void BatchConflictDetector::ClearCache() { cache_.clear(); }
+
+std::string BatchConflictDetector::CacheKey(const Pattern& read,
+                                            const UpdateOp& update) const {
+  const Pattern read_canonical =
+      options_.minimize_patterns ? MinimizePattern(read) : read;
+  const Pattern update_canonical =
+      options_.minimize_patterns ? MinimizePattern(update.pattern())
+                                 : update.pattern();
+  return PairKey(CanonicalPatternCode(read_canonical), update.kind(),
+                 CanonicalPatternCode(update_canonical),
+                 update.kind() == UpdateOp::Kind::kInsert
+                     ? CanonicalCode(update.content())
+                     : std::string(),
+                 OptionsSuffix(options_.detector));
+}
+
+std::vector<SharedConflictResult> BatchConflictDetector::DetectMatrix(
+    const std::vector<Pattern>& reads, const std::vector<UpdateOp>& updates) {
+  std::vector<ReadUpdatePair> pairs;
+  pairs.reserve(reads.size() * updates.size());
+  for (size_t i = 0; i < reads.size(); ++i) {
+    for (size_t j = 0; j < updates.size(); ++j) {
+      pairs.push_back({i, j});
+    }
+  }
+  return DetectPairs(reads, updates, pairs);
+}
+
+std::vector<SharedConflictResult> BatchConflictDetector::DetectPairs(
+    const std::vector<Pattern>& reads, const std::vector<UpdateOp>& updates,
+    const std::vector<ReadUpdatePair>& pairs) {
+  stats_.pairs_total += pairs.size();
+
+  // Phase 1 — canonicalize every input once, in parallel. Minimization
+  // (a quadratic homomorphism fixpoint) is the expensive part; a pattern
+  // repeated across many pairs is minimized exactly once.
+  const size_t n_reads = reads.size();
+  const size_t n_updates = updates.size();
+  std::vector<Pattern> canonical_reads;
+  std::vector<Pattern> canonical_update_patterns;
+  canonical_reads.reserve(n_reads);
+  canonical_update_patterns.reserve(n_updates);
+  for (const Pattern& read : reads) canonical_reads.push_back(read);
+  for (const UpdateOp& update : updates) {
+    canonical_update_patterns.push_back(update.pattern());
+  }
+  std::vector<std::string> read_codes(n_reads);
+  std::vector<std::string> update_codes(n_updates);
+  std::vector<std::string> content_codes(n_updates);
+  ParallelFor(pool_.get(), n_reads + n_updates, [&](size_t index) {
+    if (index < n_reads) {
+      if (options_.minimize_patterns) {
+        canonical_reads[index] = MinimizePattern(canonical_reads[index]);
+      }
+      read_codes[index] = CanonicalPatternCode(canonical_reads[index]);
+      return;
+    }
+    const size_t j = index - n_reads;
+    if (options_.minimize_patterns) {
+      canonical_update_patterns[j] =
+          MinimizePattern(canonical_update_patterns[j]);
+    }
+    update_codes[j] = CanonicalPatternCode(canonical_update_patterns[j]);
+    if (updates[j].kind() == UpdateOp::Kind::kInsert) {
+      content_codes[j] = CanonicalCode(updates[j].content());
+    }
+  });
+
+  // Phase 2 — resolve each pair against the cache (sequential, in pair
+  // order, so job creation order is deterministic). With the cache
+  // disabled every pair becomes its own job: no dedup, honest baseline.
+  struct Job {
+    std::string key;
+    size_t read_index;
+    size_t update_index;
+    SharedConflictResult result;
+  };
+  const std::string options_suffix = OptionsSuffix(options_.detector);
+  std::vector<Job> jobs;
+  std::unordered_map<std::string, size_t> job_by_key;
+  std::vector<SharedConflictResult> out(pairs.size());
+  // pending[k] is the job that will fill out[k] (kNone if already filled).
+  constexpr size_t kNone = static_cast<size_t>(-1);
+  std::vector<size_t> pending(pairs.size(), kNone);
+  for (size_t k = 0; k < pairs.size(); ++k) {
+    const size_t i = pairs[k].read_index;
+    const size_t j = pairs[k].update_index;
+    XMLUP_CHECK(i < n_reads && j < n_updates);
+    std::string key = PairKey(read_codes[i], updates[j].kind(),
+                              update_codes[j], content_codes[j],
+                              options_suffix);
+    if (options_.enable_cache) {
+      auto cached = cache_.find(key);
+      if (cached != cache_.end()) {
+        out[k] = cached->second;
+        ++stats_.cache_hits;
+        continue;
+      }
+      auto [it, inserted] = job_by_key.emplace(std::move(key), jobs.size());
+      if (!inserted) {
+        pending[k] = it->second;
+        ++stats_.cache_hits;
+        continue;
+      }
+      jobs.push_back({it->first, i, j, nullptr});
+    } else {
+      jobs.push_back({std::move(key), i, j, nullptr});
+    }
+    pending[k] = jobs.size() - 1;
+  }
+  stats_.unique_pairs_solved += jobs.size();
+
+  // Phase 3 — solve every job on the pool. Each job writes only its own
+  // slot, so the result layout is independent of scheduling.
+  ParallelFor(pool_.get(), jobs.size(), [&](size_t index) {
+    Job& job = jobs[index];
+    job.result = std::make_shared<const Result<ConflictReport>>(
+        SolvePair(canonical_reads[job.read_index], updates[job.update_index],
+                  canonical_update_patterns[job.update_index],
+                  options_.detector));
+  });
+
+  // Phase 4 — publish to the cache (deterministic job order) and scatter
+  // shared results to every requesting pair.
+  if (options_.enable_cache) {
+    for (const Job& job : jobs) cache_.emplace(job.key, job.result);
+  }
+  for (size_t k = 0; k < pairs.size(); ++k) {
+    if (pending[k] != kNone) out[k] = jobs[pending[k]].result;
+  }
+  return out;
+}
+
+}  // namespace xmlup

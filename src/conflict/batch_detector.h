@@ -1,0 +1,110 @@
+#ifndef XMLUP_CONFLICT_BATCH_DETECTOR_H_
+#define XMLUP_CONFLICT_BATCH_DETECTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "conflict/commutativity.h"
+#include "conflict/detector.h"
+#include "pattern/pattern.h"
+
+namespace xmlup {
+
+/// Batch conflict-matrix engine (§6 motivation: compiler data-dependence
+/// analysis needs a verdict for *every* read/update pair of a program, not
+/// one pair at a time). Given N reads and M updates it computes the full
+/// N×M ConflictReport matrix — or any sparse subset of it — on a
+/// fixed-size thread pool, with a memoization cache keyed on canonical
+/// pattern pairs.
+///
+/// Determinism guarantee: results are keyed by pair index, and every
+/// distinct canonical pair is solved by exactly one detector invocation
+/// whose verdict does not depend on scheduling. The verdict, method and
+/// trees_checked fields of the returned matrix are therefore identical
+/// across runs and thread counts. (Witness trees are deterministic up to
+/// the renaming of fresh "alpha$n" labels, whose table ids depend on
+/// interning order.)
+///
+/// Memoization key: kind byte + CanonicalPatternCode of the (optionally
+/// minimized) read and update patterns + CanonicalCode of the inserted
+/// content + the semantics/matcher/search-budget options. Minimization
+/// (conflict/minimize.h) folds equivalent-but-not-identical patterns onto
+/// one key, so the repeated patterns emitted by workload/program_generator
+/// hit the cache instead of re-running the PTIME algorithms or the
+/// bounded search. The cache persists across Detect* calls until
+/// ClearCache().
+struct BatchDetectorOptions {
+  DetectorOptions detector;
+  /// Worker threads; 0 means ThreadPool::DefaultThreadCount(). 1 runs
+  /// inline on the calling thread (no spawning).
+  size_t num_threads = 0;
+  /// Memoize results keyed on canonical pattern pairs.
+  bool enable_cache = true;
+  /// Canonicalize patterns through MinimizePattern before keying and
+  /// solving. Sound (minimization is equivalence-preserving) and makes
+  /// equivalent patterns share cache entries; costs one minimization per
+  /// distinct input pattern.
+  bool minimize_patterns = true;
+};
+
+struct BatchStats {
+  /// Pair verdicts requested across all Detect* calls.
+  uint64_t pairs_total = 0;
+  /// Pairs answered from the memoization cache (including pairs that
+  /// duplicate another pair of the same call).
+  uint64_t cache_hits = 0;
+  /// Detector invocations (distinct canonical pairs actually solved).
+  uint64_t unique_pairs_solved = 0;
+};
+
+/// Reports are shared: identical pairs point at the same object
+/// (ConflictReport owns a Tree witness and is move-only, and sharing is
+/// exactly what the cache does anyway). Entries are never null.
+using SharedConflictResult = std::shared_ptr<const Result<ConflictReport>>;
+
+/// One (read index, update index) cell of the matrix.
+struct ReadUpdatePair {
+  size_t read_index;
+  size_t update_index;
+};
+
+class BatchConflictDetector {
+ public:
+  explicit BatchConflictDetector(BatchDetectorOptions options = {});
+
+  /// Full N×M matrix in row-major order: result[i * updates.size() + j]
+  /// is the verdict for (reads[i], updates[j]).
+  std::vector<SharedConflictResult> DetectMatrix(
+      const std::vector<Pattern>& reads, const std::vector<UpdateOp>& updates);
+
+  /// Sparse subset of the matrix; result[k] corresponds to pairs[k].
+  /// Indices must be in range.
+  std::vector<SharedConflictResult> DetectPairs(
+      const std::vector<Pattern>& reads, const std::vector<UpdateOp>& updates,
+      const std::vector<ReadUpdatePair>& pairs);
+
+  const BatchStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BatchStats(); }
+
+  /// Drops all memoized results (stats are kept).
+  void ClearCache();
+
+  /// Cache key for a (read, update) pair under this engine's options.
+  /// Exposed for tests.
+  std::string CacheKey(const Pattern& read, const UpdateOp& update) const;
+
+ private:
+  BatchDetectorOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unordered_map<std::string, SharedConflictResult> cache_;
+  BatchStats stats_;
+};
+
+}  // namespace xmlup
+
+#endif  // XMLUP_CONFLICT_BATCH_DETECTOR_H_

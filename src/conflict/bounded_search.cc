@@ -108,6 +108,7 @@ BruteForceResult RunSearch(const Pattern& read, const Pattern& update,
     }
     return true;
   });
+  result.truncated = enumerator.truncated();
   if (result.outcome == SearchOutcome::kWitnessFound) return result;
   result.outcome = (completed && !enumerator.truncated())
                        ? SearchOutcome::kExhaustedNoWitness

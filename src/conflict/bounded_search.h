@@ -81,6 +81,12 @@ struct BruteForceResult {
   SearchOutcome outcome = SearchOutcome::kBudgetExceeded;
   std::optional<Tree> witness;
   uint64_t trees_checked = 0;
+  /// True when the enumerator's shape cap stopped generation before the
+  /// space up to max_nodes was covered. Soundness invariant, relied on by
+  /// the detector's verdict mapping: a truncated search that found no
+  /// witness must never be reported as kExhaustedNoWitness — absence of a
+  /// witness in a partial enumeration proves nothing.
+  bool truncated = false;
 };
 
 /// Exhaustively searches for a read-insert conflict witness of size

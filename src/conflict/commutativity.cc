@@ -79,6 +79,7 @@ BruteForceResult FindCommutativityViolation(
     }
     return true;
   });
+  result.truncated = enumerator.truncated();
   if (result.outcome == SearchOutcome::kWitnessFound) return result;
   result.outcome = (completed && !enumerator.truncated())
                        ? SearchOutcome::kExhaustedNoWitness

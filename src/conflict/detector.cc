@@ -48,8 +48,11 @@ ConflictReport FromSearch(BruteForceResult search, size_t paper_bound,
       break;
     case SearchOutcome::kExhaustedNoWitness:
       // Complete only if the searched size covers the paper's witness
-      // bound (Lemma 11 / Theorem 5).
-      report.verdict = searched_bound >= paper_bound
+      // bound (Lemma 11 / Theorem 5) AND the enumeration really covered
+      // the whole space — a truncated search must stay kUnknown no matter
+      // what its outcome field claims (defense in depth; RunSearch already
+      // downgrades truncated searches to kBudgetExceeded).
+      report.verdict = (searched_bound >= paper_bound && !search.truncated)
                            ? ConflictVerdict::kNoConflict
                            : ConflictVerdict::kUnknown;
       break;

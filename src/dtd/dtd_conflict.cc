@@ -40,6 +40,7 @@ BruteForceResult SearchConforming(
     }
     return true;
   });
+  result.truncated = enumerator.truncated();
   if (result.outcome == SearchOutcome::kWitnessFound) return result;
   result.outcome = (completed && !enumerator.truncated())
                        ? SearchOutcome::kExhaustedNoWitness

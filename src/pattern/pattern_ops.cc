@@ -159,4 +159,42 @@ bool PatternsIdentical(const Pattern& p, const Pattern& q) {
   return output_matched;
 }
 
+namespace {
+
+void AppendCanonicalCode(const Pattern& p, PatternNodeId n,
+                         std::string* out) {
+  out->push_back('(');
+  if (n != p.root()) {
+    out->push_back(p.axis(n) == Axis::kChild ? '/' : '~');
+  }
+  if (p.is_wildcard(n)) {
+    out->push_back('*');
+  } else {
+    // Length-prefix the name so arbitrary label strings cannot collide
+    // with the code's structural characters.
+    const std::string name = p.LabelName(n);
+    out->append(std::to_string(name.size()));
+    out->push_back(':');
+    out->append(name);
+  }
+  if (n == p.output()) out->push_back('!');
+  std::vector<std::string> child_codes;
+  for (PatternNodeId c : p.Children(n)) {
+    std::string code;
+    AppendCanonicalCode(p, c, &code);
+    child_codes.push_back(std::move(code));
+  }
+  std::sort(child_codes.begin(), child_codes.end());
+  for (const std::string& code : child_codes) out->append(code);
+  out->push_back(')');
+}
+
+}  // namespace
+
+std::string CanonicalPatternCode(const Pattern& p) {
+  std::string code;
+  if (p.has_root()) AppendCanonicalCode(p, p.root(), &code);
+  return code;
+}
+
 }  // namespace xmlup

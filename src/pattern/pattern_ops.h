@@ -50,6 +50,14 @@ NodeId GraftModel(Tree* tree, NodeId parent, const Pattern& p,
 /// axes and output node). Used for CSE in the analysis module.
 bool PatternsIdentical(const Pattern& p, const Pattern& q);
 
+/// Canonical string code of a pattern: label names plus incoming axes with
+/// the children of every node in sorted code order, and the output node
+/// marked. Two patterns have equal codes iff they are identical up to
+/// sibling reordering (the pattern analogue of xml/isomorphism.h's
+/// CanonicalCode). The code uses label *names*, so it is stable across
+/// symbol tables — the batch conflict engine uses it as a memoization key.
+std::string CanonicalPatternCode(const Pattern& p);
+
 /// Copies `src` (whole pattern) into `dst` as a new subtree under `parent`,
 /// attaching src's root by `axis`. Output-node markings of `src` are
 /// ignored. Returns the copy of src's root. Used by the §5 reductions to

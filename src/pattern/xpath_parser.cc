@@ -103,7 +103,21 @@ class XPathParser {
   }
 
   /// Parses the relative path inside a predicate, attached under `anchor`.
+  /// Predicate nesting recurses (predicate → step → predicate), so depth
+  /// is capped: unbounded nesting in adversarial input would otherwise
+  /// overflow the stack instead of returning a Status.
   Status ParsePredicateBody(PatternNodeId anchor) {
+    if (depth_ >= kMaxNestingDepth) {
+      return Error("predicate nesting deeper than " +
+                   std::to_string(kMaxNestingDepth));
+    }
+    ++depth_;
+    Status status = ParsePredicatePath(anchor);
+    --depth_;
+    return status;
+  }
+
+  Status ParsePredicatePath(PatternNodeId anchor) {
     SkipWhitespace();
     Axis axis = Axis::kChild;
     if (PeekIs(".//")) {
@@ -130,9 +144,12 @@ class XPathParser {
     }
   }
 
+  static constexpr size_t kMaxNestingDepth = 128;
+
   std::string_view input_;
   Pattern pattern_;
   size_t pos_ = 0;
+  size_t depth_ = 0;
 };
 
 }  // namespace

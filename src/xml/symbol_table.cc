@@ -5,6 +5,7 @@
 namespace xmlup {
 
 Label SymbolTable::Intern(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(std::string(name));
   if (it != index_.end()) return it->second;
   const Label label = static_cast<Label>(names_.size());
@@ -14,24 +15,35 @@ Label SymbolTable::Intern(std::string_view name) {
 }
 
 Label SymbolTable::Lookup(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(std::string(name));
   return it == index_.end() ? kInvalidLabel : it->second;
 }
 
 const std::string& SymbolTable::Name(Label label) const {
+  std::lock_guard<std::mutex> lock(mu_);
   XMLUP_DCHECK(label < names_.size()) << "label " << label << " out of range";
   return names_[label];
 }
 
 Label SymbolTable::Fresh(std::string_view prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (;;) {
     std::string candidate(prefix);
     candidate += '$';
     candidate += std::to_string(fresh_counter_++);
     if (index_.find(candidate) == index_.end()) {
-      return Intern(candidate);
+      const Label label = static_cast<Label>(names_.size());
+      names_.push_back(std::move(candidate));
+      index_.emplace(names_.back(), label);
+      return label;
     }
   }
+}
+
+size_t SymbolTable::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return names_.size();
 }
 
 const std::shared_ptr<SymbolTable>& SymbolTable::Shared() {

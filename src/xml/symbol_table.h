@@ -2,11 +2,12 @@
 #define XMLUP_XML_SYMBOL_TABLE_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 namespace xmlup {
 
@@ -25,6 +26,11 @@ inline constexpr Label kInvalidLabel = 0xFFFFFFFFu;
 /// to have been interned before — which the paper's constructions rely on
 /// ("a label α not used in R, I or X", Definition 10; the α/β/γ/δ labels of
 /// the reductions in Section 5).
+///
+/// Thread safety: all methods are safe to call concurrently. The batch
+/// conflict engine runs detectors (which mint fresh symbols) on a thread
+/// pool over patterns sharing one table. References returned by Name()
+/// stay valid for the table's lifetime (names are stored in a deque).
 class SymbolTable {
  public:
   SymbolTable() = default;
@@ -45,15 +51,18 @@ class SymbolTable {
   Label Fresh(std::string_view prefix);
 
   /// Number of distinct labels interned so far.
-  size_t size() const { return names_.size(); }
+  size_t size() const;
 
   /// Convenience: a process-local table for examples and tests that do not
   /// need isolation.
   static const std::shared_ptr<SymbolTable>& Shared();
 
  private:
+  mutable std::mutex mu_;
   std::unordered_map<std::string, Label> index_;
-  std::vector<std::string> names_;
+  /// Deque, not vector: growth never relocates stored strings, so Name()
+  /// references stay valid without holding the lock.
+  std::deque<std::string> names_;
   uint64_t fresh_counter_ = 0;
 };
 

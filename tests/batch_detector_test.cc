@@ -1,0 +1,235 @@
+#include "conflict/batch_detector.h"
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace xmlup {
+namespace {
+
+using testing_util::NewSymbols;
+using testing_util::Xml;
+using testing_util::Xp;
+
+class BatchDetectorTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<SymbolTable> symbols_ = NewSymbols();
+
+  std::shared_ptr<const Tree> Content(const char* xml) {
+    return std::make_shared<const Tree>(Xml(xml, symbols_));
+  }
+
+  UpdateOp Insert(const char* xpath, const char* xml) {
+    return UpdateOp::MakeInsert(Xp(xpath, symbols_), Content(xml));
+  }
+
+  UpdateOp Delete(const char* xpath) {
+    Result<UpdateOp> del = UpdateOp::MakeDelete(Xp(xpath, symbols_));
+    EXPECT_TRUE(del.ok()) << del.status();
+    return std::move(del).value();
+  }
+
+  /// A workload mixing linear and branching reads, with repeats — the
+  /// shape program generators produce.
+  std::vector<Pattern> Reads() {
+    std::vector<Pattern> reads;
+    for (const char* x : {"a//b", "a/b/c", "a[b]/c", "x//y", "a//b", "a/*/c",
+                          "a[b][c]", "a//b", "b/c", "a[.//d]/b"}) {
+      reads.push_back(Xp(x, symbols_));
+    }
+    return reads;
+  }
+
+  std::vector<UpdateOp> Updates() {
+    std::vector<UpdateOp> updates;
+    updates.push_back(Insert("a/b", "<c/>"));
+    updates.push_back(Delete("a//c"));
+    updates.push_back(Insert("a/b", "<c/>"));  // repeat of [0]
+    updates.push_back(Delete("x/y"));
+    updates.push_back(Insert("a", "<b><c/></b>"));
+    updates.push_back(Delete("a//c"));  // repeat of [1]
+    updates.push_back(Insert("b", "<d/>"));
+    updates.push_back(Delete("*/d"));
+    return updates;
+  }
+
+  static BatchDetectorOptions Options(size_t threads, bool cache = true,
+                                      bool minimize = true) {
+    BatchDetectorOptions options;
+    options.detector.search.max_nodes = 4;
+    options.num_threads = threads;
+    options.enable_cache = cache;
+    options.minimize_patterns = minimize;
+    return options;
+  }
+
+  /// The deterministic fingerprint of a matrix: verdict, method and
+  /// trees_checked per cell (witness label ids may differ across runs —
+  /// fresh "alpha" symbols are interned in scheduling order).
+  static std::vector<std::tuple<int, std::string, uint64_t>> Fingerprint(
+      const std::vector<SharedConflictResult>& matrix) {
+    std::vector<std::tuple<int, std::string, uint64_t>> out;
+    for (const SharedConflictResult& cell : matrix) {
+      EXPECT_NE(cell, nullptr);
+      if (!cell->ok()) {
+        out.emplace_back(-1, cell->status().ToString(), 0);
+        continue;
+      }
+      const ConflictReport& report = **cell;
+      out.emplace_back(static_cast<int>(report.verdict), report.method,
+                       report.trees_checked);
+    }
+    return out;
+  }
+};
+
+TEST_F(BatchDetectorTest, MatrixHasRowMajorLayout) {
+  const std::vector<Pattern> reads = Reads();
+  const std::vector<UpdateOp> updates = Updates();
+  BatchConflictDetector engine(Options(1));
+  const auto matrix = engine.DetectMatrix(reads, updates);
+  ASSERT_EQ(matrix.size(), reads.size() * updates.size());
+  for (const SharedConflictResult& cell : matrix) {
+    ASSERT_NE(cell, nullptr);
+    EXPECT_TRUE(cell->ok()) << cell->status();
+  }
+  EXPECT_EQ(engine.stats().pairs_total, reads.size() * updates.size());
+}
+
+TEST_F(BatchDetectorTest, OneThreadAndEightThreadsProduceIdenticalMatrices) {
+  // The acceptance-criterion determinism check: same workload, 1 vs 8
+  // worker threads, verdict matrices must be identical cell for cell.
+  const std::vector<Pattern> reads = Reads();
+  const std::vector<UpdateOp> updates = Updates();
+  BatchConflictDetector one(Options(1));
+  BatchConflictDetector eight(Options(8));
+  const auto fp1 = Fingerprint(one.DetectMatrix(reads, updates));
+  const auto fp8 = Fingerprint(eight.DetectMatrix(reads, updates));
+  ASSERT_EQ(fp1.size(), fp8.size());
+  for (size_t k = 0; k < fp1.size(); ++k) {
+    EXPECT_EQ(fp1[k], fp8[k]) << "cell " << k;
+  }
+}
+
+TEST_F(BatchDetectorTest, CacheOnAndOffProduceIdenticalVerdicts) {
+  const std::vector<Pattern> reads = Reads();
+  const std::vector<UpdateOp> updates = Updates();
+  BatchConflictDetector cached(Options(2, /*cache=*/true));
+  BatchConflictDetector uncached(Options(2, /*cache=*/false));
+  EXPECT_EQ(Fingerprint(cached.DetectMatrix(reads, updates)),
+            Fingerprint(uncached.DetectMatrix(reads, updates)));
+}
+
+TEST_F(BatchDetectorTest, CachedResultsMatchFreshSinglePairCalls) {
+  // Cross-check every cell (cache hits included) against a fresh
+  // DetectReadInsert/DetectReadDelete call. minimize=false so the batch
+  // engine solves the very same patterns as the fresh calls.
+  const std::vector<Pattern> reads = Reads();
+  const std::vector<UpdateOp> updates = Updates();
+  const BatchDetectorOptions options = Options(4, true, /*minimize=*/false);
+  BatchConflictDetector engine(options);
+  const auto matrix = engine.DetectMatrix(reads, updates);
+  ASSERT_GT(engine.stats().cache_hits, 0u);  // workload repeats patterns
+  for (size_t i = 0; i < reads.size(); ++i) {
+    for (size_t j = 0; j < updates.size(); ++j) {
+      const UpdateOp& update = updates[j];
+      Result<ConflictReport> fresh =
+          update.kind() == UpdateOp::Kind::kInsert
+              ? DetectReadInsert(reads[i], update.pattern(), update.content(),
+                                 options.detector)
+              : DetectReadDelete(reads[i], update.pattern(), options.detector);
+      const SharedConflictResult& cell = matrix[i * updates.size() + j];
+      ASSERT_TRUE(fresh.ok() && cell->ok());
+      EXPECT_EQ((*cell)->verdict, fresh->verdict) << "cell " << i << "," << j;
+      EXPECT_EQ((*cell)->method, fresh->method) << "cell " << i << "," << j;
+      EXPECT_EQ((*cell)->trees_checked, fresh->trees_checked);
+    }
+  }
+}
+
+TEST_F(BatchDetectorTest, CacheAccountingAddsUp) {
+  const std::vector<Pattern> reads = Reads();
+  const std::vector<UpdateOp> updates = Updates();
+  BatchConflictDetector engine(Options(2));
+  engine.DetectMatrix(reads, updates);
+  const BatchStats& stats = engine.stats();
+  EXPECT_EQ(stats.pairs_total, reads.size() * updates.size());
+  EXPECT_EQ(stats.cache_hits + stats.unique_pairs_solved, stats.pairs_total);
+  // Repeated reads ("a//b" three times) and updates guarantee real reuse.
+  EXPECT_LT(stats.unique_pairs_solved, stats.pairs_total);
+
+  // A second identical batch is answered entirely from the cache.
+  const uint64_t solved_before = stats.unique_pairs_solved;
+  engine.DetectMatrix(reads, updates);
+  EXPECT_EQ(engine.stats().unique_pairs_solved, solved_before);
+
+  engine.ClearCache();
+  engine.DetectMatrix(reads, updates);
+  EXPECT_EQ(engine.stats().unique_pairs_solved, 2 * solved_before);
+}
+
+TEST_F(BatchDetectorTest, CacheDisabledSolvesEveryPair) {
+  const std::vector<Pattern> reads = Reads();
+  const std::vector<UpdateOp> updates = Updates();
+  BatchConflictDetector engine(Options(2, /*cache=*/false));
+  engine.DetectMatrix(reads, updates);
+  EXPECT_EQ(engine.stats().cache_hits, 0u);
+  EXPECT_EQ(engine.stats().unique_pairs_solved,
+            reads.size() * updates.size());
+}
+
+TEST_F(BatchDetectorTest, MinimizationFoldsEquivalentPatternsOntoOneKey) {
+  // a[b][b] minimizes to a[b]: the duplicate predicate is implied.
+  const UpdateOp update = Insert("a/b", "<c/>");
+  BatchConflictDetector engine(Options(1, true, /*minimize=*/true));
+  EXPECT_EQ(engine.CacheKey(Xp("a[b][b]", symbols_), update),
+            engine.CacheKey(Xp("a[b]", symbols_), update));
+  BatchConflictDetector literal(Options(1, true, /*minimize=*/false));
+  EXPECT_NE(literal.CacheKey(Xp("a[b][b]", symbols_), update),
+            literal.CacheKey(Xp("a[b]", symbols_), update));
+
+  // Sibling order never matters: the key is canonical.
+  EXPECT_EQ(engine.CacheKey(Xp("a[b][c]", symbols_), update),
+            engine.CacheKey(Xp("a[c][b]", symbols_), update));
+}
+
+TEST_F(BatchDetectorTest, SparsePairsAlignWithRequest) {
+  const std::vector<Pattern> reads = Reads();
+  const std::vector<UpdateOp> updates = Updates();
+  const std::vector<ReadUpdatePair> pairs = {
+      {0, 1}, {3, 3}, {0, 1}, {9, 4}};
+  BatchConflictDetector engine(Options(2));
+  const auto sparse = engine.DetectPairs(reads, updates, pairs);
+  ASSERT_EQ(sparse.size(), pairs.size());
+  // Duplicate request resolves to the shared cached object.
+  EXPECT_EQ(sparse[0], sparse[2]);
+  const auto full = engine.DetectMatrix(reads, updates);
+  for (size_t k = 0; k < pairs.size(); ++k) {
+    const auto& cell =
+        full[pairs[k].read_index * updates.size() + pairs[k].update_index];
+    ASSERT_TRUE(sparse[k]->ok() && cell->ok());
+    EXPECT_EQ((*sparse[k])->verdict, (*cell)->verdict) << "pair " << k;
+  }
+}
+
+TEST_F(BatchDetectorTest, KnownVerdictsSurviveTheBatchPath) {
+  // a//b vs insert <b/> under a: conflict (linear PTIME path).
+  // x//y vs delete a//c: different labels, no conflict.
+  std::vector<Pattern> reads = {Xp("a//b", symbols_), Xp("x//y", symbols_)};
+  std::vector<UpdateOp> updates;
+  updates.push_back(Insert("a", "<b/>"));
+  BatchConflictDetector engine(Options(2));
+  const auto matrix = engine.DetectMatrix(reads, updates);
+  ASSERT_TRUE(matrix[0]->ok());
+  EXPECT_EQ((*matrix[0])->verdict, ConflictVerdict::kConflict);
+  EXPECT_TRUE((*matrix[0])->witness.has_value());
+  ASSERT_TRUE(matrix[1]->ok());
+  EXPECT_EQ((*matrix[1])->verdict, ConflictVerdict::kNoConflict);
+}
+
+}  // namespace
+}  // namespace xmlup

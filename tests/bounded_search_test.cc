@@ -129,6 +129,30 @@ TEST_F(BruteForceTest, BudgetExceededIsReported) {
   EXPECT_EQ(r.outcome, SearchOutcome::kBudgetExceeded);
 }
 
+TEST_F(BruteForceTest, TruncationSetsFlagAndBudgetExceeded) {
+  // Regression (soundness audit): a truncated enumeration must surface as
+  // kBudgetExceeded with truncated == true, never as exhaustion.
+  BoundedSearchOptions options;
+  options.max_nodes = 8;
+  options.max_trees = 5;  // forces TreeEnumerator::truncated()
+  const BruteForceResult r = BruteForceReadDeleteSearch(
+      Xp("a/q", symbols_), Xp("a/z", symbols_), ConflictSemantics::kNode,
+      options);
+  EXPECT_EQ(r.outcome, SearchOutcome::kBudgetExceeded);
+  EXPECT_TRUE(r.truncated);
+  EXPECT_FALSE(r.witness.has_value());
+}
+
+TEST_F(BruteForceTest, CompletedSearchIsNotTruncated) {
+  BoundedSearchOptions options;
+  options.max_nodes = 4;
+  const BruteForceResult r = BruteForceReadInsertSearch(
+      Xp("x//D", symbols_), Xp("x/B", symbols_), Xml("<C/>", symbols_),
+      ConflictSemantics::kNode, options);
+  EXPECT_EQ(r.outcome, SearchOutcome::kExhaustedNoWitness);
+  EXPECT_FALSE(r.truncated);
+}
+
 TEST_F(BruteForceTest, PaperWitnessBound) {
   const Pattern read = Xp("a/*/*/b", symbols_);  // |R|=4, star length 2
   const Pattern ins = Xp("c//d", symbols_);      // |I|=2

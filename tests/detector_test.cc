@@ -92,6 +92,28 @@ TEST_F(DetectorTest, BranchingReadNoConflictWhenPaperBoundCovered) {
   EXPECT_EQ(r->verdict, ConflictVerdict::kNoConflict);
 }
 
+TEST_F(DetectorTest, TruncatedSearchNeverReportsNoConflict) {
+  // Regression (soundness audit): when the enumerator's shape cap stops
+  // generation (TreeEnumerator::truncated()) and no witness was found,
+  // the verdict must be kUnknown — a partial enumeration proves nothing,
+  // even when max_nodes covers the paper bound. Same conflict-free
+  // instance as BranchingReadNoConflictWhenPaperBoundCovered, but with a
+  // max_trees cap tiny enough to force truncation.
+  Pattern read(symbols_);
+  const PatternNodeId root = read.CreateRoot(symbols_->Intern("a"));
+  read.AddChild(root, symbols_->Intern("zz"), Axis::kChild);
+  read.SetOutput(root);
+  Tree x = Xml("<qq/>", symbols_);
+  DetectorOptions options;
+  options.search.max_nodes = 4;  // covers the paper bound of 4
+  options.search.max_trees = 3;  // ... but truncates the enumeration
+  Result<ConflictReport> r =
+      DetectReadInsert(read, Xp("a/b", symbols_), x, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->method, "bounded-search");
+  EXPECT_EQ(r->verdict, ConflictVerdict::kUnknown);
+}
+
 TEST_F(DetectorTest, MainlineHeuristicFindsBranchingConflicts) {
   // read a[q]//b — branching, but its mainline a//b conflicts with the
   // delete, and grafting a q-model satisfies the predicate: the heuristic

@@ -1,0 +1,87 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace xmlup {
+namespace {
+
+TEST(ThreadPoolTest, InlineModeRunsOnCallingThread) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_workers(), 0u);
+  int runs = 0;
+  pool.Submit([&] { ++runs; });
+  // Inline mode executes inside Submit: no Wait needed.
+  EXPECT_EQ(runs, 1);
+  pool.Wait();  // no-op, must not hang
+}
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_workers(), 4u);
+  std::atomic<int> runs{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { runs.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(runs.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> runs{0};
+  pool.Submit([&] { runs.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(runs.load(), 1);
+  pool.Submit([&] { runs.fetch_add(1); });
+  pool.Submit([&] { runs.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(runs.load(), 3);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> runs{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&] { runs.fetch_add(1); });
+    }
+  }
+  // Destruction joins workers only after the queue is drained.
+  EXPECT_EQ(runs.load(), 50);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h.store(0);
+    ParallelFor(&pool, hits.size(),
+                [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForNullPoolRunsInline) {
+  std::vector<int> hits(10, 0);
+  ParallelFor(nullptr, hits.size(), [&](size_t i) { hits[i] = 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroCount) {
+  ThreadPool pool(2);
+  bool ran = false;
+  ParallelFor(&pool, 0, [&](size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountAtLeastOne) {
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+}
+
+}  // namespace
+}  // namespace xmlup

@@ -134,6 +134,49 @@ TEST_F(XPathParserTest, ErrorCases) {
   EXPECT_FALSE(ParseXPath("[a]", symbols_).ok());
 }
 
+TEST_F(XPathParserTest, MalformedInputsReturnStatusNotCrash) {
+  // Hardening satellite: every malformed input must come back as a
+  // ParseError Status — no assertion, no silent mis-parse.
+  const char* cases[] = {
+      "a/",      // trailing slash: empty final step
+      "b/c/",    // trailing slash after a longer trunk
+      "//",      // leading descendant with no step
+      "a//",     // empty step after //
+      "a///b",   // empty step between slashes
+      "a[]",     // empty predicate
+      "a[  ]",   // whitespace-only predicate
+      "a[./]",   // predicate with dot-slash but no step
+      "a[.//]",  // predicate with dot-slash-slash but no step
+      "a[b/]",   // trailing slash inside predicate
+      "a[b//]",  // trailing descendant inside predicate
+      "a[.]",    // bare dot predicate is not in the fragment
+      "   ",     // whitespace only
+  };
+  for (const char* xpath : cases) {
+    Result<Pattern> r = ParseXPath(xpath, symbols_);
+    EXPECT_FALSE(r.ok()) << "accepted malformed input: \"" << xpath << "\"";
+  }
+}
+
+TEST_F(XPathParserTest, DeepPredicateNestingIsRejectedNotStackOverflow) {
+  // 100k nested predicates previously recursed once per level and
+  // overflowed the stack; now the parser caps nesting depth.
+  std::string deep = "a";
+  for (int i = 0; i < 100000; ++i) deep += "[b";
+  deep.append(100000, ']');
+  Result<Pattern> r = ParseXPath(deep, symbols_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("nesting"), std::string::npos)
+      << r.status();
+}
+
+TEST_F(XPathParserTest, ReasonableNestingStillAccepted) {
+  std::string nested = "a";
+  for (int i = 0; i < 64; ++i) nested += "[b";
+  nested.append(64, ']');
+  EXPECT_TRUE(ParseXPath(nested, symbols_).ok());
+}
+
 TEST_F(XPathParserTest, WriterRoundTrip) {
   const char* cases[] = {
       "a",           "a/b",        "a//b",           "a/b//c",
