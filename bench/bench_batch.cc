@@ -59,19 +59,15 @@ DetectorOptions MakeDetectorOptions() {
   return options;
 }
 
-/// The baseline the batch engine replaces: one DetectReadInsert /
-/// DetectReadDelete call per pair, no sharing, no threads.
+/// The baseline the batch engine replaces: one Detect() facade call per
+/// pair, no sharing, no threads.
 uint64_t SequentialPairLoop(const std::vector<Pattern>& reads,
                             const std::vector<UpdateOp>& updates,
                             const DetectorOptions& options) {
   uint64_t conflicts = 0;
   for (const Pattern& read : reads) {
     for (const UpdateOp& update : updates) {
-      Result<ConflictReport> report =
-          update.kind() == UpdateOp::Kind::kInsert
-              ? DetectReadInsert(read, update.pattern(), update.content(),
-                                 options)
-              : DetectReadDelete(read, update.pattern(), options);
+      Result<ConflictReport> report = Detect(read, update, options);
       if (report.ok() && report->verdict == ConflictVerdict::kConflict) {
         ++conflicts;
       }
@@ -169,3 +165,17 @@ BENCHMARK(BM_BatchSpeedupVsSequential)
 
 }  // namespace
 }  // namespace xmlup
+
+/// Custom main (instead of benchmark_main): honors XMLUP_OBS, then dumps
+/// the run's metrics + trace to BENCH_batch.json / BENCH_batch_trace.json
+/// for the CI bench-smoke job and for loading into chrome://tracing.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const bool obs = xmlup::bench::EnableObsFromEnv();
+  std::cerr << "obs " << (obs ? "enabled" : "disabled (XMLUP_OBS=0)") << "\n";
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  xmlup::bench::DumpObs("batch");
+  return 0;
+}

@@ -36,7 +36,7 @@ void RunDetection(benchmark::State& state, size_t read_size,
   for (auto _ : state) {
     auto result = DetectReadDeleteConflictLinear(
         read, del, ConflictSemantics::kNode, matcher, build_witness);
-    conflicts += (result.ok() && result->conflict) ? 1 : 0;
+    conflicts += (result.ok() && result->conflict()) ? 1 : 0;
     benchmark::DoNotOptimize(conflicts);
   }
 }

@@ -45,7 +45,7 @@ void RunDetection(benchmark::State& state, size_t read_size,
     auto result = DetectReadInsertConflictLinear(
         read, ins, x, ConflictSemantics::kNode, MatcherKind::kNfa,
         build_witness);
-    conflicts += (result.ok() && result->conflict) ? 1 : 0;
+    conflicts += (result.ok() && result->conflict()) ? 1 : 0;
     benchmark::DoNotOptimize(conflicts);
   }
 }

@@ -1,9 +1,16 @@
 #ifndef XMLUP_BENCH_BENCH_UTIL_H_
 #define XMLUP_BENCH_BENCH_UTIL_H_
 
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
 #include <memory>
+#include <string>
 
 #include "common/random.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pattern/xpath_parser.h"
 #include "workload/catalog_generator.h"
 #include "workload/pattern_generator.h"
@@ -45,6 +52,45 @@ inline Tree Catalog(size_t num_books, uint64_t seed) {
   options.num_books = num_books;
   Rng rng(seed);
   return GenerateCatalog(Symbols(), options, &rng);
+}
+
+/// Observability toggle for bench harnesses: XMLUP_OBS=0 turns the trace
+/// recorder off (metrics counters are always live unless compiled out with
+/// -DXMLUP_OBS_DISABLED); anything else — including unset — turns it on.
+/// Lets the same binary measure obs-on vs obs-off overhead.
+inline bool ObsEnabledFromEnv() {
+  const char* env = std::getenv("XMLUP_OBS");
+  return env == nullptr || std::strcmp(env, "0") != 0;
+}
+
+/// Applies ObsEnabledFromEnv() to the default recorder and returns the
+/// chosen state. Call once at the top of a bench main().
+inline bool EnableObsFromEnv() {
+  const bool enabled = ObsEnabledFromEnv();
+  obs::TraceRecorder::Default().set_enabled(enabled);
+  return enabled;
+}
+
+/// Dumps the obs state accumulated by a bench run:
+///   BENCH_<name>.json        — counters/gauges/histograms + span stats
+///   BENCH_<name>_trace.json  — Chrome trace_event JSON (chrome://tracing)
+/// Files land in the working directory; CI uploads them as artifacts.
+inline void DumpObs(const char* name) {
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Default();
+  const std::string stats_path = std::string("BENCH_") + name + ".json";
+  std::ofstream stats(stats_path);
+  stats << "{\"bench\":\"" << name << "\",\"obs_enabled\":"
+        << (recorder.enabled() ? "true" : "false")
+        << ",\"metrics\":" << obs::MetricsRegistry::Default().Snapshot().ToJson()
+        << ",\"trace\":" << recorder.ToStatsJson() << "}\n";
+  stats.close();
+
+  const std::string trace_path = std::string("BENCH_") + name + "_trace.json";
+  std::ofstream trace(trace_path);
+  trace << recorder.ToChromeTraceJson() << "\n";
+  trace.close();
+  std::cerr << "obs dump: " << stats_path << " + " << trace_path << " ("
+            << recorder.Snapshot().size() << " spans)\n";
 }
 
 }  // namespace bench

@@ -76,10 +76,7 @@ int main() {
   for (const auto& [read_name, read] : reads) {
     std::cout << std::setw(14) << read_name;
     for (const NamedUpdate& u : updates) {
-      Result<ConflictReport> report =
-          u.op.kind() == UpdateOp::Kind::kInsert
-              ? DetectReadInsert(read, u.op.pattern(), u.op.content())
-              : DetectReadDelete(read, u.op.pattern());
+      Result<ConflictReport> report = Detect(read, u.op);
       std::cout << std::setw(16)
                 << (report.ok() ? VerdictChar(report->verdict) : '!');
     }

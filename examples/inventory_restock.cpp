@@ -57,13 +57,13 @@ int main(int argc, char** argv) {
     for (ConflictSemantics semantics :
          {ConflictSemantics::kNode, ConflictSemantics::kTree,
           ConflictSemantics::kValue}) {
-      Result<LinearConflictReport> r = DetectReadInsertConflictLinear(
+      Result<ConflictReport> r = DetectReadInsertConflictLinear(
           read, condition, *restock, semantics);
       if (!r.ok()) {
         std::cout << " err  ";
         continue;
       }
-      std::cout << (r->conflict ? " YES  " : "  no  ");
+      std::cout << (r->conflict() ? " YES  " : "  no  ");
     }
     std::cout << "\n";
   }

@@ -47,15 +47,15 @@ int main() {
   for (const char* read_xpath :
        {"catalog//restock", "catalog//title", "catalog/book"}) {
     Pattern read = MustParseXPath(read_xpath, symbols);
-    Result<ConflictReport> report =
-        DetectReadInsert(read, low_books, insert.content());
+    Result<ConflictReport> report = Detect(
+        read, UpdateOp::MakeInsert(low_books, insert.shared_content()));
     if (!report.ok()) {
       std::cerr << "detection failed: " << report.status() << "\n";
       return 1;
     }
     std::cout << "read " << read_xpath << " vs restock-insert: "
               << ConflictVerdictName(report->verdict) << "  ["
-              << report->method << "]\n";
+              << DetectorMethodName(report->method) << "]\n";
     if (report->witness.has_value()) {
       std::cout << "  witness document: " << WriteXml(*report->witness)
                 << "\n";

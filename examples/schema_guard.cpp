@@ -6,9 +6,11 @@
 // Build & run:  ./build/examples/schema_guard
 
 #include <iostream>
+#include <memory>
 
 #include "conflict/detector.h"
 #include "dtd/dtd_conflict.h"
+#include "xml/tree_algos.h"
 #include "pattern/xpath_parser.h"
 #include "xml/xml_parser.h"
 #include "xml/xml_writer.h"
@@ -44,7 +46,9 @@ int main() {
   Result<Tree> content = ParseXml("<audit/>", symbols);
   Tree x = std::move(content).value();
 
-  Result<ConflictReport> unrestricted = DetectReadInsert(read, insert, x);
+  Result<ConflictReport> unrestricted = Detect(
+      read, UpdateOp::MakeInsert(insert,
+                                 std::make_shared<const Tree>(CopyTree(x))));
   if (!unrestricted.ok()) {
     std::cerr << "detection error: " << unrestricted.status() << "\n";
     return 1;

@@ -140,14 +140,19 @@ int main(int argc, char** argv) {
       if (argc != 5) return Usage();
       Result<Tree> content = ParseXml(argv[4], symbols);
       if (!content.ok()) return fail(content.status());
-      report = DetectReadInsert(*read, *update, *content);
+      report = Detect(*read,
+                      UpdateOp::MakeInsert(
+                          *update, std::make_shared<const Tree>(
+                                       std::move(content).value())));
     } else {
       if (argc != 4) return Usage();
-      report = DetectReadDelete(*read, *update);
+      Result<UpdateOp> del = UpdateOp::MakeDelete(*update);
+      if (!del.ok()) return fail(del.status());
+      report = Detect(*read, *del);
     }
     if (!report.ok()) return fail(report.status());
     std::cout << ConflictVerdictName(report->verdict) << "  ("
-              << report->method << ")\n";
+              << DetectorMethodName(report->method) << ")\n";
     if (report->witness.has_value()) {
       std::cout << "witness: " << WriteXml(*report->witness) << "\n";
     }

@@ -4,9 +4,30 @@
 #include <unordered_map>
 
 #include "conflict/update_independence.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace xmlup {
 namespace {
+
+/// Analyzer observability: how many statement pairs were examined and how
+/// many candidate ordering edges the conflict verdicts pruned away (the
+/// payoff metric — pruned edges are the parallelism §6 is after).
+struct DependenceMetrics {
+  obs::Counter& pairs_analyzed;
+  obs::Counter& edges_pruned;
+
+  static const DependenceMetrics& Get() {
+    static const DependenceMetrics* const metrics = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+      return new DependenceMetrics{
+          reg.GetCounter("dependence.pairs_analyzed"),
+          reg.GetCounter("dependence.edges_pruned"),
+      };
+    }();
+    return *metrics;
+  }
+};
 
 bool IsUpdate(const Statement& s) {
   return s.kind == Statement::Kind::kInsert ||
@@ -52,17 +73,16 @@ bool DependenceAnalyzer::MustOrder(const Statement& a,
   const Statement& read = a.kind == Statement::Kind::kRead ? a : b;
   const Statement& update = a.kind == Statement::Kind::kRead ? b : a;
 
-  Result<ConflictReport> report =
-      update.kind == Statement::Kind::kInsert
-          ? DetectReadInsert(read.pattern, update.pattern, *update.content,
-                             options_.detector)
-          : DetectReadDelete(read.pattern, update.pattern, options_.detector);
-  if (!report.ok()) return true;  // malformed update: stay conservative
+  std::optional<UpdateOp> op = ToUpdateOp(update);
+  if (!op.has_value()) return true;  // malformed update: stay conservative
+  Result<ConflictReport> report = Detect(read.pattern, *op, options_.detector);
+  if (!report.ok()) return true;
   return report->verdict != ConflictVerdict::kNoConflict;
 }
 
 DependenceAnalysisResult DependenceAnalyzer::Analyze(
     const Program& program) const {
+  obs::TraceSpan span("DependenceAnalyze");
   DependenceAnalysisResult result;
   const auto& statements = program.statements();
 
@@ -131,6 +151,9 @@ DependenceAnalysisResult DependenceAnalyzer::Analyze(
       }
     }
   }
+  const DependenceMetrics& metrics = DependenceMetrics::Get();
+  metrics.pairs_analyzed.Increment(result.pairs_total);
+  metrics.edges_pruned.Increment(result.pairs_independent);
   result.batch_stats = batch_.stats();
   return result;
 }

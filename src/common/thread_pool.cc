@@ -3,7 +3,43 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
+
 namespace xmlup {
+namespace {
+
+/// Pool observability: tasks executed, current queue depth, and per-task
+/// wall time. The gauge is updated under the pool mutex that already
+/// guards the queue, so it is always consistent with queue_.size(); the
+/// histogram is per *task*, which for ParallelFor means per worker-sized
+/// stealing loop, not per iteration.
+struct PoolMetrics {
+  obs::Counter& tasks;
+  obs::Gauge& queue_depth;
+  obs::Histogram& task_us;
+
+  static const PoolMetrics& Get() {
+    static const PoolMetrics* const metrics = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+      return new PoolMetrics{
+          reg.GetCounter("thread_pool.tasks"),
+          reg.GetGauge("thread_pool.queue_depth"),
+          reg.GetHistogram("thread_pool.task_us"),
+      };
+    }();
+    return *metrics;
+  }
+};
+
+void RunTimed(const std::function<void()>& task) {
+  const PoolMetrics& metrics = PoolMetrics::Get();
+  metrics.tasks.Increment();
+  obs::ScopedTimer timer(&metrics.task_us);
+  task();
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads <= 1) return;  // inline mode
@@ -24,13 +60,14 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   if (workers_.empty()) {
-    task();
+    RunTimed(task);
     return;
   }
   {
     std::unique_lock<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
     ++in_flight_;
+    PoolMetrics::Get().queue_depth.Set(static_cast<int64_t>(queue_.size()));
   }
   work_available_.notify_one();
 }
@@ -51,8 +88,9 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // shutting down and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      PoolMetrics::Get().queue_depth.Set(static_cast<int64_t>(queue_.size()));
     }
-    task();
+    RunTimed(task);
     {
       std::unique_lock<std::mutex> lock(mu_);
       if (--in_flight_ == 0) all_done_.notify_all();

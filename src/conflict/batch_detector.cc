@@ -3,11 +3,37 @@
 #include <utility>
 
 #include "conflict/minimize.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
+#include "obs/trace.h"
 #include "pattern/pattern_ops.h"
 #include "xml/isomorphism.h"
 
 namespace xmlup {
 namespace {
+
+/// Batch-engine observability: cache traffic, job counts, and per-job
+/// solve timings (the per-worker task histogram the pool itself cannot
+/// attribute to the batch workload).
+struct BatchMetrics {
+  obs::Counter& pairs_total;
+  obs::Counter& cache_hits;
+  obs::Counter& cache_misses;
+  obs::Histogram& solve_pair_us;
+
+  static const BatchMetrics& Get() {
+    static const BatchMetrics* const metrics = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+      return new BatchMetrics{
+          reg.GetCounter("batch.pairs_total"),
+          reg.GetCounter("batch.cache_hits"),
+          reg.GetCounter("batch.cache_misses"),
+          reg.GetHistogram("batch.solve_pair_us"),
+      };
+    }();
+    return *metrics;
+  }
+};
 
 /// Options that can change a verdict (Unknowns depend on the search
 /// budget) are folded into the cache key, so one engine reconfigured via
@@ -41,13 +67,19 @@ std::string PairKey(const std::string& read_code,
   return key;
 }
 
+/// One job = one unified-facade call on the canonicalized pair.
 Result<ConflictReport> SolvePair(const Pattern& read, const UpdateOp& update,
                                  const Pattern& update_pattern,
                                  const DetectorOptions& options) {
   if (update.kind() == UpdateOp::Kind::kInsert) {
-    return DetectReadInsert(read, update_pattern, update.content(), options);
+    return Detect(read,
+                  UpdateOp::MakeInsert(update_pattern,
+                                       update.shared_content()),
+                  options);
   }
-  return DetectReadDelete(read, update_pattern, options);
+  XMLUP_ASSIGN_OR_RETURN(UpdateOp canonical,
+                         UpdateOp::MakeDelete(update_pattern));
+  return Detect(read, canonical, options);
 }
 
 }  // namespace
@@ -92,7 +124,11 @@ std::vector<SharedConflictResult> BatchConflictDetector::DetectMatrix(
 std::vector<SharedConflictResult> BatchConflictDetector::DetectPairs(
     const std::vector<Pattern>& reads, const std::vector<UpdateOp>& updates,
     const std::vector<ReadUpdatePair>& pairs) {
+  const BatchMetrics& metrics = BatchMetrics::Get();
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Default();
+  obs::TraceSpan batch_span(recorder, "BatchDetectPairs");
   stats_.pairs_total += pairs.size();
+  metrics.pairs_total.Increment(pairs.size());
 
   // Phase 1 — canonicalize every input once, in parallel. Minimization
   // (a quadratic homomorphism fixpoint) is the expensive part; a pattern
@@ -110,24 +146,27 @@ std::vector<SharedConflictResult> BatchConflictDetector::DetectPairs(
   std::vector<std::string> read_codes(n_reads);
   std::vector<std::string> update_codes(n_updates);
   std::vector<std::string> content_codes(n_updates);
-  ParallelFor(pool_.get(), n_reads + n_updates, [&](size_t index) {
-    if (index < n_reads) {
-      if (options_.minimize_patterns) {
-        canonical_reads[index] = MinimizePattern(canonical_reads[index]);
+  {
+    obs::TraceSpan phase_span(recorder, "batch.canonicalize");
+    ParallelFor(pool_.get(), n_reads + n_updates, [&](size_t index) {
+      if (index < n_reads) {
+        if (options_.minimize_patterns) {
+          canonical_reads[index] = MinimizePattern(canonical_reads[index]);
+        }
+        read_codes[index] = CanonicalPatternCode(canonical_reads[index]);
+        return;
       }
-      read_codes[index] = CanonicalPatternCode(canonical_reads[index]);
-      return;
-    }
-    const size_t j = index - n_reads;
-    if (options_.minimize_patterns) {
-      canonical_update_patterns[j] =
-          MinimizePattern(canonical_update_patterns[j]);
-    }
-    update_codes[j] = CanonicalPatternCode(canonical_update_patterns[j]);
-    if (updates[j].kind() == UpdateOp::Kind::kInsert) {
-      content_codes[j] = CanonicalCode(updates[j].content());
-    }
-  });
+      const size_t j = index - n_reads;
+      if (options_.minimize_patterns) {
+        canonical_update_patterns[j] =
+            MinimizePattern(canonical_update_patterns[j]);
+      }
+      update_codes[j] = CanonicalPatternCode(canonical_update_patterns[j]);
+      if (updates[j].kind() == UpdateOp::Kind::kInsert) {
+        content_codes[j] = CanonicalCode(updates[j].content());
+      }
+    });
+  }
 
   // Phase 2 — resolve each pair against the cache (sequential, in pair
   // order, so job creation order is deterministic). With the cache
@@ -145,6 +184,7 @@ std::vector<SharedConflictResult> BatchConflictDetector::DetectPairs(
   // pending[k] is the job that will fill out[k] (kNone if already filled).
   constexpr size_t kNone = static_cast<size_t>(-1);
   std::vector<size_t> pending(pairs.size(), kNone);
+  uint64_t hits_this_call = 0;
   for (size_t k = 0; k < pairs.size(); ++k) {
     const size_t i = pairs[k].read_index;
     const size_t j = pairs[k].update_index;
@@ -156,13 +196,13 @@ std::vector<SharedConflictResult> BatchConflictDetector::DetectPairs(
       auto cached = cache_.find(key);
       if (cached != cache_.end()) {
         out[k] = cached->second;
-        ++stats_.cache_hits;
+        ++hits_this_call;
         continue;
       }
       auto [it, inserted] = job_by_key.emplace(std::move(key), jobs.size());
       if (!inserted) {
         pending[k] = it->second;
-        ++stats_.cache_hits;
+        ++hits_this_call;
         continue;
       }
       jobs.push_back({it->first, i, j, nullptr});
@@ -171,17 +211,52 @@ std::vector<SharedConflictResult> BatchConflictDetector::DetectPairs(
     }
     pending[k] = jobs.size() - 1;
   }
+  stats_.cache_hits += hits_this_call;
+  stats_.cache_misses += jobs.size();
   stats_.unique_pairs_solved += jobs.size();
+  metrics.cache_hits.Increment(hits_this_call);
+  metrics.cache_misses.Increment(jobs.size());
+  // Accounting invariant: every requested pair was either served by the
+  // cache (or deduped onto an in-flight job) or became a job of its own.
+  XMLUP_CHECK(hits_this_call + jobs.size() == pairs.size());
+  XMLUP_CHECK(stats_.cache_hits + stats_.cache_misses == stats_.pairs_total);
 
   // Phase 3 — solve every job on the pool. Each job writes only its own
-  // slot, so the result layout is independent of scheduling.
-  ParallelFor(pool_.get(), jobs.size(), [&](size_t index) {
-    Job& job = jobs[index];
-    job.result = std::make_shared<const Result<ConflictReport>>(
-        SolvePair(canonical_reads[job.read_index], updates[job.update_index],
-                  canonical_update_patterns[job.update_index],
-                  options_.detector));
-  });
+  // slot, so the result layout is independent of scheduling. Trace spans
+  // are buffered per job and merged once after the pool drains — except in
+  // inline mode (num_threads <= 1, no workers), where everything already
+  // runs on the calling thread in order, so per-worker span merging is
+  // skipped and events are recorded directly.
+  const bool inline_mode = pool_->num_workers() == 0;
+  const bool tracing = recorder.enabled();
+  std::vector<obs::TraceEvent> job_events(
+      tracing && !inline_mode ? jobs.size() : 0);
+  {
+    obs::TraceSpan phase_span(recorder, "batch.solve");
+    ParallelFor(pool_.get(), jobs.size(), [&](size_t index) {
+      Job& job = jobs[index];
+      const uint64_t start_us = tracing ? recorder.NowMicros() : 0;
+      obs::ScopedTimer job_timer(&metrics.solve_pair_us);
+      job.result = std::make_shared<const Result<ConflictReport>>(
+          SolvePair(canonical_reads[job.read_index], updates[job.update_index],
+                    canonical_update_patterns[job.update_index],
+                    options_.detector));
+      if (!tracing) return;
+      obs::TraceEvent event;
+      event.name = "batch.solve_pair";
+      event.start_us = start_us;
+      event.dur_us = recorder.NowMicros() - start_us;
+      event.tid = obs::CurrentThreadId();
+      if (inline_mode) {
+        recorder.Record(event);
+      } else {
+        job_events[index] = event;
+      }
+    });
+  }
+  if (tracing && !inline_mode) {
+    recorder.MergeThreadEvents(std::move(job_events));
+  }
 
   // Phase 4 — publish to the cache (deterministic job order) and scatter
   // shared results to every requesting pair.

@@ -9,8 +9,8 @@
 
 #include "common/result.h"
 #include "common/thread_pool.h"
-#include "conflict/commutativity.h"
 #include "conflict/detector.h"
+#include "conflict/update_op.h"
 #include "pattern/pattern.h"
 
 namespace xmlup {
@@ -58,7 +58,11 @@ struct BatchStats {
   /// Pairs answered from the memoization cache (including pairs that
   /// duplicate another pair of the same call).
   uint64_t cache_hits = 0;
+  /// Pairs not served by the cache — each one became a detector job.
+  /// Invariant (checked by the engine): hits + misses == pairs_total.
+  uint64_t cache_misses = 0;
   /// Detector invocations (distinct canonical pairs actually solved).
+  /// Equal to cache_misses: every miss is solved exactly once.
   uint64_t unique_pairs_solved = 0;
 };
 

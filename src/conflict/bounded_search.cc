@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
+#include "obs/trace.h"
 #include "pattern/pattern_ops.h"
 #include "xml/tree_algos.h"
 
@@ -92,9 +95,41 @@ std::vector<Label> SearchAlphabet(const Pattern& read, const Pattern& update,
   return alphabet;
 }
 
+/// NP-path accounting: how many searches ran, how many trees they
+/// enumerated, and how often the budget (shape cap / max_nodes) stopped
+/// them before the space was covered. Counters are bumped once per search
+/// (bulk adds), never inside the per-tree loop.
+struct SearchMetrics {
+  obs::Counter& searches;
+  obs::Counter& trees_checked;
+  obs::Counter& witnesses_found;
+  obs::Counter& truncations;
+  obs::Counter& budget_exhausted;
+  obs::Histogram& latency_us;
+
+  static const SearchMetrics& Get() {
+    static const SearchMetrics* const metrics = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+      return new SearchMetrics{
+          reg.GetCounter("bounded_search.searches"),
+          reg.GetCounter("bounded_search.trees_checked"),
+          reg.GetCounter("bounded_search.witnesses_found"),
+          reg.GetCounter("bounded_search.truncations"),
+          reg.GetCounter("bounded_search.budget_exhausted"),
+          reg.GetHistogram("bounded_search.latency_us"),
+      };
+    }();
+    return *metrics;
+  }
+};
+
 BruteForceResult RunSearch(const Pattern& read, const Pattern& update,
                            const BoundedSearchOptions& options,
                            const std::function<bool(const Tree&)>& is_witness) {
+  const SearchMetrics& metrics = SearchMetrics::Get();
+  metrics.searches.Increment();
+  obs::ScopedTimer timer(&metrics.latency_us);
+  obs::TraceSpan span("BruteForceSearch");
   BruteForceResult result;
   TreeEnumerator enumerator(read.symbols(),
                             SearchAlphabet(read, update, options.extra_labels),
@@ -109,10 +144,18 @@ BruteForceResult RunSearch(const Pattern& read, const Pattern& update,
     return true;
   });
   result.truncated = enumerator.truncated();
-  if (result.outcome == SearchOutcome::kWitnessFound) return result;
+  metrics.trees_checked.Increment(result.trees_checked);
+  if (result.truncated) metrics.truncations.Increment();
+  if (result.outcome == SearchOutcome::kWitnessFound) {
+    metrics.witnesses_found.Increment();
+    return result;
+  }
   result.outcome = (completed && !enumerator.truncated())
                        ? SearchOutcome::kExhaustedNoWitness
                        : SearchOutcome::kBudgetExceeded;
+  if (result.outcome == SearchOutcome::kBudgetExceeded) {
+    metrics.budget_exhausted.Increment();
+  }
   return result;
 }
 

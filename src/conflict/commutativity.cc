@@ -8,34 +8,6 @@
 
 namespace xmlup {
 
-UpdateOp::UpdateOp(Kind kind, Pattern pattern,
-                   std::shared_ptr<const Tree> content)
-    : kind_(kind), pattern_(std::move(pattern)), content_(std::move(content)) {}
-
-UpdateOp UpdateOp::MakeInsert(Pattern pattern,
-                              std::shared_ptr<const Tree> content) {
-  XMLUP_CHECK(content != nullptr && content->has_root());
-  return UpdateOp(Kind::kInsert, std::move(pattern), std::move(content));
-}
-
-Result<UpdateOp> UpdateOp::MakeDelete(Pattern pattern) {
-  if (pattern.output() == pattern.root()) {
-    return Status::InvalidArgument("delete pattern must not select the root");
-  }
-  return UpdateOp(Kind::kDelete, std::move(pattern), nullptr);
-}
-
-void UpdateOp::ApplyInPlace(Tree* t) const {
-  const std::vector<NodeId> points = Evaluate(pattern_, *t);
-  if (kind_ == Kind::kInsert) {
-    for (NodeId p : points) t->GraftCopy(p, *content_, content_->root());
-  } else {
-    for (NodeId p : points) {
-      if (t->alive(p)) t->DeleteSubtree(p);
-    }
-  }
-}
-
 bool UpdatesCommuteOn(const Tree& t, const UpdateOp& o1, const UpdateOp& o2) {
   Tree order12 = CopyTree(t);
   o2.ApplyInPlace(&order12);

@@ -1,10 +1,9 @@
 #ifndef XMLUP_CONFLICT_COMMUTATIVITY_H_
 #define XMLUP_CONFLICT_COMMUTATIVITY_H_
 
-#include <memory>
-
 #include "common/result.h"
 #include "conflict/bounded_search.h"
+#include "conflict/update_op.h"
 #include "pattern/pattern.h"
 #include "xml/tree.h"
 
@@ -15,33 +14,8 @@ namespace xmlup {
 /// differs from o2(o1(t)) for some tree t. As the paper notes, node
 /// identity of inserted clones is ill-defined across orderings, so the
 /// natural comparison is value-based (tree isomorphism); that is what we
-/// implement.
-
-/// A single update operation for commutativity analysis.
-class UpdateOp {
- public:
-  enum class Kind { kInsert, kDelete };
-
-  static UpdateOp MakeInsert(Pattern pattern,
-                             std::shared_ptr<const Tree> content);
-  /// Fails if the delete pattern selects the root.
-  static Result<UpdateOp> MakeDelete(Pattern pattern);
-
-  Kind kind() const { return kind_; }
-  const Pattern& pattern() const { return pattern_; }
-  const Tree& content() const { return *content_; }
-
-  /// Applies this update in place (reference semantics: evaluate first,
-  /// then mutate).
-  void ApplyInPlace(Tree* t) const;
-
- private:
-  UpdateOp(Kind kind, Pattern pattern, std::shared_ptr<const Tree> content);
-
-  Kind kind_;
-  Pattern pattern_;
-  std::shared_ptr<const Tree> content_;
-};
+/// implement. The UpdateOp value type lives in conflict/update_op.h,
+/// shared with the detector facade and the batch engine.
 
 /// True iff o1(o2(t)) ≅ o2(o1(t)) (whole-tree isomorphism). Polynomial —
 /// the Lemma 1 analogue for update-update conflicts.

@@ -3,11 +3,75 @@
 #include "conflict/read_delete.h"
 #include "conflict/read_insert.h"
 #include "conflict/witness_build.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
+#include "obs/trace.h"
 #include "pattern/pattern_ops.h"
 #include "xml/tree_algos.h"
 
 namespace xmlup {
 namespace {
+
+/// Detector-level observability: per-verdict and per-method counters, the
+/// linear-vs-bounded dispatch split, and an end-to-end latency histogram.
+/// References are resolved once; the steady-state cost per Detect() call
+/// is a handful of relaxed atomic adds.
+struct DetectorMetrics {
+  obs::Counter& calls;
+  obs::Counter& dispatch_linear;
+  obs::Counter& dispatch_branching;
+  obs::Counter& verdict_conflict;
+  obs::Counter& verdict_no_conflict;
+  obs::Counter& verdict_unknown;
+  obs::Counter& method_linear;
+  obs::Counter& method_mainline;
+  obs::Counter& method_bounded;
+  obs::Histogram& latency_us;
+
+  static const DetectorMetrics& Get() {
+    static const DetectorMetrics* const metrics = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+      return new DetectorMetrics{
+          reg.GetCounter("detector.calls"),
+          reg.GetCounter("detector.dispatch.linear"),
+          reg.GetCounter("detector.dispatch.branching"),
+          reg.GetCounter("detector.verdict.conflict"),
+          reg.GetCounter("detector.verdict.no_conflict"),
+          reg.GetCounter("detector.verdict.unknown"),
+          reg.GetCounter("detector.method.linear_ptime"),
+          reg.GetCounter("detector.method.mainline_heuristic"),
+          reg.GetCounter("detector.method.bounded_search"),
+          reg.GetHistogram("detector.latency_us"),
+      };
+    }();
+    return *metrics;
+  }
+};
+
+void CountReport(const DetectorMetrics& metrics, const ConflictReport& report) {
+  switch (report.verdict) {
+    case ConflictVerdict::kConflict:
+      metrics.verdict_conflict.Increment();
+      break;
+    case ConflictVerdict::kNoConflict:
+      metrics.verdict_no_conflict.Increment();
+      break;
+    case ConflictVerdict::kUnknown:
+      metrics.verdict_unknown.Increment();
+      break;
+  }
+  switch (report.method) {
+    case DetectorMethod::kLinearPtime:
+      metrics.method_linear.Increment();
+      break;
+    case DetectorMethod::kMainlineHeuristic:
+      metrics.method_mainline.Increment();
+      break;
+    case DetectorMethod::kBoundedSearch:
+      metrics.method_bounded.Increment();
+      break;
+  }
+}
 
 /// Heuristic fast path for branching reads: run the complete linear
 /// algorithm on the read's mainline; if that conflicts, extend its witness
@@ -17,29 +81,28 @@ namespace {
 /// to the bounded search.
 template <typename VerifyFn>
 std::optional<Tree> TryMainlineWitness(const Pattern& read,
-                                       const LinearConflictReport& linear,
+                                       const ConflictReport& linear,
                                        const VerifyFn& is_witness) {
-  if (!linear.conflict || !linear.witness.has_value()) return std::nullopt;
+  if (!linear.conflict() || !linear.witness.has_value()) return std::nullopt;
   Tree candidate = CopyTree(*linear.witness);
   GraftBranchModelsEverywhere(&candidate, read);
   if (is_witness(candidate)) return candidate;
   return std::nullopt;
 }
 
-ConflictReport FromLinear(LinearConflictReport linear) {
+ConflictReport MainlineHeuristicReport(Tree witness) {
   ConflictReport report;
-  report.verdict = linear.conflict ? ConflictVerdict::kConflict
-                                   : ConflictVerdict::kNoConflict;
-  report.witness = std::move(linear.witness);
-  report.method = "linear-ptime";
-  if (!linear.detail.empty()) report.method += " (" + linear.detail + ")";
+  report.verdict = ConflictVerdict::kConflict;
+  report.witness = std::move(witness);
+  report.method = DetectorMethod::kMainlineHeuristic;
+  report.detail = "mainline witness extended with branch models";
   return report;
 }
 
 ConflictReport FromSearch(BruteForceResult search, size_t paper_bound,
                           size_t searched_bound) {
   ConflictReport report;
-  report.method = "bounded-search";
+  report.method = DetectorMethod::kBoundedSearch;
   report.trees_checked = search.trees_checked;
   switch (search.outcome) {
     case SearchOutcome::kWitnessFound:
@@ -63,34 +126,20 @@ ConflictReport FromSearch(BruteForceResult search, size_t paper_bound,
   return report;
 }
 
-}  // namespace
-
-std::string_view ConflictVerdictName(ConflictVerdict verdict) {
-  switch (verdict) {
-    case ConflictVerdict::kConflict:
-      return "conflict";
-    case ConflictVerdict::kNoConflict:
-      return "no-conflict";
-    case ConflictVerdict::kUnknown:
-      return "unknown";
-  }
-  return "?";
-}
-
-Result<ConflictReport> DetectReadInsert(const Pattern& read,
+Result<ConflictReport> DetectInsertImpl(const Pattern& read,
                                         const Pattern& insert_pattern,
                                         const Tree& inserted,
                                         const DetectorOptions& options) {
+  const DetectorMetrics& metrics = DetectorMetrics::Get();
   if (read.IsLinear()) {
-    XMLUP_ASSIGN_OR_RETURN(
-        LinearConflictReport linear,
-        DetectReadInsertConflictLinear(read, insert_pattern, inserted,
-                                       options.semantics, options.matcher));
-    return FromLinear(std::move(linear));
+    metrics.dispatch_linear.Increment();
+    return DetectReadInsertConflictLinear(read, insert_pattern, inserted,
+                                          options.semantics, options.matcher);
   }
+  metrics.dispatch_branching.Increment();
   // Heuristic: conflict of the read's mainline often extends to the full
   // branching read once its predicates are satisfiable everywhere.
-  Result<LinearConflictReport> mainline_report =
+  Result<ConflictReport> mainline_report =
       DetectReadInsertConflictLinear(Mainline(read), insert_pattern, inserted,
                                      options.semantics, options.matcher);
   if (mainline_report.ok()) {
@@ -100,11 +149,7 @@ Result<ConflictReport> DetectReadInsert(const Pattern& read,
                                      options.semantics);
         });
     if (candidate.has_value()) {
-      ConflictReport report;
-      report.verdict = ConflictVerdict::kConflict;
-      report.witness = std::move(candidate);
-      report.method = "mainline-heuristic";
-      return report;
+      return MainlineHeuristicReport(std::move(*candidate));
     }
   }
   BruteForceResult search = BruteForceReadInsertSearch(
@@ -114,20 +159,20 @@ Result<ConflictReport> DetectReadInsert(const Pattern& read,
                     options.search.max_nodes);
 }
 
-Result<ConflictReport> DetectReadDelete(const Pattern& read,
+Result<ConflictReport> DetectDeleteImpl(const Pattern& read,
                                         const Pattern& delete_pattern,
                                         const DetectorOptions& options) {
   if (delete_pattern.output() == delete_pattern.root()) {
     return Status::InvalidArgument("delete pattern must not select the root");
   }
+  const DetectorMetrics& metrics = DetectorMetrics::Get();
   if (read.IsLinear()) {
-    XMLUP_ASSIGN_OR_RETURN(
-        LinearConflictReport linear,
-        DetectReadDeleteConflictLinear(read, delete_pattern,
-                                       options.semantics, options.matcher));
-    return FromLinear(std::move(linear));
+    metrics.dispatch_linear.Increment();
+    return DetectReadDeleteConflictLinear(read, delete_pattern,
+                                          options.semantics, options.matcher);
   }
-  Result<LinearConflictReport> mainline_report =
+  metrics.dispatch_branching.Increment();
+  Result<ConflictReport> mainline_report =
       DetectReadDeleteConflictLinear(Mainline(read), delete_pattern,
                                      options.semantics, options.matcher);
   if (mainline_report.ok()) {
@@ -137,11 +182,7 @@ Result<ConflictReport> DetectReadDelete(const Pattern& read,
                                      options.semantics);
         });
     if (candidate.has_value()) {
-      ConflictReport report;
-      report.verdict = ConflictVerdict::kConflict;
-      report.witness = std::move(candidate);
-      report.method = "mainline-heuristic";
-      return report;
+      return MainlineHeuristicReport(std::move(*candidate));
     }
   }
   BruteForceResult search = BruteForceReadDeleteSearch(
@@ -149,6 +190,45 @@ Result<ConflictReport> DetectReadDelete(const Pattern& read,
   return FromSearch(std::move(search),
                     PaperWitnessBound(read, delete_pattern),
                     options.search.max_nodes);
+}
+
+}  // namespace
+
+Result<ConflictReport> Detect(const Pattern& read, const UpdateOp& update,
+                              const DetectorOptions& options) {
+  const DetectorMetrics& metrics = DetectorMetrics::Get();
+  metrics.calls.Increment();
+  obs::ScopedTimer timer(&metrics.latency_us);
+  obs::TraceSpan span("Detect");
+  Result<ConflictReport> result = update.Visit(
+      [&](const UpdateOp::InsertDesc& insert) -> Result<ConflictReport> {
+        return DetectInsertImpl(read, insert.pattern, *insert.content,
+                                options);
+      },
+      [&](const UpdateOp::DeleteDesc& del) -> Result<ConflictReport> {
+        return DetectDeleteImpl(read, del.pattern, options);
+      });
+  if (result.ok()) CountReport(metrics, *result);
+  return result;
+}
+
+Result<ConflictReport> DetectReadInsert(const Pattern& read,
+                                        const Pattern& insert_pattern,
+                                        const Tree& inserted,
+                                        const DetectorOptions& options) {
+  return Detect(read,
+                UpdateOp::MakeInsert(
+                    insert_pattern,
+                    std::make_shared<const Tree>(CopyTree(inserted))),
+                options);
+}
+
+Result<ConflictReport> DetectReadDelete(const Pattern& read,
+                                        const Pattern& delete_pattern,
+                                        const DetectorOptions& options) {
+  XMLUP_ASSIGN_OR_RETURN(UpdateOp update,
+                         UpdateOp::MakeDelete(delete_pattern));
+  return Detect(read, update, options);
 }
 
 }  // namespace xmlup

@@ -1,40 +1,16 @@
 #ifndef XMLUP_CONFLICT_DETECTOR_H_
 #define XMLUP_CONFLICT_DETECTOR_H_
 
-#include <optional>
-#include <string>
-
 #include "common/result.h"
 #include "conflict/bounded_search.h"
+#include "conflict/report.h"
+#include "conflict/update_op.h"
 #include "conflict/witness_check.h"
 #include "match/matching.h"
 #include "pattern/pattern.h"
 #include "xml/tree.h"
 
 namespace xmlup {
-
-/// Verdict of the unified detector. The problem is NP-complete in general
-/// (§5), so for branching reads the detector may legitimately answer
-/// kUnknown when its search budget is exhausted before the paper's witness
-/// bound is covered.
-enum class ConflictVerdict {
-  kConflict,
-  kNoConflict,
-  kUnknown,
-};
-
-std::string_view ConflictVerdictName(ConflictVerdict verdict);
-
-struct ConflictReport {
-  ConflictVerdict verdict = ConflictVerdict::kUnknown;
-  /// Set when verdict == kConflict: a verified witness tree.
-  std::optional<Tree> witness;
-  /// Which strategy decided: "linear-ptime" (Theorems 1-2, complete) or
-  /// "bounded-search" (§5 NP path).
-  std::string method;
-  /// Trees enumerated by the bounded search (0 for the linear path).
-  uint64_t trees_checked = 0;
-};
 
 struct DetectorOptions {
   ConflictSemantics semantics = ConflictSemantics::kNode;
@@ -43,15 +19,33 @@ struct DetectorOptions {
   BoundedSearchOptions search;
 };
 
-/// Unified read-insert conflict detection: dispatches to the polynomial
-/// algorithm when the read pattern is linear (complete — Corollary 2), and
-/// to bounded witness search otherwise.
+/// Unified read-update conflict detection — the one entry point of the
+/// detector stack. Dispatches on the update's kind and the read's shape:
+///   - linear read: the complete polynomial algorithms (Theorems 1-2,
+///     Corollaries 1-2) — method kLinearPtime, definitive verdict;
+///   - branching read: the sound mainline heuristic first (method
+///     kMainlineHeuristic on success), then bounded witness search
+///     (method kBoundedSearch), which may answer kUnknown when the budget
+///     does not cover the paper's witness bound.
+///
+/// Per-call verdict/method counters and a latency histogram are reported
+/// into obs::MetricsRegistry::Default(); a "Detect" span is recorded when
+/// obs::TraceRecorder::Default() is enabled.
+Result<ConflictReport> Detect(const Pattern& read, const UpdateOp& update,
+                              const DetectorOptions& options = {});
+
+/// Deprecated pre-facade entry point: wraps the arguments in an insert
+/// UpdateOp (copying `inserted` into shared content) and calls Detect().
+/// New code should build an UpdateOp once and call Detect() directly.
+[[deprecated("use Detect(read, UpdateOp::MakeInsert(...), options)")]]
 Result<ConflictReport> DetectReadInsert(const Pattern& read,
                                         const Pattern& insert_pattern,
                                         const Tree& inserted,
                                         const DetectorOptions& options = {});
 
-/// Unified read-delete conflict detection (Corollary 1 fast path).
+/// Deprecated pre-facade entry point: wraps the arguments in a delete
+/// UpdateOp and calls Detect().
+[[deprecated("use Detect(read, UpdateOp::MakeDelete(...), options)")]]
 Result<ConflictReport> DetectReadDelete(const Pattern& read,
                                         const Pattern& delete_pattern,
                                         const DetectorOptions& options = {});

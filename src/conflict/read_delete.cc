@@ -76,7 +76,7 @@ Result<Tree> BuildSubtreeModificationWitness(const Pattern& read,
 
 }  // namespace
 
-Result<LinearConflictReport> DetectReadDeleteConflictLinear(
+Result<ConflictReport> DetectReadDeleteConflictLinear(
     const Pattern& read, const Pattern& delete_pattern,
     ConflictSemantics semantics, MatcherKind matcher, bool build_witness) {
   if (!read.IsLinear()) {
@@ -91,7 +91,9 @@ Result<LinearConflictReport> DetectReadDeleteConflictLinear(
   // Corollary 1: only the delete's mainline matters.
   const Pattern mainline = Mainline(delete_pattern);
 
-  LinearConflictReport report;
+  ConflictReport report;
+  report.verdict = ConflictVerdict::kNoConflict;
+  report.method = DetectorMethod::kLinearPtime;
 
   // Lemma 3: scan the read's edges.
   for (PatternNodeId n_prime : read.PreOrder()) {
@@ -106,7 +108,7 @@ Result<LinearConflictReport> DetectReadDeleteConflictLinear(
                         matcher);
     }
     if (!match.matches) continue;
-    report.conflict = true;
+    report.verdict = ConflictVerdict::kConflict;
     report.detail =
         std::string("node conflict via ") +
         (read.axis(n_prime) == Axis::kDescendant ? "descendant" : "child") +
@@ -128,7 +130,7 @@ Result<LinearConflictReport> DetectReadDeleteConflictLinear(
   // read result, modifying the returned subtree.
   MatchResult below = MatchWeakly(mainline, read, matcher);
   if (below.matches) {
-    report.conflict = true;
+    report.verdict = ConflictVerdict::kConflict;
     report.detail = "subtree-modification conflict (D weakly matches R)";
     if (build_witness) {
       XMLUP_ASSIGN_OR_RETURN(

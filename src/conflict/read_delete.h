@@ -27,7 +27,9 @@ namespace xmlup {
 /// On conflict, a witness tree is constructed per the Lemma 3/4 proofs and
 /// re-validated with the Lemma 1 checker; a verification failure (a library
 /// bug) surfaces as an Internal error.
-Result<LinearConflictReport> DetectReadDeleteConflictLinear(
+/// Returns a ConflictReport with method == kLinearPtime and a definitive
+/// verdict (the linear algorithms are complete — never kUnknown).
+Result<ConflictReport> DetectReadDeleteConflictLinear(
     const Pattern& read, const Pattern& delete_pattern,
     ConflictSemantics semantics = ConflictSemantics::kNode,
     MatcherKind matcher = MatcherKind::kNfa,

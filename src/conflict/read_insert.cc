@@ -60,7 +60,7 @@ Result<Tree> BuildSubtreeModificationWitness(const Pattern& read,
 
 }  // namespace
 
-Result<LinearConflictReport> DetectReadInsertConflictLinear(
+Result<ConflictReport> DetectReadInsertConflictLinear(
     const Pattern& read, const Pattern& insert_pattern, const Tree& inserted,
     ConflictSemantics semantics, MatcherKind matcher, bool build_witness) {
   if (!read.IsLinear()) {
@@ -74,7 +74,9 @@ Result<LinearConflictReport> DetectReadInsertConflictLinear(
   // Corollary 2: only the insert's mainline matters.
   const Pattern mainline = Mainline(insert_pattern);
 
-  LinearConflictReport report;
+  ConflictReport report;
+  report.verdict = ConflictVerdict::kNoConflict;
+  report.method = DetectorMethod::kLinearPtime;
 
   // Lemmas 5-7: scan the read's edges for a cut edge.
   for (PatternNodeId n_prime : read.PreOrder()) {
@@ -96,7 +98,7 @@ Result<LinearConflictReport> DetectReadInsertConflictLinear(
       }
     }
     if (!match.matches || !suffix_ok) continue;
-    report.conflict = true;
+    report.verdict = ConflictVerdict::kConflict;
     report.detail =
         std::string("cut edge (") +
         (read.axis(n_prime) == Axis::kDescendant ? "descendant" : "child") +
@@ -116,7 +118,7 @@ Result<LinearConflictReport> DetectReadInsertConflictLinear(
   // modifies the returned subtree (paper REMARKS after Theorem 2).
   MatchResult below = MatchWeakly(mainline, read, matcher);
   if (below.matches) {
-    report.conflict = true;
+    report.verdict = ConflictVerdict::kConflict;
     report.detail = "subtree-modification conflict (I weakly matches R)";
     if (build_witness) {
       XMLUP_ASSIGN_OR_RETURN(

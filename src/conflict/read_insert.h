@@ -27,7 +27,9 @@ namespace xmlup {
 /// result (I' weakly matched by the whole read); value semantics coincides
 /// (Lemma 2). Witnesses are constructed per the proofs and re-validated
 /// with the Lemma 1 checker.
-Result<LinearConflictReport> DetectReadInsertConflictLinear(
+/// Returns a ConflictReport with method == kLinearPtime and a definitive
+/// verdict (the linear algorithms are complete — never kUnknown).
+Result<ConflictReport> DetectReadInsertConflictLinear(
     const Pattern& read, const Pattern& insert_pattern, const Tree& inserted,
     ConflictSemantics semantics = ConflictSemantics::kNode,
     MatcherKind matcher = MatcherKind::kNfa,

@@ -9,11 +9,7 @@ Result<ConflictReport> PatternVsUpdate(const Pattern& read,
                                        const UpdateOp& update,
                                        DetectorOptions options) {
   options.semantics = ConflictSemantics::kNode;
-  if (update.kind() == UpdateOp::Kind::kInsert) {
-    return DetectReadInsert(read, update.pattern(), update.content(),
-                            options);
-  }
-  return DetectReadDelete(read, update.pattern(), options);
+  return Detect(read, update, options);
 }
 
 }  // namespace

@@ -1,0 +1,53 @@
+#include "conflict/update_op.h"
+
+#include "common/check.h"
+#include "eval/evaluator.h"
+
+namespace xmlup {
+
+UpdateOp::UpdateOp(std::variant<InsertDesc, DeleteDesc> op)
+    : op_(std::move(op)) {}
+
+UpdateOp UpdateOp::MakeInsert(Pattern pattern,
+                              std::shared_ptr<const Tree> content) {
+  XMLUP_CHECK(content != nullptr && content->has_root());
+  return UpdateOp(InsertDesc{std::move(pattern), std::move(content)});
+}
+
+Result<UpdateOp> UpdateOp::MakeDelete(Pattern pattern) {
+  if (pattern.output() == pattern.root()) {
+    return Status::InvalidArgument("delete pattern must not select the root");
+  }
+  return UpdateOp(DeleteDesc{std::move(pattern)});
+}
+
+const Pattern& UpdateOp::pattern() const {
+  return Visit([](const InsertDesc& i) -> const Pattern& { return i.pattern; },
+               [](const DeleteDesc& d) -> const Pattern& { return d.pattern; });
+}
+
+const Tree& UpdateOp::content() const { return *shared_content(); }
+
+const std::shared_ptr<const Tree>& UpdateOp::shared_content() const {
+  const InsertDesc* insert = std::get_if<InsertDesc>(&op_);
+  XMLUP_CHECK(insert != nullptr);  // content() is insert-only
+  return insert->content;
+}
+
+void UpdateOp::ApplyInPlace(Tree* t) const {
+  Visit(
+      [t](const InsertDesc& insert) {
+        const std::vector<NodeId> points = Evaluate(insert.pattern, *t);
+        for (NodeId p : points) {
+          t->GraftCopy(p, *insert.content, insert.content->root());
+        }
+      },
+      [t](const DeleteDesc& del) {
+        const std::vector<NodeId> points = Evaluate(del.pattern, *t);
+        for (NodeId p : points) {
+          if (t->alive(p)) t->DeleteSubtree(p);
+        }
+      });
+}
+
+}  // namespace xmlup

@@ -1,0 +1,77 @@
+#ifndef XMLUP_CONFLICT_UPDATE_OP_H_
+#define XMLUP_CONFLICT_UPDATE_OP_H_
+
+#include <memory>
+#include <variant>
+
+#include "common/result.h"
+#include "pattern/pattern.h"
+#include "xml/tree.h"
+
+namespace xmlup {
+
+/// A single update operation — the paper's INSERT_{p,X} or DELETE_p — as a
+/// value type shared by the unified detector facade (conflict/detector.h),
+/// the batch engine, commutativity analysis and the dependence analyzer.
+///
+/// Internally a std::variant over the two descriptions, so adding an
+/// update kind extends one alternative (and the compiler flags every
+/// switch that must learn about it) instead of widening a Kind/nullable-
+/// field bundle. Inserted content is a shared_ptr so UpdateOp stays
+/// cheaply copyable.
+class UpdateOp {
+ public:
+  enum class Kind { kInsert, kDelete };
+
+  /// INSERT_{p,X}: grafts a fresh copy of `content` under every node
+  /// selected by `pattern`.
+  struct InsertDesc {
+    Pattern pattern;
+    std::shared_ptr<const Tree> content;
+  };
+
+  /// DELETE_p: removes the subtree rooted at every selected node. The
+  /// pattern must not select the root (O(p) != ROOT(p)).
+  struct DeleteDesc {
+    Pattern pattern;
+  };
+
+  static UpdateOp MakeInsert(Pattern pattern,
+                             std::shared_ptr<const Tree> content);
+  /// Fails if the delete pattern selects the root.
+  static Result<UpdateOp> MakeDelete(Pattern pattern);
+
+  Kind kind() const {
+    return std::holds_alternative<InsertDesc>(op_) ? Kind::kInsert
+                                                   : Kind::kDelete;
+  }
+
+  const Pattern& pattern() const;
+  /// Insert-only; checks.
+  const Tree& content() const;
+  const std::shared_ptr<const Tree>& shared_content() const;
+
+  /// Visitor access to the underlying variant, e.g.
+  ///   op.Visit([](const UpdateOp::InsertDesc& i) {...},
+  ///            [](const UpdateOp::DeleteDesc& d) {...});
+  template <typename... Fns>
+  decltype(auto) Visit(Fns&&... fns) const {
+    struct Overloaded : std::decay_t<Fns>... {
+      using std::decay_t<Fns>::operator()...;
+    };
+    return std::visit(Overloaded{std::forward<Fns>(fns)...}, op_);
+  }
+
+  /// Applies this update in place (reference semantics: evaluate first,
+  /// then mutate).
+  void ApplyInPlace(Tree* t) const;
+
+ private:
+  explicit UpdateOp(std::variant<InsertDesc, DeleteDesc> op);
+
+  std::variant<InsertDesc, DeleteDesc> op_;
+};
+
+}  // namespace xmlup
+
+#endif  // XMLUP_CONFLICT_UPDATE_OP_H_

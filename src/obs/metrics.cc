@@ -1,0 +1,168 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <limits>
+
+namespace xmlup {
+namespace obs {
+namespace {
+
+/// Minimal JSON string escaping (metric names are plain identifiers, but a
+/// serializer that cannot corrupt its output is cheap insurance).
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+uint64_t Histogram::BucketUpperBound(size_t index) {
+  if (index == 0) return 0;
+  if (index >= kNumBuckets - 1) return std::numeric_limits<uint64_t>::max();
+  return (uint64_t{1} << index) - 1;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, name);
+    out.push_back(':');
+    out += std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, name);
+    out.push_back(':');
+    out += std::to_string(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, data] : histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, name);
+    out += ":{\"count\":";
+    out += std::to_string(data.count);
+    out += ",\"sum\":";
+    out += std::to_string(data.sum);
+    out += ",\"buckets\":[";
+    bool first_bucket = true;
+    for (const auto& [le, n] : data.buckets) {
+      if (!first_bucket) out.push_back(',');
+      first_bucket = false;
+      out.push_back('[');
+      // The tail bucket's bound is UINT64_MAX; emit -1 so consumers do not
+      // have to parse a value JSON numbers cannot represent exactly.
+      out += le == std::numeric_limits<uint64_t>::max() ? "-1"
+                                                        : std::to_string(le);
+      out.push_back(',');
+      out += std::to_string(n);
+      out.push_back(']');
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.count = histogram->count();
+    data.sum = histogram->sum();
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      const uint64_t n = histogram->bucket(i);
+      if (n != 0) data.buckets.emplace_back(Histogram::BucketUpperBound(i), n);
+    }
+    snapshot.histograms.emplace(name, std::move(data));
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace obs
+}  // namespace xmlup

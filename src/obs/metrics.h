@@ -1,0 +1,168 @@
+#ifndef XMLUP_OBS_METRICS_H_
+#define XMLUP_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xmlup {
+namespace obs {
+
+/// Dependency-free metrics for the detector stack. Hot-path updates are
+/// single relaxed atomic operations (lock-free, no allocation); reads go
+/// through snapshot-on-read so a scrape never blocks an increment.
+///
+/// Compile with -DXMLUP_OBS_DISABLED to turn every update into a no-op the
+/// optimizer deletes; the API (and all call sites) stay unchanged.
+///
+/// Metric objects are owned by a MetricsRegistry and live for the life of
+/// the registry — call sites may cache `Counter&` references in function-
+/// local statics, which makes the steady-state cost of a named counter one
+/// atomic add.
+
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+#ifndef XMLUP_OBS_DISABLED
+    value_.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(int64_t v) {
+#ifndef XMLUP_OBS_DISABLED
+    value_.store(v, std::memory_order_relaxed);
+#else
+    (void)v;
+#endif
+  }
+
+  void Add(int64_t delta) {
+#ifndef XMLUP_OBS_DISABLED
+    value_.fetch_add(delta, std::memory_order_relaxed);
+#else
+    (void)delta;
+#endif
+  }
+
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Exponential (power-of-two) histogram: bucket i counts observations v
+/// with std::bit_width(v) == i, i.e. bucket 0 holds v == 0 and bucket
+/// i >= 1 holds v in [2^(i-1), 2^i - 1]; the last bucket absorbs the tail.
+/// 40 buckets cover ~12 days at microsecond resolution, plenty for latency
+/// and size distributions alike.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 40;
+
+  static size_t BucketIndex(uint64_t value) {
+    const size_t width = static_cast<size_t>(std::bit_width(value));
+    return width < kNumBuckets ? width : kNumBuckets - 1;
+  }
+
+  /// Inclusive upper bound of bucket i (UINT64_MAX for the tail bucket).
+  static uint64_t BucketUpperBound(size_t index);
+
+  void Observe(uint64_t value) {
+#ifndef XMLUP_OBS_DISABLED
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+#else
+    (void)value;
+#endif
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket(size_t index) const {
+    return buckets_[index].load(std::memory_order_relaxed);
+  }
+
+  void Reset();
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// Point-in-time copy of every registered metric. Plain data — safe to
+/// serialize, diff, or ship across threads.
+struct MetricsSnapshot {
+  struct HistogramData {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    /// Sparse: only non-empty buckets, as (inclusive upper bound, count).
+    std::vector<std::pair<uint64_t, uint64_t>> buckets;
+  };
+
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name:
+  /// {"count":..,"sum":..,"buckets":[[le,n],...]}}}
+  std::string ToJson() const;
+};
+
+/// Named metric registry. Registration (first Get* for a name) takes a
+/// mutex; subsequent updates through the returned reference are lock-free.
+/// Returned references stay valid for the registry's lifetime — Reset()
+/// zeroes values but never invalidates them.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every metric (registrations and cached references survive).
+  void Reset();
+
+  /// The process-wide registry the detector stack reports into. Never
+  /// destroyed (intentionally leaked), so references are safe in atexit
+  /// paths and detached threads.
+  static MetricsRegistry& Default();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace xmlup
+
+#endif  // XMLUP_OBS_METRICS_H_

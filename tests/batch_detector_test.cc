@@ -2,10 +2,12 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <tuple>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "obs/trace.h"
 #include "tests/test_util.h"
 
 namespace xmlup {
@@ -80,7 +82,8 @@ class BatchDetectorTest : public ::testing::Test {
         continue;
       }
       const ConflictReport& report = **cell;
-      out.emplace_back(static_cast<int>(report.verdict), report.method,
+      out.emplace_back(static_cast<int>(report.verdict),
+                       std::string(DetectorMethodName(report.method)),
                        report.trees_checked);
     }
     return out;
@@ -126,8 +129,8 @@ TEST_F(BatchDetectorTest, CacheOnAndOffProduceIdenticalVerdicts) {
 
 TEST_F(BatchDetectorTest, CachedResultsMatchFreshSinglePairCalls) {
   // Cross-check every cell (cache hits included) against a fresh
-  // DetectReadInsert/DetectReadDelete call. minimize=false so the batch
-  // engine solves the very same patterns as the fresh calls.
+  // single-pair Detect() call. minimize=false so the batch engine solves
+  // the very same patterns as the fresh calls.
   const std::vector<Pattern> reads = Reads();
   const std::vector<UpdateOp> updates = Updates();
   const BatchDetectorOptions options = Options(4, true, /*minimize=*/false);
@@ -136,12 +139,8 @@ TEST_F(BatchDetectorTest, CachedResultsMatchFreshSinglePairCalls) {
   ASSERT_GT(engine.stats().cache_hits, 0u);  // workload repeats patterns
   for (size_t i = 0; i < reads.size(); ++i) {
     for (size_t j = 0; j < updates.size(); ++j) {
-      const UpdateOp& update = updates[j];
       Result<ConflictReport> fresh =
-          update.kind() == UpdateOp::Kind::kInsert
-              ? DetectReadInsert(reads[i], update.pattern(), update.content(),
-                                 options.detector)
-              : DetectReadDelete(reads[i], update.pattern(), options.detector);
+          Detect(reads[i], updates[j], options.detector);
       const SharedConflictResult& cell = matrix[i * updates.size() + j];
       ASSERT_TRUE(fresh.ok() && cell->ok());
       EXPECT_EQ((*cell)->verdict, fresh->verdict) << "cell " << i << "," << j;
@@ -158,7 +157,8 @@ TEST_F(BatchDetectorTest, CacheAccountingAddsUp) {
   engine.DetectMatrix(reads, updates);
   const BatchStats& stats = engine.stats();
   EXPECT_EQ(stats.pairs_total, reads.size() * updates.size());
-  EXPECT_EQ(stats.cache_hits + stats.unique_pairs_solved, stats.pairs_total);
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.pairs_total);
+  EXPECT_EQ(stats.cache_misses, stats.unique_pairs_solved);
   // Repeated reads ("a//b" three times) and updates guarantee real reuse.
   EXPECT_LT(stats.unique_pairs_solved, stats.pairs_total);
 
@@ -166,10 +166,14 @@ TEST_F(BatchDetectorTest, CacheAccountingAddsUp) {
   const uint64_t solved_before = stats.unique_pairs_solved;
   engine.DetectMatrix(reads, updates);
   EXPECT_EQ(engine.stats().unique_pairs_solved, solved_before);
+  EXPECT_EQ(engine.stats().cache_hits + engine.stats().cache_misses,
+            engine.stats().pairs_total);
 
   engine.ClearCache();
   engine.DetectMatrix(reads, updates);
   EXPECT_EQ(engine.stats().unique_pairs_solved, 2 * solved_before);
+  EXPECT_EQ(engine.stats().cache_hits + engine.stats().cache_misses,
+            engine.stats().pairs_total);
 }
 
 TEST_F(BatchDetectorTest, CacheDisabledSolvesEveryPair) {
@@ -178,8 +182,37 @@ TEST_F(BatchDetectorTest, CacheDisabledSolvesEveryPair) {
   BatchConflictDetector engine(Options(2, /*cache=*/false));
   engine.DetectMatrix(reads, updates);
   EXPECT_EQ(engine.stats().cache_hits, 0u);
+  EXPECT_EQ(engine.stats().cache_misses, reads.size() * updates.size());
   EXPECT_EQ(engine.stats().unique_pairs_solved,
             reads.size() * updates.size());
+}
+
+TEST_F(BatchDetectorTest, InlineModeSkipsSpanMergingPooledModeMerges) {
+  // With tracing on, a pooled engine publishes worker-buffered spans via
+  // one MergeThreadEvents call per batch; an inline engine (num_threads
+  // == 1) records directly and must not bump merge_count.
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Default();
+  recorder.Clear();
+  recorder.set_enabled(true);
+  const std::vector<Pattern> reads = Reads();
+  const std::vector<UpdateOp> updates = Updates();
+
+  BatchConflictDetector inline_engine(Options(1));
+  inline_engine.DetectMatrix(reads, updates);
+  EXPECT_EQ(recorder.merge_count(), 0u);
+  // Inline solves still produced per-pair spans, just without merging.
+  size_t inline_solve_spans = 0;
+  for (const obs::TraceEvent& e : recorder.Snapshot()) {
+    if (std::string_view(e.name) == "batch.solve_pair") ++inline_solve_spans;
+  }
+  EXPECT_EQ(inline_solve_spans, inline_engine.stats().unique_pairs_solved);
+
+  BatchConflictDetector pooled(Options(4));
+  pooled.DetectMatrix(reads, updates);
+  EXPECT_EQ(recorder.merge_count(), 1u);
+
+  recorder.set_enabled(false);
+  recorder.Clear();
 }
 
 TEST_F(BatchDetectorTest, MinimizationFoldsEquivalentPatternsOntoOneKey) {

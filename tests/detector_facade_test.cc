@@ -1,0 +1,144 @@
+// Satellite of the Detect() facade redesign: the deprecated
+// DetectReadInsert / DetectReadDelete shims must agree with the facade on
+// every field that is deterministic across calls (verdict, method,
+// trees_checked, detail — witnesses may differ only in fresh-label ids).
+// Also covers metric side effects: a Detect call bumps the dispatch and
+// verdict counters in the default registry.
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "tests/test_util.h"
+#include "workload/pattern_generator.h"
+#include "xml/tree_algos.h"
+
+// The whole point of this file is to call the deprecated shims.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#include "conflict/detector.h"
+
+namespace xmlup {
+namespace {
+
+using testing_util::NewSymbols;
+using testing_util::Xml;
+using testing_util::Xp;
+
+void ExpectSameReport(const Result<ConflictReport>& facade,
+                      const Result<ConflictReport>& shim,
+                      const std::string& label) {
+  ASSERT_EQ(facade.ok(), shim.ok()) << label;
+  if (!facade.ok()) {
+    EXPECT_EQ(facade.status().code(), shim.status().code()) << label;
+    return;
+  }
+  EXPECT_EQ(facade->verdict, shim->verdict) << label;
+  EXPECT_EQ(facade->method, shim->method) << label;
+  EXPECT_EQ(facade->trees_checked, shim->trees_checked) << label;
+  EXPECT_EQ(facade->detail, shim->detail) << label;
+  EXPECT_EQ(facade->witness.has_value(), shim->witness.has_value()) << label;
+}
+
+TEST(DetectorFacadeTest, InsertShimMatchesFacade) {
+  auto symbols = NewSymbols();
+  const Tree x = Xml("<C/>", symbols);
+  struct Case {
+    const char* read;
+    const char* insert;
+  };
+  for (const Case& c : {Case{"x//C", "x/B"}, Case{"x//D", "x/B"},
+                        Case{"a[q]//C", "a/B"}, Case{"a/*/C", "a/B"}}) {
+    const Pattern read = Xp(c.read, symbols);
+    const Pattern ins = Xp(c.insert, symbols);
+    Result<ConflictReport> facade = Detect(
+        read,
+        UpdateOp::MakeInsert(ins, std::make_shared<const Tree>(CopyTree(x))));
+    Result<ConflictReport> shim = DetectReadInsert(read, ins, x);
+    ExpectSameReport(facade, shim,
+                     std::string(c.read) + " vs insert " + c.insert);
+  }
+}
+
+TEST(DetectorFacadeTest, DeleteShimMatchesFacade) {
+  auto symbols = NewSymbols();
+  struct Case {
+    const char* read;
+    const char* del;
+  };
+  for (const Case& c : {Case{"a//b", "a//c"}, Case{"a/b", "a/c"},
+                        Case{"a[q]//b", "a//c"}, Case{"a/b", "a"}}) {
+    const Pattern read = Xp(c.read, symbols);
+    const Pattern del = Xp(c.del, symbols);
+    Result<UpdateOp> op = UpdateOp::MakeDelete(del);
+    Result<ConflictReport> shim = DetectReadDelete(read, del);
+    if (!op.ok()) {
+      // Root-selecting delete: both entry points must reject it.
+      EXPECT_FALSE(shim.ok()) << c.del;
+      continue;
+    }
+    Result<ConflictReport> facade = Detect(read, *op);
+    ExpectSameReport(facade, shim,
+                     std::string(c.read) + " vs delete " + c.del);
+  }
+}
+
+TEST(DetectorFacadeTest, RandomizedSweepAgrees) {
+  auto symbols = NewSymbols();
+  Rng rng(424242);
+  PatternGenOptions options;
+  options.size = 3;
+  options.branch_prob = 0.4;
+  options.alphabet = {symbols->Intern("a"), symbols->Intern("b"),
+                      symbols->Intern("c")};
+  RandomPatternGenerator gen(symbols, options);
+  DetectorOptions detector_options;
+  detector_options.search.max_nodes = 4;
+
+  for (int iter = 0; iter < 30; ++iter) {
+    const Pattern read =
+        iter % 2 == 0 ? gen.GenerateLinear(&rng) : gen.GenerateBranching(&rng);
+    const Pattern update = gen.GenerateLinear(&rng);
+    Tree x(symbols);
+    x.CreateRoot(options.alphabet[rng.NextBounded(3)]);
+    Result<ConflictReport> facade = Detect(
+        read,
+        UpdateOp::MakeInsert(update,
+                             std::make_shared<const Tree>(CopyTree(x))),
+        detector_options);
+    Result<ConflictReport> shim =
+        DetectReadInsert(read, update, x, detector_options);
+    ExpectSameReport(facade, shim, "iter " + std::to_string(iter));
+  }
+}
+
+TEST(DetectorFacadeTest, DetectReportsVerdictAndMethodCounters) {
+  auto symbols = NewSymbols();
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  const uint64_t calls_before = reg.GetCounter("detector.calls").value();
+  const uint64_t linear_before =
+      reg.GetCounter("detector.dispatch.linear").value();
+  const uint64_t conflict_before =
+      reg.GetCounter("detector.verdict.conflict").value();
+  const uint64_t latency_before =
+      reg.GetHistogram("detector.latency_us").count();
+
+  Result<ConflictReport> r = Detect(
+      Xp("x//C", symbols),
+      UpdateOp::MakeInsert(Xp("x/B", symbols),
+                           std::make_shared<const Tree>(Xml("<C/>", symbols))));
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->verdict, ConflictVerdict::kConflict);
+
+  EXPECT_EQ(reg.GetCounter("detector.calls").value(), calls_before + 1);
+  EXPECT_EQ(reg.GetCounter("detector.dispatch.linear").value(),
+            linear_before + 1);
+  EXPECT_EQ(reg.GetCounter("detector.verdict.conflict").value(),
+            conflict_before + 1);
+  EXPECT_EQ(reg.GetHistogram("detector.latency_us").count(),
+            latency_before + 1);
+}
+
+}  // namespace
+}  // namespace xmlup

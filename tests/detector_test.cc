@@ -4,6 +4,7 @@
 #include "gtest/gtest.h"
 #include "tests/test_util.h"
 #include "workload/pattern_generator.h"
+#include "xml/tree_algos.h"
 
 namespace xmlup {
 namespace {
@@ -11,6 +12,26 @@ namespace {
 using testing_util::NewSymbols;
 using testing_util::Xml;
 using testing_util::Xp;
+
+/// Facade helpers: build the UpdateOp inline so each test reads like the
+/// old two-entry-point API.
+Result<ConflictReport> DetectInsert(const Pattern& read,
+                                    const Pattern& insert_pattern,
+                                    const Tree& inserted,
+                                    const DetectorOptions& options = {}) {
+  return Detect(read,
+                UpdateOp::MakeInsert(
+                    insert_pattern,
+                    std::make_shared<const Tree>(CopyTree(inserted))),
+                options);
+}
+
+Result<ConflictReport> DetectDelete(const Pattern& read,
+                                    const Pattern& delete_pattern,
+                                    const DetectorOptions& options = {}) {
+  XMLUP_ASSIGN_OR_RETURN(UpdateOp update, UpdateOp::MakeDelete(delete_pattern));
+  return Detect(read, update, options);
+}
 
 class DetectorTest : public ::testing::Test {
  protected:
@@ -23,21 +44,29 @@ TEST_F(DetectorTest, VerdictNames) {
   EXPECT_EQ(ConflictVerdictName(ConflictVerdict::kUnknown), "unknown");
 }
 
+TEST_F(DetectorTest, MethodNames) {
+  EXPECT_EQ(DetectorMethodName(DetectorMethod::kLinearPtime), "linear-ptime");
+  EXPECT_EQ(DetectorMethodName(DetectorMethod::kMainlineHeuristic),
+            "mainline-heuristic");
+  EXPECT_EQ(DetectorMethodName(DetectorMethod::kBoundedSearch),
+            "bounded-search");
+}
+
 TEST_F(DetectorTest, LinearReadUsesPtimePath) {
   Tree x = Xml("<C/>", symbols_);
   Result<ConflictReport> r =
-      DetectReadInsert(Xp("x//C", symbols_), Xp("x/B", symbols_), x);
+      DetectInsert(Xp("x//C", symbols_), Xp("x/B", symbols_), x);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->verdict, ConflictVerdict::kConflict);
   EXPECT_EQ(r->trees_checked, 0u);
-  EXPECT_NE(r->method.find("linear-ptime"), std::string::npos);
+  EXPECT_EQ(r->method, DetectorMethod::kLinearPtime);
   ASSERT_TRUE(r->witness.has_value());
 }
 
 TEST_F(DetectorTest, LinearReadNoConflictIsDefinitive) {
   Tree x = Xml("<C/>", symbols_);
   Result<ConflictReport> r =
-      DetectReadInsert(Xp("x//D", symbols_), Xp("x/B", symbols_), x);
+      DetectInsert(Xp("x//D", symbols_), Xp("x/B", symbols_), x);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->verdict, ConflictVerdict::kNoConflict);
 }
@@ -52,10 +81,10 @@ TEST_F(DetectorTest, BranchingReadFallsBackToSearch) {
   DetectorOptions options;
   options.search.max_nodes = 3;
   Result<ConflictReport> r =
-      DetectReadInsert(read, Xp("a", symbols_), x, options);
+      DetectInsert(read, Xp("a", symbols_), x, options);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->verdict, ConflictVerdict::kConflict);
-  EXPECT_EQ(r->method, "bounded-search");
+  EXPECT_EQ(r->method, DetectorMethod::kBoundedSearch);
   EXPECT_GT(r->trees_checked, 0u);
 }
 
@@ -70,7 +99,7 @@ TEST_F(DetectorTest, BranchingReadUnknownWhenBudgetTooSmall) {
   DetectorOptions options;
   options.search.max_nodes = 3;  // paper bound is larger
   Result<ConflictReport> r =
-      DetectReadInsert(read, Xp("a/b", symbols_), x, options);
+      DetectInsert(read, Xp("a/b", symbols_), x, options);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->verdict, ConflictVerdict::kUnknown);
 }
@@ -87,7 +116,7 @@ TEST_F(DetectorTest, BranchingReadNoConflictWhenPaperBoundCovered) {
   DetectorOptions options;
   options.search.max_nodes = 4;
   Result<ConflictReport> r =
-      DetectReadInsert(read, Xp("a/b", symbols_), x, options);
+      DetectInsert(read, Xp("a/b", symbols_), x, options);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->verdict, ConflictVerdict::kNoConflict);
 }
@@ -108,9 +137,9 @@ TEST_F(DetectorTest, TruncatedSearchNeverReportsNoConflict) {
   options.search.max_nodes = 4;  // covers the paper bound of 4
   options.search.max_trees = 3;  // ... but truncates the enumeration
   Result<ConflictReport> r =
-      DetectReadInsert(read, Xp("a/b", symbols_), x, options);
+      DetectInsert(read, Xp("a/b", symbols_), x, options);
   ASSERT_TRUE(r.ok());
-  EXPECT_EQ(r->method, "bounded-search");
+  EXPECT_EQ(r->method, DetectorMethod::kBoundedSearch);
   EXPECT_EQ(r->verdict, ConflictVerdict::kUnknown);
 }
 
@@ -121,10 +150,10 @@ TEST_F(DetectorTest, MainlineHeuristicFindsBranchingConflicts) {
   Pattern read = Xp("a[q]//b", symbols_);
   ASSERT_FALSE(read.IsLinear());
   Result<ConflictReport> r =
-      DetectReadDelete(read, Xp("a//c", symbols_));
+      DetectDelete(read, Xp("a//c", symbols_));
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->verdict, ConflictVerdict::kConflict);
-  EXPECT_EQ(r->method, "mainline-heuristic");
+  EXPECT_EQ(r->method, DetectorMethod::kMainlineHeuristic);
   EXPECT_EQ(r->trees_checked, 0u);
   ASSERT_TRUE(r->witness.has_value());
   EXPECT_TRUE(IsReadDeleteWitness(read, Xp("a//c", symbols_), *r->witness,
@@ -135,10 +164,10 @@ TEST_F(DetectorTest, MainlineHeuristicForInsert) {
   Pattern read = Xp("x[p]//C", symbols_);
   Tree content = Xml("<C/>", symbols_);
   Result<ConflictReport> r =
-      DetectReadInsert(read, Xp("x/B", symbols_), content);
+      DetectInsert(read, Xp("x/B", symbols_), content);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->verdict, ConflictVerdict::kConflict);
-  EXPECT_EQ(r->method, "mainline-heuristic");
+  EXPECT_EQ(r->method, DetectorMethod::kMainlineHeuristic);
   ASSERT_TRUE(r->witness.has_value());
   EXPECT_TRUE(IsReadInsertWitness(read, Xp("x/B", symbols_), content,
                                   *r->witness, ConflictSemantics::kNode));
@@ -146,7 +175,7 @@ TEST_F(DetectorTest, MainlineHeuristicForInsert) {
 
 TEST_F(DetectorTest, ReadDeleteDispatch) {
   Result<ConflictReport> conflict =
-      DetectReadDelete(Xp("a//b", symbols_), Xp("a//c", symbols_));
+      DetectDelete(Xp("a//b", symbols_), Xp("a//c", symbols_));
   ASSERT_TRUE(conflict.ok());
   EXPECT_EQ(conflict->verdict, ConflictVerdict::kConflict);
   ASSERT_TRUE(conflict->witness.has_value());
@@ -155,26 +184,26 @@ TEST_F(DetectorTest, ReadDeleteDispatch) {
                                   ConflictSemantics::kNode));
 
   Result<ConflictReport> clean =
-      DetectReadDelete(Xp("a/b", symbols_), Xp("a/c", symbols_));
+      DetectDelete(Xp("a/b", symbols_), Xp("a/c", symbols_));
   ASSERT_TRUE(clean.ok());
   EXPECT_EQ(clean->verdict, ConflictVerdict::kNoConflict);
 }
 
 TEST_F(DetectorTest, ReadDeleteRejectsRootDeletion) {
   EXPECT_FALSE(
-      DetectReadDelete(Xp("a/b", symbols_), Xp("a", symbols_)).ok());
+      DetectDelete(Xp("a/b", symbols_), Xp("a", symbols_)).ok());
 }
 
 TEST_F(DetectorTest, SemanticsFlowThrough) {
   DetectorOptions options;
   options.semantics = ConflictSemantics::kTree;
   Result<ConflictReport> r =
-      DetectReadDelete(Xp("a/b", symbols_), Xp("a/b/c", symbols_), options);
+      DetectDelete(Xp("a/b", symbols_), Xp("a/b/c", symbols_), options);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->verdict, ConflictVerdict::kConflict);
   // Node semantics: no conflict for the same pair.
   Result<ConflictReport> node =
-      DetectReadDelete(Xp("a/b", symbols_), Xp("a/b/c", symbols_));
+      DetectDelete(Xp("a/b", symbols_), Xp("a/b/c", symbols_));
   ASSERT_TRUE(node.ok());
   EXPECT_EQ(node->verdict, ConflictVerdict::kNoConflict);
 }
@@ -203,14 +232,14 @@ TEST_P(DetectorPropertyTest, BranchingReadDispatchIsSound) {
     x.CreateRoot(options.alphabet[rng.NextBounded(2)]);
 
     Result<ConflictReport> report =
-        DetectReadInsert(read, ins, x, detector_options);
+        DetectInsert(read, ins, x, detector_options);
     ASSERT_TRUE(report.ok()) << report.status();
     if (report->verdict == ConflictVerdict::kConflict) {
       ASSERT_TRUE(report->witness.has_value());
       EXPECT_TRUE(IsReadInsertWitness(read, ins, x, *report->witness,
                                       ConflictSemantics::kNode))
           << "seed=" << GetParam() << " iter=" << iter
-          << " method=" << report->method;
+          << " method=" << DetectorMethodName(report->method);
     } else {
       // The oracle over the same (or smaller) space must agree.
       BoundedSearchOptions search;

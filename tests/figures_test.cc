@@ -71,22 +71,22 @@ TEST_F(FiguresTest, Figure4ReadInsertConflictStructure) {
   const Pattern read = Xp("x//A/B", symbols_);
   const Pattern ins = Xp("x/u", symbols_);
   Tree x_tree = Xml("<A><B/></A>", symbols_);
-  Result<LinearConflictReport> r = DetectReadInsertConflictLinear(
+  Result<ConflictReport> r = DetectReadInsertConflictLinear(
       read, ins, x_tree, ConflictSemantics::kNode);
   ASSERT_TRUE(r.ok());
-  EXPECT_TRUE(r->conflict);
+  EXPECT_TRUE(r->conflict());
   // Figure 4b: tree conflict — the insertion lands below a read result.
   const Pattern read_above = Xp("x//A", symbols_);
   const Pattern ins_below = Xp("x//A/B", symbols_);
   Tree small_x = Xml("<C/>", symbols_);
-  Result<LinearConflictReport> node_sem = DetectReadInsertConflictLinear(
+  Result<ConflictReport> node_sem = DetectReadInsertConflictLinear(
       read_above, ins_below, small_x, ConflictSemantics::kNode);
   ASSERT_TRUE(node_sem.ok());
-  EXPECT_FALSE(node_sem->conflict);
-  Result<LinearConflictReport> tree_sem = DetectReadInsertConflictLinear(
+  EXPECT_FALSE(node_sem->conflict());
+  Result<ConflictReport> tree_sem = DetectReadInsertConflictLinear(
       read_above, ins_below, small_x, ConflictSemantics::kTree);
   ASSERT_TRUE(tree_sem.ok());
-  EXPECT_TRUE(tree_sem->conflict);
+  EXPECT_TRUE(tree_sem->conflict());
 }
 
 TEST_F(FiguresTest, Figure5ReadDeleteConflictStructure) {
@@ -94,10 +94,10 @@ TEST_F(FiguresTest, Figure5ReadDeleteConflictStructure) {
   // point is an ancestor of the read result.
   const Pattern read = Xp("r//m//v", symbols_);
   const Pattern del = Xp("r/s//m", symbols_);
-  Result<LinearConflictReport> r =
+  Result<ConflictReport> r =
       DetectReadDeleteConflictLinear(read, del, ConflictSemantics::kNode);
   ASSERT_TRUE(r.ok());
-  EXPECT_TRUE(r->conflict);
+  EXPECT_TRUE(r->conflict());
   ASSERT_TRUE(r->witness.has_value());
   EXPECT_TRUE(
       IsReadDeleteWitness(read, del, *r->witness, ConflictSemantics::kNode));

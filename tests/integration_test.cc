@@ -112,14 +112,15 @@ TEST(IntegrationTest, DetectorMatchesExecutionOnCatalogWorkload) {
       for (const char* content_xml : contents) {
         const Pattern read = Xp(read_xpath, symbols);
         const Pattern ins = Xp(insert_xpath, symbols);
-        Tree x = Xml(content_xml, symbols);
-        Result<ConflictReport> report = DetectReadInsert(read, ins, x);
+        auto x = std::make_shared<const Tree>(Xml(content_xml, symbols));
+        Result<ConflictReport> report =
+            Detect(read, UpdateOp::MakeInsert(ins, x));
         ASSERT_TRUE(report.ok());
         if (report->verdict != ConflictVerdict::kNoConflict) continue;
         // Execute on the concrete catalog: results must be identical.
         Tree work = CopyTree(catalog);
         const std::vector<NodeId> before = Evaluate(read, work);
-        InsertOp op(ins, std::make_shared<const Tree>(std::move(x)));
+        InsertOp op(ins, x);
         op.ApplyInPlace(&work);
         EXPECT_EQ(Evaluate(read, work), before)
             << read_xpath << " should be independent of insert at "

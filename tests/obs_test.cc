@@ -1,0 +1,220 @@
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
+#include "obs/trace.h"
+
+namespace xmlup {
+namespace obs {
+namespace {
+
+TEST(HistogramTest, BucketIndexIsBitWidth) {
+  // Bucket 0 holds exactly 0; bucket i >= 1 holds [2^(i-1), 2^i - 1].
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4u);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10u);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11u);
+  // The tail bucket absorbs everything too wide for the table.
+  EXPECT_EQ(Histogram::BucketIndex(UINT64_MAX), Histogram::kNumBuckets - 1);
+  EXPECT_EQ(Histogram::BucketIndex(uint64_t{1} << 60),
+            Histogram::kNumBuckets - 1);
+}
+
+TEST(HistogramTest, BucketBoundsMatchIndexing) {
+  // Every bucket's inclusive upper bound lands in that bucket, and the
+  // next value lands in the next one.
+  for (size_t i = 0; i + 1 < Histogram::kNumBuckets; ++i) {
+    const uint64_t le = Histogram::BucketUpperBound(i);
+    EXPECT_EQ(Histogram::BucketIndex(le), i) << "bucket " << i;
+    EXPECT_EQ(Histogram::BucketIndex(le + 1), i + 1) << "bucket " << i;
+  }
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::kNumBuckets - 1),
+            UINT64_MAX);
+}
+
+TEST(HistogramTest, ObserveAccumulatesCountSumAndBuckets) {
+  Histogram h;
+  for (uint64_t v : {0, 1, 2, 3, 100}) h.Observe(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 106u);
+  EXPECT_EQ(h.bucket(0), 1u);  // 0
+  EXPECT_EQ(h.bucket(1), 1u);  // 1
+  EXPECT_EQ(h.bucket(2), 2u);  // 2, 3
+  EXPECT_EQ(h.bucket(7), 1u);  // 100 in [64, 127]
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.bucket(2), 0u);
+}
+
+TEST(CounterTest, EightThreadsLoseNoIncrements) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("test.concurrent");
+  Histogram& histogram = registry.GetHistogram("test.concurrent_hist");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, &histogram] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.Increment();
+        histogram.Observe(static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(histogram.count(), uint64_t{kThreads} * kPerThread);
+}
+
+TEST(RegistryTest, SameNameReturnsSameMetricAndResetKeepsReferences) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("x");
+  Counter& b = registry.GetCounter("x");
+  EXPECT_EQ(&a, &b);
+  a.Increment(3);
+  registry.GetGauge("g").Set(-7);
+  registry.Reset();
+  EXPECT_EQ(a.value(), 0u);  // reference still valid, value zeroed
+  EXPECT_EQ(registry.GetGauge("g").value(), 0);
+  a.Increment();
+  EXPECT_EQ(registry.Snapshot().counters.at("x"), 1u);
+}
+
+TEST(RegistryTest, SnapshotAndJsonRoundTrip) {
+  MetricsRegistry registry;
+  registry.GetCounter("c.one").Increment(5);
+  registry.GetGauge("g.depth").Set(-2);
+  Histogram& h = registry.GetHistogram("h.lat");
+  h.Observe(0);
+  h.Observe(5);
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at("c.one"), 5u);
+  EXPECT_EQ(snapshot.gauges.at("g.depth"), -2);
+  const auto& data = snapshot.histograms.at("h.lat");
+  EXPECT_EQ(data.count, 2u);
+  EXPECT_EQ(data.sum, 5u);
+  // Sparse buckets: (le=0, 1 obs) and (le=7, 1 obs).
+  ASSERT_EQ(data.buckets.size(), 2u);
+  EXPECT_EQ(data.buckets[0], (std::pair<uint64_t, uint64_t>{0, 1}));
+  EXPECT_EQ(data.buckets[1], (std::pair<uint64_t, uint64_t>{7, 1}));
+
+  const std::string json = snapshot.ToJson();
+  EXPECT_NE(json.find("\"c.one\":5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"g.depth\":-2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"h.lat\":{\"count\":2,\"sum\":5,\"buckets\":"
+                      "[[0,1],[7,1]]}"),
+            std::string::npos)
+      << json;
+}
+
+TEST(ScopedTimerTest, ObservesOnceOnDestruction) {
+  Histogram h;
+  { ScopedTimer timer(&h); }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(TraceTest, DisabledRecorderRecordsNothing) {
+  TraceRecorder recorder;  // disabled by default
+  { TraceSpan span(recorder, "ignored"); }
+  recorder.Record({"direct", 0, 1, 0, 0});
+  recorder.MergeThreadEvents({{"merged", 0, 1, 0, 0}});
+  EXPECT_TRUE(recorder.Snapshot().empty());
+  EXPECT_EQ(recorder.merge_count(), 0u);
+}
+
+TEST(TraceTest, SpanNestingDepthsAndExportRoundTrip) {
+  TraceRecorder recorder;
+  recorder.set_enabled(true);
+  uint64_t now = 100;
+  recorder.SetClockForTest([&now] { return now; });
+  {
+    TraceSpan outer(recorder, "outer");
+    now += 10;
+    {
+      TraceSpan inner(recorder, "inner");
+      now += 5;
+    }
+    {
+      TraceSpan inner2(recorder, "inner");
+      now += 7;
+    }
+    now += 3;
+  }
+  const std::vector<TraceEvent> events = recorder.Snapshot();
+  // Spans close inner-first.
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_STREQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].start_us, 110u);
+  EXPECT_EQ(events[0].dur_us, 5u);
+  EXPECT_EQ(events[0].depth, 1u);
+  EXPECT_STREQ(events[1].name, "inner");
+  EXPECT_EQ(events[1].dur_us, 7u);
+  EXPECT_STREQ(events[2].name, "outer");
+  EXPECT_EQ(events[2].start_us, 100u);
+  EXPECT_EQ(events[2].dur_us, 25u);
+  EXPECT_EQ(events[2].depth, 0u);
+
+  const std::string chrome = recorder.ToChromeTraceJson();
+  EXPECT_NE(chrome.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(
+      chrome.find("{\"name\":\"outer\",\"cat\":\"xmlup\",\"ph\":\"X\","
+                  "\"ts\":100,\"dur\":25,\"pid\":1,"),
+      std::string::npos)
+      << chrome;
+
+  const std::string stats = recorder.ToStatsJson();
+  EXPECT_NE(
+      stats.find("\"inner\":{\"count\":2,\"total_us\":12,\"max_us\":7}"),
+      std::string::npos)
+      << stats;
+  EXPECT_NE(
+      stats.find("\"outer\":{\"count\":1,\"total_us\":25,\"max_us\":25}"),
+      std::string::npos)
+      << stats;
+
+  recorder.Clear();
+  EXPECT_TRUE(recorder.Snapshot().empty());
+}
+
+TEST(TraceTest, MergeThreadEventsBumpsCountOncePerBatch) {
+  TraceRecorder recorder;
+  recorder.set_enabled(true);
+  recorder.MergeThreadEvents({{"a", 0, 1, 0, 0}, {"b", 1, 2, 0, 0}});
+  recorder.MergeThreadEvents({});  // empty: not counted
+  EXPECT_EQ(recorder.merge_count(), 1u);
+  EXPECT_EQ(recorder.Snapshot().size(), 2u);
+  recorder.Clear();
+  EXPECT_EQ(recorder.merge_count(), 0u);
+}
+
+TEST(TraceTest, ConcurrentSpansAllArrive) {
+  TraceRecorder recorder;
+  recorder.set_enabled(true);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder] {
+      for (int i = 0; i < kPerThread; ++i) {
+        TraceSpan span(recorder, "work");
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(recorder.Snapshot().size(), size_t{kThreads} * kPerThread);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace xmlup

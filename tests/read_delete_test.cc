@@ -16,10 +16,10 @@ class ReadDeleteTest : public ::testing::Test {
  protected:
   std::shared_ptr<SymbolTable> symbols_ = NewSymbols();
 
-  LinearConflictReport Detect(const char* read, const char* del,
+  ConflictReport Detect(const char* read, const char* del,
                               ConflictSemantics semantics =
                                   ConflictSemantics::kNode) {
-    Result<LinearConflictReport> r = DetectReadDeleteConflictLinear(
+    Result<ConflictReport> r = DetectReadDeleteConflictLinear(
         Xp(read, symbols_), Xp(del, symbols_), semantics);
     EXPECT_TRUE(r.ok()) << r.status();
     return std::move(r).value();
@@ -27,68 +27,68 @@ class ReadDeleteTest : public ::testing::Test {
 };
 
 TEST_F(ReadDeleteTest, DeleteOfReadTargetConflicts) {
-  const LinearConflictReport r = Detect("a/b", "a/b");
-  EXPECT_TRUE(r.conflict);
+  const ConflictReport r = Detect("a/b", "a/b");
+  EXPECT_TRUE(r.conflict());
   ASSERT_TRUE(r.witness.has_value());
 }
 
 TEST_F(ReadDeleteTest, DisjointLabelsNoConflict) {
-  EXPECT_FALSE(Detect("a/b", "a/c").conflict);
+  EXPECT_FALSE(Detect("a/b", "a/c").conflict());
 }
 
 TEST_F(ReadDeleteTest, DescendantReadReachesIntoDeletedSubtree) {
   // Deleting c children can remove b *descendants* living inside them.
-  EXPECT_TRUE(Detect("a//b", "a/c").conflict);
+  EXPECT_TRUE(Detect("a//b", "a/c").conflict());
 }
 
 TEST_F(ReadDeleteTest, DescendantReadConflictsWithAncestorDeletion) {
   // Deleting c children can remove subtrees containing b descendants.
-  EXPECT_TRUE(Detect("a//b", "a//c").conflict);
+  EXPECT_TRUE(Detect("a//b", "a//c").conflict());
 }
 
 TEST_F(ReadDeleteTest, ChildEdgeRequiresStrongMatch) {
   // read a/b (child edge), delete a/c/b: the deletion point is at depth 2,
   // but the read's b is at depth 1 — no conflict.
-  EXPECT_FALSE(Detect("a/b", "a/c/b").conflict);
+  EXPECT_FALSE(Detect("a/b", "a/c/b").conflict());
   // read a//b can reach depth 2: conflict.
-  EXPECT_TRUE(Detect("a//b", "a/c/b").conflict);
+  EXPECT_TRUE(Detect("a//b", "a/c/b").conflict());
 }
 
 TEST_F(ReadDeleteTest, WildcardsEnableConflict) {
-  EXPECT_TRUE(Detect("a/*", "a/c").conflict);
-  EXPECT_TRUE(Detect("a/b", "a/*").conflict);
-  EXPECT_TRUE(Detect("*//x", "*/y").conflict);
+  EXPECT_TRUE(Detect("a/*", "a/c").conflict());
+  EXPECT_TRUE(Detect("a/b", "a/*").conflict());
+  EXPECT_TRUE(Detect("*//x", "*/y").conflict());
 }
 
 TEST_F(ReadDeleteTest, RootLabelMismatchNoConflict) {
-  EXPECT_FALSE(Detect("a/b", "z/b").conflict);
+  EXPECT_FALSE(Detect("a/b", "z/b").conflict());
 }
 
 TEST_F(ReadDeleteTest, DeletionBelowReadOutputIsNotNodeConflict) {
   // The deletion point lies strictly below anything the read returns.
-  EXPECT_FALSE(Detect("a/b", "a/b/c").conflict);
+  EXPECT_FALSE(Detect("a/b", "a/b/c").conflict());
   // But it is a tree conflict (the returned subtree is modified) and a
   // value conflict (Lemma 2).
-  EXPECT_TRUE(Detect("a/b", "a/b/c", ConflictSemantics::kTree).conflict);
-  EXPECT_TRUE(Detect("a/b", "a/b/c", ConflictSemantics::kValue).conflict);
+  EXPECT_TRUE(Detect("a/b", "a/b/c", ConflictSemantics::kTree).conflict());
+  EXPECT_TRUE(Detect("a/b", "a/b/c", ConflictSemantics::kValue).conflict());
 }
 
 TEST_F(ReadDeleteTest, BranchingDeleteUsesMainline) {
   // Corollary 1: the delete may branch; conflict behavior follows its
   // mainline a/b.
-  EXPECT_TRUE(Detect("a/b", "a[x][.//y]/b[z]").conflict);
-  EXPECT_FALSE(Detect("a/c", "a[x][.//y]/b[z]").conflict);
+  EXPECT_TRUE(Detect("a/b", "a[x][.//y]/b[z]").conflict());
+  EXPECT_FALSE(Detect("a/c", "a[x][.//y]/b[z]").conflict());
 }
 
 TEST_F(ReadDeleteTest, RejectsNonLinearRead) {
-  Result<LinearConflictReport> r = DetectReadDeleteConflictLinear(
+  Result<ConflictReport> r = DetectReadDeleteConflictLinear(
       Xp("a[x]/b", symbols_), Xp("a/b", symbols_));
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST_F(ReadDeleteTest, RejectsRootDeletingPattern) {
-  Result<LinearConflictReport> r = DetectReadDeleteConflictLinear(
+  Result<ConflictReport> r = DetectReadDeleteConflictLinear(
       Xp("a/b", symbols_), Xp("a", symbols_));
   EXPECT_FALSE(r.ok());
 }
@@ -99,8 +99,8 @@ TEST_F(ReadDeleteTest, WitnessesAreVerified) {
       {"*//m", "*/k[z]"},   {"a//b//c", "a/b"},  {"r/s/t", "r[q]/s"},
   };
   for (const auto& c : cases) {
-    const LinearConflictReport r = Detect(c[0], c[1]);
-    if (!r.conflict) continue;
+    const ConflictReport r = Detect(c[0], c[1]);
+    if (!r.conflict()) continue;
     ASSERT_TRUE(r.witness.has_value()) << c[0] << " vs " << c[1];
     EXPECT_TRUE(IsReadDeleteWitness(Xp(c[0], symbols_), Xp(c[1], symbols_),
                                     *r.witness, ConflictSemantics::kNode))
@@ -111,10 +111,10 @@ TEST_F(ReadDeleteTest, WitnessesAreVerified) {
 TEST_F(ReadDeleteTest, SingleNodeReadNeverConflicts) {
   // A read of just the root cannot lose nodes to deletion (the root
   // survives every DELETE).
-  EXPECT_FALSE(Detect("a", "a//b").conflict);
-  EXPECT_FALSE(Detect("*", "*/x").conflict);
+  EXPECT_FALSE(Detect("a", "a//b").conflict());
+  EXPECT_FALSE(Detect("*", "*/x").conflict());
   // Under tree semantics it does conflict: the root's subtree changes.
-  EXPECT_TRUE(Detect("a", "a//b", ConflictSemantics::kTree).conflict);
+  EXPECT_TRUE(Detect("a", "a//b", ConflictSemantics::kTree).conflict());
 }
 
 TEST_F(ReadDeleteTest, DpMatcherGivesSameAnswers) {
@@ -123,15 +123,15 @@ TEST_F(ReadDeleteTest, DpMatcherGivesSameAnswers) {
       {"a/b", "a/b/c"},   {"a/*", "a/c"},   {"a/b", "a/c/b"},
   };
   for (const auto& c : cases) {
-    Result<LinearConflictReport> nfa = DetectReadDeleteConflictLinear(
+    Result<ConflictReport> nfa = DetectReadDeleteConflictLinear(
         Xp(c[0], symbols_), Xp(c[1], symbols_), ConflictSemantics::kNode,
         MatcherKind::kNfa);
-    Result<LinearConflictReport> dp = DetectReadDeleteConflictLinear(
+    Result<ConflictReport> dp = DetectReadDeleteConflictLinear(
         Xp(c[0], symbols_), Xp(c[1], symbols_), ConflictSemantics::kNode,
         MatcherKind::kDp);
     ASSERT_TRUE(nfa.ok());
     ASSERT_TRUE(dp.ok());
-    EXPECT_EQ(nfa->conflict, dp->conflict) << c[0] << " vs " << c[1];
+    EXPECT_EQ(nfa->conflict(), dp->conflict()) << c[0] << " vs " << c[1];
   }
 }
 
@@ -142,7 +142,7 @@ TEST_F(ReadDeleteTest, Section6SatisfiabilityEncoding) {
   // the conflict must always be found.
   const char* deletes[] = {"a/b", "*//*", "x[y][.//z]/w", "*/a[b/c]//d"};
   for (const char* del : deletes) {
-    EXPECT_TRUE(Detect("*//*", del).conflict) << del;
+    EXPECT_TRUE(Detect("*//*", del).conflict()) << del;
   }
 }
 
@@ -174,23 +174,23 @@ TEST_P(ReadDeletePropertyTest, AgreesWithBruteForce) {
     for (ConflictSemantics semantics :
          {ConflictSemantics::kNode, ConflictSemantics::kTree,
           ConflictSemantics::kValue}) {
-      Result<LinearConflictReport> detect =
+      Result<ConflictReport> detect =
           DetectReadDeleteConflictLinear(read, del, semantics);
       ASSERT_TRUE(detect.ok())
           << detect.status() << " seed=" << GetParam() << " iter=" << iter;
       const BruteForceResult brute =
           BruteForceReadDeleteSearch(read, del, semantics, search);
       if (brute.outcome == SearchOutcome::kWitnessFound) {
-        EXPECT_TRUE(detect->conflict)
+        EXPECT_TRUE(detect->conflict())
             << "brute force found a witness the detector missed; seed="
             << GetParam() << " iter=" << iter << " semantics="
             << ConflictSemanticsName(semantics);
       }
-      if (!detect->conflict &&
+      if (!detect->conflict() &&
           brute.outcome == SearchOutcome::kExhaustedNoWitness) {
         SUCCEED();  // both agree there is no small witness
       }
-      if (detect->conflict) {
+      if (detect->conflict()) {
         ASSERT_TRUE(detect->witness.has_value());
         EXPECT_TRUE(IsReadDeleteWitness(read, del, *detect->witness,
                                         semantics));
@@ -217,20 +217,20 @@ TEST_P(Lemma2DeleteTest, TreeAndValueSemanticsCoincide) {
     const Pattern read = gen.GenerateLinear(&rng);
     const Pattern del = gen.GenerateLinear(&rng);
     if (del.output() == del.root()) continue;
-    Result<LinearConflictReport> tree_sem = DetectReadDeleteConflictLinear(
+    Result<ConflictReport> tree_sem = DetectReadDeleteConflictLinear(
         read, del, ConflictSemantics::kTree);
-    Result<LinearConflictReport> value_sem = DetectReadDeleteConflictLinear(
+    Result<ConflictReport> value_sem = DetectReadDeleteConflictLinear(
         read, del, ConflictSemantics::kValue);
     ASSERT_TRUE(tree_sem.ok()) << tree_sem.status();
     ASSERT_TRUE(value_sem.ok()) << value_sem.status();
-    EXPECT_EQ(tree_sem->conflict, value_sem->conflict)
+    EXPECT_EQ(tree_sem->conflict(), value_sem->conflict())
         << "Lemma 2 violated; seed=" << GetParam() << " iter=" << iter;
     // Node conflicts imply tree conflicts.
-    Result<LinearConflictReport> node_sem = DetectReadDeleteConflictLinear(
+    Result<ConflictReport> node_sem = DetectReadDeleteConflictLinear(
         read, del, ConflictSemantics::kNode);
     ASSERT_TRUE(node_sem.ok());
-    if (node_sem->conflict) {
-      EXPECT_TRUE(tree_sem->conflict);
+    if (node_sem->conflict()) {
+      EXPECT_TRUE(tree_sem->conflict());
     }
   }
 }

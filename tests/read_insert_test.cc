@@ -18,12 +18,12 @@ class ReadInsertTest : public ::testing::Test {
  protected:
   std::shared_ptr<SymbolTable> symbols_ = NewSymbols();
 
-  LinearConflictReport Detect(const char* read, const char* ins,
+  ConflictReport Detect(const char* read, const char* ins,
                               const char* x,
                               ConflictSemantics semantics =
                                   ConflictSemantics::kNode) {
     Tree inserted = Xml(x, symbols_);
-    Result<LinearConflictReport> r = DetectReadInsertConflictLinear(
+    Result<ConflictReport> r = DetectReadInsertConflictLinear(
         Xp(read, symbols_), Xp(ins, symbols_), inserted, semantics);
     EXPECT_TRUE(r.ok()) << r.status();
     return std::move(r).value();
@@ -32,78 +32,78 @@ class ReadInsertTest : public ::testing::Test {
 
 TEST_F(ReadInsertTest, PaperSection1Conflict) {
   // read $x//C vs insert $x/B, <C/> — the motivating example.
-  EXPECT_TRUE(Detect("x//C", "x/B", "<C/>").conflict);
+  EXPECT_TRUE(Detect("x//C", "x/B", "<C/>").conflict());
 }
 
 TEST_F(ReadInsertTest, PaperSection1NoConflict) {
   // read $x//D cannot see the inserted <C/>.
-  EXPECT_FALSE(Detect("x//D", "x/B", "<C/>").conflict);
+  EXPECT_FALSE(Detect("x//D", "x/B", "<C/>").conflict());
 }
 
 TEST_F(ReadInsertTest, PaperSection1FunctionalExample) {
   // read $x/*/A vs insert $x/B, <C/> — the inserted C (a grandchild)
   // cannot be an A grandchild, and nothing below it is at depth 2.
-  EXPECT_FALSE(Detect("x/*/A", "x/B", "<C/>").conflict);
+  EXPECT_FALSE(Detect("x/*/A", "x/B", "<C/>").conflict());
   // With X containing an A child, the grandchild read *does* see it:
   // x/B/A — wait, /*/A selects grandchildren; A inside X at depth 1 under
   // B lands at depth 2: conflict.
-  EXPECT_TRUE(Detect("x/*/A", "x/B", "<A/>").conflict);
+  EXPECT_TRUE(Detect("x/*/A", "x/B", "<A/>").conflict());
 }
 
 TEST_F(ReadInsertTest, ChildEdgeNeedsInsertAtExactDepth) {
   // read a/b/c: c at depth 2. insert at a/b adds X=<c/> at depth 2 ✓.
-  EXPECT_TRUE(Detect("a/b/c", "a/b", "<c/>").conflict);
+  EXPECT_TRUE(Detect("a/b/c", "a/b", "<c/>").conflict());
   // insert at a adds <c/> at depth 1 ✗.
-  EXPECT_FALSE(Detect("a/b/c", "a//q", "<q/>").conflict);
+  EXPECT_FALSE(Detect("a/b/c", "a//q", "<q/>").conflict());
 }
 
 TEST_F(ReadInsertTest, SuffixMustEmbedIntoX) {
-  EXPECT_TRUE(Detect("a//m/n", "a/b", "<m><n/></m>").conflict);
-  EXPECT_FALSE(Detect("a//m/n", "a/b", "<m><k/></m>").conflict);
+  EXPECT_TRUE(Detect("a//m/n", "a/b", "<m><n/></m>").conflict());
+  EXPECT_FALSE(Detect("a//m/n", "a/b", "<m><k/></m>").conflict());
   // Descendant edge: the suffix may anchor deeper inside X.
-  EXPECT_TRUE(Detect("a//n", "a/b", "<m><n/></m>").conflict);
+  EXPECT_TRUE(Detect("a//n", "a/b", "<m><n/></m>").conflict());
   // Child edge into X requires the suffix at X's *root*.
-  EXPECT_FALSE(Detect("a/b/n", "a/b", "<m><n/></m>").conflict);
-  EXPECT_TRUE(Detect("a/b/m", "a/b", "<m><n/></m>").conflict);
+  EXPECT_FALSE(Detect("a/b/n", "a/b", "<m><n/></m>").conflict());
+  EXPECT_TRUE(Detect("a/b/m", "a/b", "<m><n/></m>").conflict());
 }
 
 TEST_F(ReadInsertTest, WildcardReadSeesAnyInsertion) {
-  EXPECT_TRUE(Detect("a//*", "a/b", "<z/>").conflict);
-  EXPECT_TRUE(Detect("*/*", "*", "<z/>").conflict);
+  EXPECT_TRUE(Detect("a//*", "a/b", "<z/>").conflict());
+  EXPECT_TRUE(Detect("*/*", "*", "<z/>").conflict());
 }
 
 TEST_F(ReadInsertTest, RootLabelMismatchNoConflict) {
-  EXPECT_FALSE(Detect("a//b", "z//q", "<b/>").conflict);
+  EXPECT_FALSE(Detect("a//b", "z//q", "<b/>").conflict());
 }
 
 TEST_F(ReadInsertTest, BranchingInsertUsesMainline) {
   // Corollary 2: branching insert patterns behave like their mainline.
-  EXPECT_TRUE(Detect("a/b/c", "a[x][.//y]/b[z]", "<c/>").conflict);
-  EXPECT_FALSE(Detect("a/q", "a[x][.//y]/b[z]", "<c/>").conflict);
+  EXPECT_TRUE(Detect("a/b/c", "a[x][.//y]/b[z]", "<c/>").conflict());
+  EXPECT_FALSE(Detect("a/q", "a[x][.//y]/b[z]", "<c/>").conflict());
 }
 
 TEST_F(ReadInsertTest, SingleNodeReadNeverNodeConflicts) {
-  EXPECT_FALSE(Detect("a", "a//b", "<c/>").conflict);
+  EXPECT_FALSE(Detect("a", "a//b", "<c/>").conflict());
   // Tree semantics: the root's subtree is modified whenever an insertion
   // can happen at all.
   EXPECT_TRUE(Detect("a", "a//b", "<c/>",
-                     ConflictSemantics::kTree).conflict);
+                     ConflictSemantics::kTree).conflict());
   EXPECT_TRUE(Detect("a", "a//b", "<c/>",
-                     ConflictSemantics::kValue).conflict);
+                     ConflictSemantics::kValue).conflict());
 }
 
 TEST_F(ReadInsertTest, TreeConflictWhenInsertionBelowResult) {
   // Insertion lands strictly below what the read returns.
-  EXPECT_FALSE(Detect("a/b", "a/b/c", "<z/>").conflict);
+  EXPECT_FALSE(Detect("a/b", "a/b/c", "<z/>").conflict());
   EXPECT_TRUE(
-      Detect("a/b", "a/b/c", "<z/>", ConflictSemantics::kTree).conflict);
+      Detect("a/b", "a/b/c", "<z/>", ConflictSemantics::kTree).conflict());
   EXPECT_TRUE(
-      Detect("a/b", "a/b/c", "<z/>", ConflictSemantics::kValue).conflict);
+      Detect("a/b", "a/b/c", "<z/>", ConflictSemantics::kValue).conflict());
 }
 
 TEST_F(ReadInsertTest, RejectsNonLinearRead) {
   Tree x = Xml("<c/>", symbols_);
-  Result<LinearConflictReport> r = DetectReadInsertConflictLinear(
+  Result<ConflictReport> r = DetectReadInsertConflictLinear(
       Xp("a[q]/b", symbols_), Xp("a/b", symbols_), x);
   EXPECT_FALSE(r.ok());
 }
@@ -122,8 +122,8 @@ TEST_F(ReadInsertTest, WitnessesAreVerified) {
       {"*//w", "*//v", "<u><w/></u>"},
   };
   for (const Case& c : cases) {
-    const LinearConflictReport r = Detect(c.read, c.ins, c.x);
-    if (!r.conflict) continue;
+    const ConflictReport r = Detect(c.read, c.ins, c.x);
+    if (!r.conflict()) continue;
     ASSERT_TRUE(r.witness.has_value());
     Tree x = Xml(c.x, symbols_);
     EXPECT_TRUE(IsReadInsertWitness(Xp(c.read, symbols_), Xp(c.ins, symbols_),
@@ -160,19 +160,19 @@ TEST_P(ReadInsertPropertyTest, AgreesWithBruteForce) {
     for (ConflictSemantics semantics :
          {ConflictSemantics::kNode, ConflictSemantics::kTree,
           ConflictSemantics::kValue}) {
-      Result<LinearConflictReport> detect =
+      Result<ConflictReport> detect =
           DetectReadInsertConflictLinear(read, ins, x, semantics);
       ASSERT_TRUE(detect.ok())
           << detect.status() << " seed=" << GetParam() << " iter=" << iter;
       const BruteForceResult brute =
           BruteForceReadInsertSearch(read, ins, x, semantics, search);
       if (brute.outcome == SearchOutcome::kWitnessFound) {
-        EXPECT_TRUE(detect->conflict)
+        EXPECT_TRUE(detect->conflict())
             << "brute force found a witness the detector missed; seed="
             << GetParam() << " iter=" << iter << " semantics="
             << ConflictSemanticsName(semantics);
       }
-      if (detect->conflict) {
+      if (detect->conflict()) {
         ASSERT_TRUE(detect->witness.has_value());
         EXPECT_TRUE(
             IsReadInsertWitness(read, ins, x, *detect->witness, semantics));
@@ -203,19 +203,19 @@ TEST_P(Lemma2InsertTest, TreeAndValueSemanticsCoincide) {
     const Pattern read = gen.GenerateLinear(&rng);
     const Pattern ins = gen.GenerateLinear(&rng);
     const Tree x = contents.Generate(&rng);
-    Result<LinearConflictReport> tree_sem = DetectReadInsertConflictLinear(
+    Result<ConflictReport> tree_sem = DetectReadInsertConflictLinear(
         read, ins, x, ConflictSemantics::kTree);
-    Result<LinearConflictReport> value_sem = DetectReadInsertConflictLinear(
+    Result<ConflictReport> value_sem = DetectReadInsertConflictLinear(
         read, ins, x, ConflictSemantics::kValue);
     ASSERT_TRUE(tree_sem.ok()) << tree_sem.status();
     ASSERT_TRUE(value_sem.ok()) << value_sem.status();
-    EXPECT_EQ(tree_sem->conflict, value_sem->conflict)
+    EXPECT_EQ(tree_sem->conflict(), value_sem->conflict())
         << "Lemma 2 violated; seed=" << GetParam() << " iter=" << iter;
-    Result<LinearConflictReport> node_sem = DetectReadInsertConflictLinear(
+    Result<ConflictReport> node_sem = DetectReadInsertConflictLinear(
         read, ins, x, ConflictSemantics::kNode);
     ASSERT_TRUE(node_sem.ok());
-    if (node_sem->conflict) {
-      EXPECT_TRUE(tree_sem->conflict);
+    if (node_sem->conflict()) {
+      EXPECT_TRUE(tree_sem->conflict());
     }
   }
 }

@@ -157,10 +157,10 @@ TEST_P(ShrinkPropertyTest, ShrunkenWitnessesStaySmallAndValid) {
     const Pattern read = gen.GenerateLinear(&rng);
     const Pattern del = gen.GenerateLinear(&rng);
     if (del.output() == del.root()) continue;
-    Result<LinearConflictReport> detect = DetectReadDeleteConflictLinear(
+    Result<ConflictReport> detect = DetectReadDeleteConflictLinear(
         read, del, ConflictSemantics::kNode);
     ASSERT_TRUE(detect.ok());
-    if (!detect->conflict) continue;
+    if (!detect->conflict()) continue;
 
     // Inflate: hang random chains off every node of the witness.
     Tree inflated = CopyTree(*detect->witness);

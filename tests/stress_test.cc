@@ -99,10 +99,10 @@ TEST(StressTest, DetectionWithLargePatterns) {
     n = del.AddChild(n, symbols->Intern("s"), Axis::kDescendant);
   }
   del.SetOutput(n);
-  Result<LinearConflictReport> report = DetectReadDeleteConflictLinear(
+  Result<ConflictReport> report = DetectReadDeleteConflictLinear(
       read, del, ConflictSemantics::kNode, MatcherKind::kDp);
   ASSERT_TRUE(report.ok()) << report.status();
-  if (report->conflict) {
+  if (report->conflict()) {
     ASSERT_TRUE(report->witness.has_value());
     EXPECT_TRUE(IsReadDeleteWitness(read, del, *report->witness,
                                     ConflictSemantics::kNode));
