@@ -57,7 +57,7 @@ void BM_PtimeDecisionSameInstance(benchmark::State& state) {
   x.CreateRoot(bench::Symbols()->Intern("z"));
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        DetectReadInsertConflictLinear(read, ins, x,
+        DetectLinearReadInsertConflict(read, ins, x,
                                        ConflictSemantics::kNode));
   }
 }

@@ -34,7 +34,7 @@ void RunDetection(benchmark::State& state, size_t read_size,
   const Pattern del = RandomDelete(delete_size, 29, branching_delete);
   size_t conflicts = 0;
   for (auto _ : state) {
-    auto result = DetectReadDeleteConflictLinear(
+    auto result = DetectLinearReadDeleteConflict(
         read, del, ConflictSemantics::kNode, matcher, build_witness);
     conflicts += (result.ok() && result->conflict()) ? 1 : 0;
     benchmark::DoNotOptimize(conflicts);

@@ -42,7 +42,7 @@ void RunDetection(benchmark::State& state, size_t read_size,
   const Tree x = RandomContent(content_size, 41);
   size_t conflicts = 0;
   for (auto _ : state) {
-    auto result = DetectReadInsertConflictLinear(
+    auto result = DetectLinearReadInsertConflict(
         read, ins, x, ConflictSemantics::kNode, MatcherKind::kNfa,
         build_witness);
     conflicts += (result.ok() && result->conflict()) ? 1 : 0;

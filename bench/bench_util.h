@@ -75,13 +75,18 @@ inline bool EnableObsFromEnv() {
 ///   BENCH_<name>.json        — counters/gauges/histograms + span stats
 ///   BENCH_<name>_trace.json  — Chrome trace_event JSON (chrome://tracing)
 /// Files land in the working directory; CI uploads them as artifacts.
-inline void DumpObs(const char* name) {
+/// `extra_json`, when non-empty, must be one or more `"key":value` members
+/// (no surrounding braces) and is spliced into the top-level object —
+/// harness-computed results (e.g. bench_intern's key_lookup comparison)
+/// ride along in the same artifact CI already validates.
+inline void DumpObs(const char* name, const std::string& extra_json = "") {
   obs::TraceRecorder& recorder = obs::TraceRecorder::Default();
   const std::string stats_path = std::string("BENCH_") + name + ".json";
   std::ofstream stats(stats_path);
   stats << "{\"bench\":\"" << name << "\",\"obs_enabled\":"
-        << (recorder.enabled() ? "true" : "false")
-        << ",\"metrics\":" << obs::MetricsRegistry::Default().Snapshot().ToJson()
+        << (recorder.enabled() ? "true" : "false");
+  if (!extra_json.empty()) stats << "," << extra_json;
+  stats << ",\"metrics\":" << obs::MetricsRegistry::Default().Snapshot().ToJson()
         << ",\"trace\":" << recorder.ToStatsJson() << "}\n";
   stats.close();
 

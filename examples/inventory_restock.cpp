@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
     for (ConflictSemantics semantics :
          {ConflictSemantics::kNode, ConflictSemantics::kTree,
           ConflictSemantics::kValue}) {
-      Result<ConflictReport> r = DetectReadInsertConflictLinear(
+      Result<ConflictReport> r = DetectLinearReadInsertConflict(
           read, condition, *restock, semantics);
       if (!r.ok()) {
         std::cout << " err  ";

@@ -9,6 +9,7 @@
 #include "conflict/detector.h"
 #include "eval/evaluator.h"
 #include "ops/operations.h"
+#include "pattern/pattern_store.h"
 #include "pattern/xpath_parser.h"
 #include "xml/xml_parser.h"
 #include "xml/xml_writer.h"
@@ -43,12 +44,17 @@ int main() {
   insert.ApplyInPlace(&catalog);
   std::cout << "after insert:\n" << WriteXml(catalog, {.indent = 2});
 
-  // 4. Conflict detection: does this insert affect other reads?
+  // 4. Conflict detection: does this insert affect other reads?  Intern
+  //    patterns once into a PatternStore and detect via PatternRefs —
+  //    minimization and canonical codes are computed per distinct pattern,
+  //    not per Detect call.
+  auto store = std::make_shared<PatternStore>(symbols);
+  UpdateOp restock_insert =
+      UpdateOp::MakeInsert(low_books, insert.shared_content()).Bind(store);
   for (const char* read_xpath :
        {"catalog//restock", "catalog//title", "catalog/book"}) {
-    Pattern read = MustParseXPath(read_xpath, symbols);
-    Result<ConflictReport> report = Detect(
-        read, UpdateOp::MakeInsert(low_books, insert.shared_content()));
+    PatternRef read = store->Intern(MustParseXPath(read_xpath, symbols));
+    Result<ConflictReport> report = Detect(*store, read, restock_insert);
     if (!report.ok()) {
       std::cerr << "detection failed: " << report.status() << "\n";
       return 1;

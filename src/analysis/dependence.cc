@@ -6,6 +6,7 @@
 #include "conflict/update_independence.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "pattern/pattern_store.h"
 
 namespace xmlup {
 namespace {
@@ -87,15 +88,18 @@ DependenceAnalysisResult DependenceAnalyzer::Analyze(
   const auto& statements = program.statements();
 
   // Pass 1: collect every read/update pair on a shared variable for the
-  // batch engine; each statement enters the read/update pools once.
-  std::vector<Pattern> reads;
+  // batch engine; each statement enters the read/update pools once, and
+  // its pattern is interned into the engine's store here — the batch call
+  // below then runs entirely on refs, with no per-pair canonicalization.
+  const std::shared_ptr<PatternStore>& store = batch_.pattern_store();
+  std::vector<PatternRef> reads;
   std::vector<UpdateOp> updates;
   std::unordered_map<size_t, size_t> read_slot;    // statement → reads idx
   std::unordered_map<size_t, size_t> update_slot;  // statement → updates idx
   std::vector<ReadUpdatePair> pairs;
   auto read_index_of = [&](size_t s) {
     auto [it, inserted] = read_slot.emplace(s, reads.size());
-    if (inserted) reads.push_back(statements[s].pattern);
+    if (inserted) reads.push_back(store->Intern(statements[s].pattern));
     return it->second;
   };
   auto update_index_of = [&](size_t s) -> std::optional<size_t> {
@@ -104,7 +108,7 @@ DependenceAnalysisResult DependenceAnalyzer::Analyze(
     std::optional<UpdateOp> op = ToUpdateOp(statements[s]);
     if (!op.has_value()) return std::nullopt;  // malformed: resolved inline
     update_slot.emplace(s, updates.size());
-    updates.push_back(*std::move(op));
+    updates.push_back(op->Bind(store));
     return updates.size() - 1;
   };
   for (size_t i = 0; i < statements.size(); ++i) {

@@ -2,12 +2,9 @@
 
 #include <utility>
 
-#include "conflict/minimize.h"
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
 #include "obs/trace.h"
-#include "pattern/pattern_ops.h"
-#include "xml/isomorphism.h"
 
 namespace xmlup {
 namespace {
@@ -35,39 +32,8 @@ struct BatchMetrics {
   }
 };
 
-/// Options that can change a verdict (Unknowns depend on the search
-/// budget) are folded into the cache key, so one engine reconfigured via
-/// a new instance never aliases another's entries.
-std::string OptionsSuffix(const DetectorOptions& options) {
-  std::string s = "#";
-  s += std::to_string(static_cast<int>(options.semantics));
-  s += ',';
-  s += std::to_string(static_cast<int>(options.matcher));
-  s += ',';
-  s += std::to_string(options.search.max_nodes);
-  s += ',';
-  s += std::to_string(options.search.extra_labels);
-  s += ',';
-  s += std::to_string(options.search.max_trees);
-  return s;
-}
-
-std::string PairKey(const std::string& read_code,
-                    const UpdateOp::Kind kind,
-                    const std::string& update_code,
-                    const std::string& content_code,
-                    const std::string& options_suffix) {
-  std::string key = kind == UpdateOp::Kind::kInsert ? "I" : "D";
-  key += read_code;
-  key += '|';
-  key += update_code;
-  key += '|';
-  key += content_code;
-  key += options_suffix;
-  return key;
-}
-
-/// One job = one unified-facade call on the canonicalized pair.
+/// One job = one unified-facade call on the canonicalized pair fetched
+/// from the store.
 Result<ConflictReport> SolvePair(const Pattern& read, const UpdateOp& update,
                                  const Pattern& update_pattern,
                                  const DetectorOptions& options) {
@@ -85,7 +51,12 @@ Result<ConflictReport> SolvePair(const Pattern& read, const UpdateOp& update,
 }  // namespace
 
 BatchConflictDetector::BatchConflictDetector(BatchDetectorOptions options)
-    : options_(options) {
+    : options_(std::move(options)) {
+  store_ = options_.store != nullptr
+               ? options_.store
+               : std::make_shared<PatternStore>(
+                     nullptr,
+                     PatternStoreOptions{options_.minimize_patterns});
   const size_t threads = options_.num_threads == 0
                              ? ThreadPool::DefaultThreadCount()
                              : options_.num_threads;
@@ -94,19 +65,23 @@ BatchConflictDetector::BatchConflictDetector(BatchDetectorOptions options)
 
 void BatchConflictDetector::ClearCache() { cache_.clear(); }
 
-std::string BatchConflictDetector::CacheKey(const Pattern& read,
-                                            const UpdateOp& update) const {
-  const Pattern read_canonical =
-      options_.minimize_patterns ? MinimizePattern(read) : read;
-  const Pattern update_canonical =
-      options_.minimize_patterns ? MinimizePattern(update.pattern())
-                                 : update.pattern();
-  return PairKey(CanonicalPatternCode(read_canonical), update.kind(),
-                 CanonicalPatternCode(update_canonical),
-                 update.kind() == UpdateOp::Kind::kInsert
-                     ? CanonicalCode(update.content())
-                     : std::string(),
-                 OptionsSuffix(options_.detector));
+PatternRef BatchConflictDetector::UpdateRef(const UpdateOp& update) {
+  if (update.pattern_store() == store_.get() && update.pattern_ref().valid()) {
+    return update.pattern_ref();
+  }
+  return store_->Intern(update.pattern());
+}
+
+BatchPairKey BatchConflictDetector::CacheKey(const Pattern& read,
+                                             const UpdateOp& update) {
+  BatchPairKey key;
+  key.read_id = store_->Intern(read).id();
+  key.update_id = UpdateRef(update).id();
+  key.kind = static_cast<uint8_t>(update.kind());
+  if (update.kind() == UpdateOp::Kind::kInsert) {
+    key.content_id = store_->InternContentCode(update.content());
+  }
+  return key;
 }
 
 std::vector<SharedConflictResult> BatchConflictDetector::DetectMatrix(
@@ -121,8 +96,36 @@ std::vector<SharedConflictResult> BatchConflictDetector::DetectMatrix(
   return DetectPairs(reads, updates, pairs);
 }
 
+std::vector<SharedConflictResult> BatchConflictDetector::DetectMatrix(
+    const std::vector<PatternRef>& reads,
+    const std::vector<UpdateOp>& updates) {
+  std::vector<ReadUpdatePair> pairs;
+  pairs.reserve(reads.size() * updates.size());
+  for (size_t i = 0; i < reads.size(); ++i) {
+    for (size_t j = 0; j < updates.size(); ++j) {
+      pairs.push_back({i, j});
+    }
+  }
+  return DetectPairs(reads, updates, pairs);
+}
+
 std::vector<SharedConflictResult> BatchConflictDetector::DetectPairs(
     const std::vector<Pattern>& reads, const std::vector<UpdateOp>& updates,
+    const std::vector<ReadUpdatePair>& pairs) {
+  // Intern-on-entry compatibility path. Interning is the only
+  // canonicalization cost left, paid once per distinct pattern over the
+  // *store's* lifetime — a pattern seen in an earlier call costs one code
+  // build and a hash probe here, never a re-minimization.
+  obs::TraceSpan span("batch.intern_reads");
+  std::vector<PatternRef> read_refs(reads.size());
+  ParallelFor(pool_.get(), reads.size(), [&](size_t i) {
+    read_refs[i] = store_->Intern(reads[i]);
+  });
+  return DetectPairs(read_refs, updates, pairs);
+}
+
+std::vector<SharedConflictResult> BatchConflictDetector::DetectPairs(
+    const std::vector<PatternRef>& reads, const std::vector<UpdateOp>& updates,
     const std::vector<ReadUpdatePair>& pairs) {
   const BatchMetrics& metrics = BatchMetrics::Get();
   obs::TraceRecorder& recorder = obs::TraceRecorder::Default();
@@ -130,56 +133,37 @@ std::vector<SharedConflictResult> BatchConflictDetector::DetectPairs(
   stats_.pairs_total += pairs.size();
   metrics.pairs_total.Increment(pairs.size());
 
-  // Phase 1 — canonicalize every input once, in parallel. Minimization
-  // (a quadratic homomorphism fixpoint) is the expensive part; a pattern
-  // repeated across many pairs is minimized exactly once.
+  // Phase 1 — intern every update once, in parallel (reads arrive as refs;
+  // ops bound to this engine's store skip interning entirely). The store
+  // memoizes minimization and canonical codes across calls, so this phase
+  // does real work only for patterns the engine has never seen.
   const size_t n_reads = reads.size();
   const size_t n_updates = updates.size();
-  std::vector<Pattern> canonical_reads;
-  std::vector<Pattern> canonical_update_patterns;
-  canonical_reads.reserve(n_reads);
-  canonical_update_patterns.reserve(n_updates);
-  for (const Pattern& read : reads) canonical_reads.push_back(read);
-  for (const UpdateOp& update : updates) {
-    canonical_update_patterns.push_back(update.pattern());
-  }
-  std::vector<std::string> read_codes(n_reads);
-  std::vector<std::string> update_codes(n_updates);
-  std::vector<std::string> content_codes(n_updates);
+  std::vector<PatternRef> update_refs(n_updates);
+  std::vector<uint32_t> content_ids(n_updates, 0);
   {
     obs::TraceSpan phase_span(recorder, "batch.canonicalize");
-    ParallelFor(pool_.get(), n_reads + n_updates, [&](size_t index) {
-      if (index < n_reads) {
-        if (options_.minimize_patterns) {
-          canonical_reads[index] = MinimizePattern(canonical_reads[index]);
-        }
-        read_codes[index] = CanonicalPatternCode(canonical_reads[index]);
-        return;
-      }
-      const size_t j = index - n_reads;
-      if (options_.minimize_patterns) {
-        canonical_update_patterns[j] =
-            MinimizePattern(canonical_update_patterns[j]);
-      }
-      update_codes[j] = CanonicalPatternCode(canonical_update_patterns[j]);
+    ParallelFor(pool_.get(), n_updates, [&](size_t j) {
+      update_refs[j] = UpdateRef(updates[j]);
       if (updates[j].kind() == UpdateOp::Kind::kInsert) {
-        content_codes[j] = CanonicalCode(updates[j].content());
+        content_ids[j] = store_->InternContentCode(updates[j].content());
       }
     });
   }
 
   // Phase 2 — resolve each pair against the cache (sequential, in pair
-  // order, so job creation order is deterministic). With the cache
-  // disabled every pair becomes its own job: no dedup, honest baseline.
+  // order, so job creation order is deterministic). Keys are integer
+  // tuples of store ids: building one is four register writes, probing the
+  // map one integer hash. With the cache disabled every pair becomes its
+  // own job: no dedup, honest baseline.
   struct Job {
-    std::string key;
+    BatchPairKey key;
     size_t read_index;
     size_t update_index;
     SharedConflictResult result;
   };
-  const std::string options_suffix = OptionsSuffix(options_.detector);
   std::vector<Job> jobs;
-  std::unordered_map<std::string, size_t> job_by_key;
+  std::unordered_map<BatchPairKey, size_t, BatchPairKeyHash> job_by_key;
   std::vector<SharedConflictResult> out(pairs.size());
   // pending[k] is the job that will fill out[k] (kNone if already filled).
   constexpr size_t kNone = static_cast<size_t>(-1);
@@ -189,9 +173,8 @@ std::vector<SharedConflictResult> BatchConflictDetector::DetectPairs(
     const size_t i = pairs[k].read_index;
     const size_t j = pairs[k].update_index;
     XMLUP_CHECK(i < n_reads && j < n_updates);
-    std::string key = PairKey(read_codes[i], updates[j].kind(),
-                              update_codes[j], content_codes[j],
-                              options_suffix);
+    const BatchPairKey key{reads[i].id(), update_refs[j].id(), content_ids[j],
+                           static_cast<uint8_t>(updates[j].kind())};
     if (options_.enable_cache) {
       auto cached = cache_.find(key);
       if (cached != cache_.end()) {
@@ -199,15 +182,15 @@ std::vector<SharedConflictResult> BatchConflictDetector::DetectPairs(
         ++hits_this_call;
         continue;
       }
-      auto [it, inserted] = job_by_key.emplace(std::move(key), jobs.size());
+      auto [it, inserted] = job_by_key.emplace(key, jobs.size());
       if (!inserted) {
         pending[k] = it->second;
         ++hits_this_call;
         continue;
       }
-      jobs.push_back({it->first, i, j, nullptr});
+      jobs.push_back({key, i, j, nullptr});
     } else {
-      jobs.push_back({std::move(key), i, j, nullptr});
+      jobs.push_back({key, i, j, nullptr});
     }
     pending[k] = jobs.size() - 1;
   }
@@ -221,12 +204,13 @@ std::vector<SharedConflictResult> BatchConflictDetector::DetectPairs(
   XMLUP_CHECK(hits_this_call + jobs.size() == pairs.size());
   XMLUP_CHECK(stats_.cache_hits + stats_.cache_misses == stats_.pairs_total);
 
-  // Phase 3 — solve every job on the pool. Each job writes only its own
-  // slot, so the result layout is independent of scheduling. Trace spans
-  // are buffered per job and merged once after the pool drains — except in
-  // inline mode (num_threads <= 1, no workers), where everything already
-  // runs on the calling thread in order, so per-worker span merging is
-  // skipped and events are recorded directly.
+  // Phase 3 — solve every job on the pool against the store's
+  // pre-minimized forms. Each job writes only its own slot, so the result
+  // layout is independent of scheduling. Trace spans are buffered per job
+  // and merged once after the pool drains — except in inline mode
+  // (num_threads <= 1, no workers), where everything already runs on the
+  // calling thread in order, so per-worker span merging is skipped and
+  // events are recorded directly.
   const bool inline_mode = pool_->num_workers() == 0;
   const bool tracing = recorder.enabled();
   std::vector<obs::TraceEvent> job_events(
@@ -238,8 +222,9 @@ std::vector<SharedConflictResult> BatchConflictDetector::DetectPairs(
       const uint64_t start_us = tracing ? recorder.NowMicros() : 0;
       obs::ScopedTimer job_timer(&metrics.solve_pair_us);
       job.result = std::make_shared<const Result<ConflictReport>>(
-          SolvePair(canonical_reads[job.read_index], updates[job.update_index],
-                    canonical_update_patterns[job.update_index],
+          SolvePair(store_->pattern(reads[job.read_index]),
+                    updates[job.update_index],
+                    store_->pattern(update_refs[job.update_index]),
                     options_.detector));
       if (!tracing) return;
       obs::TraceEvent event;

@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -12,6 +11,7 @@
 #include "conflict/detector.h"
 #include "conflict/update_op.h"
 #include "pattern/pattern.h"
+#include "pattern/pattern_store.h"
 
 namespace xmlup {
 
@@ -19,8 +19,8 @@ namespace xmlup {
 /// analysis needs a verdict for *every* read/update pair of a program, not
 /// one pair at a time). Given N reads and M updates it computes the full
 /// N×M ConflictReport matrix — or any sparse subset of it — on a
-/// fixed-size thread pool, with a memoization cache keyed on canonical
-/// pattern pairs.
+/// fixed-size thread pool, with a memoization cache keyed on interned
+/// canonical pattern pairs.
 ///
 /// Determinism guarantee: results are keyed by pair index, and every
 /// distinct canonical pair is solved by exactly one detector invocation
@@ -30,14 +30,15 @@ namespace xmlup {
 /// the renaming of fresh "alpha$n" labels, whose table ids depend on
 /// interning order.)
 ///
-/// Memoization key: kind byte + CanonicalPatternCode of the (optionally
-/// minimized) read and update patterns + CanonicalCode of the inserted
-/// content + the semantics/matcher/search-budget options. Minimization
-/// (conflict/minimize.h) folds equivalent-but-not-identical patterns onto
-/// one key, so the repeated patterns emitted by workload/program_generator
-/// hit the cache instead of re-running the PTIME algorithms or the
-/// bounded search. The cache persists across Detect* calls until
-/// ClearCache().
+/// Memoization: each input pattern is interned once into a PatternStore
+/// (which minimizes and canonicalizes exactly once per distinct pattern,
+/// see pattern/pattern_store.h); the cache key is the all-integer
+/// BatchPairKey (read ref, update kind, update ref, content id). Two pairs
+/// share a key iff their canonicalized problems coincide, so the repeated
+/// patterns emitted by workload/program_generator hit the cache instead of
+/// re-running the PTIME algorithms or the bounded search. Both the store
+/// and the cache persist across Detect* calls (ClearCache() drops only the
+/// result cache; interned patterns are kept — they are immutable facts).
 struct BatchDetectorOptions {
   DetectorOptions detector;
   /// Worker threads; 0 means ThreadPool::DefaultThreadCount(). 1 runs
@@ -45,11 +46,15 @@ struct BatchDetectorOptions {
   size_t num_threads = 0;
   /// Memoize results keyed on canonical pattern pairs.
   bool enable_cache = true;
-  /// Canonicalize patterns through MinimizePattern before keying and
-  /// solving. Sound (minimization is equivalence-preserving) and makes
-  /// equivalent patterns share cache entries; costs one minimization per
-  /// distinct input pattern.
+  /// Canonicalize patterns through MinimizePattern at intern time. Sound
+  /// (minimization is equivalence-preserving) and makes equivalent
+  /// patterns share refs (hence cache entries); costs one minimization per
+  /// distinct input pattern over the engine's lifetime. Ignored when
+  /// `store` is injected (the store's own setting governs).
   bool minimize_patterns = true;
+  /// Pattern interner shared with the caller (and possibly other engines
+  /// over the same SymbolTable). Null: the engine creates a private store.
+  std::shared_ptr<PatternStore> store;
 };
 
 struct BatchStats {
@@ -77,35 +82,90 @@ struct ReadUpdatePair {
   size_t update_index;
 };
 
+/// The engine's memo key: all integers, so hashing is a few multiplies and
+/// equality one comparison — no string building on the per-pair path. Safe
+/// without a detector-options leg because the cache is per-engine and an
+/// engine's options are immutable after construction.
+struct BatchPairKey {
+  uint32_t read_id = 0;
+  uint32_t update_id = 0;
+  /// Content-code id for inserts; 0 for deletes (disambiguated by kind).
+  uint32_t content_id = 0;
+  uint8_t kind = 0;
+
+  friend bool operator==(const BatchPairKey& a, const BatchPairKey& b) {
+    return a.read_id == b.read_id && a.update_id == b.update_id &&
+           a.content_id == b.content_id && a.kind == b.kind;
+  }
+  friend bool operator!=(const BatchPairKey& a, const BatchPairKey& b) {
+    return !(a == b);
+  }
+};
+
+struct BatchPairKeyHash {
+  size_t operator()(const BatchPairKey& k) const {
+    // Pack into one 64-bit word (ids are store-dense, far below 2^21 in
+    // practice) and mix; collisions beyond the packing fall back to
+    // operator== in the map.
+    uint64_t packed = (static_cast<uint64_t>(k.read_id) << 32) ^
+                      (static_cast<uint64_t>(k.content_id) << 9) ^
+                      (static_cast<uint64_t>(k.update_id) << 1) ^ k.kind;
+    packed ^= packed >> 33;
+    packed *= 0xff51afd7ed558ccdULL;
+    packed ^= packed >> 33;
+    return static_cast<size_t>(packed);
+  }
+};
+
 class BatchConflictDetector {
  public:
   explicit BatchConflictDetector(BatchDetectorOptions options = {});
 
   /// Full N×M matrix in row-major order: result[i * updates.size() + j]
-  /// is the verdict for (reads[i], updates[j]).
+  /// is the verdict for (reads[i], updates[j]). The Pattern overloads
+  /// intern on entry; the PatternRef overloads skip straight to the
+  /// integer-keyed path (refs must come from this engine's store).
   std::vector<SharedConflictResult> DetectMatrix(
       const std::vector<Pattern>& reads, const std::vector<UpdateOp>& updates);
+  std::vector<SharedConflictResult> DetectMatrix(
+      const std::vector<PatternRef>& reads,
+      const std::vector<UpdateOp>& updates);
 
   /// Sparse subset of the matrix; result[k] corresponds to pairs[k].
   /// Indices must be in range.
   std::vector<SharedConflictResult> DetectPairs(
       const std::vector<Pattern>& reads, const std::vector<UpdateOp>& updates,
       const std::vector<ReadUpdatePair>& pairs);
+  std::vector<SharedConflictResult> DetectPairs(
+      const std::vector<PatternRef>& reads,
+      const std::vector<UpdateOp>& updates,
+      const std::vector<ReadUpdatePair>& pairs);
 
   const BatchStats& stats() const { return stats_; }
   void ResetStats() { stats_ = BatchStats(); }
 
-  /// Drops all memoized results (stats are kept).
+  /// Drops all memoized results (stats and interned patterns are kept).
   void ClearCache();
 
-  /// Cache key for a (read, update) pair under this engine's options.
-  /// Exposed for tests.
-  std::string CacheKey(const Pattern& read, const UpdateOp& update) const;
+  /// The engine's pattern interner. Callers that build their inputs
+  /// against it (Intern + ref overloads / UpdateOp::Bind) skip per-call
+  /// canonicalization entirely.
+  const std::shared_ptr<PatternStore>& pattern_store() const { return store_; }
+
+  /// Cache key for a (read, update) pair under this engine's store.
+  /// Interns both patterns (and the content code). Exposed for tests.
+  BatchPairKey CacheKey(const Pattern& read, const UpdateOp& update);
 
  private:
+  /// The update ref within store_, reusing the op's own ref when it was
+  /// bound to the same store.
+  PatternRef UpdateRef(const UpdateOp& update);
+
   BatchDetectorOptions options_;
+  std::shared_ptr<PatternStore> store_;
   std::unique_ptr<ThreadPool> pool_;
-  std::unordered_map<std::string, SharedConflictResult> cache_;
+  std::unordered_map<BatchPairKey, SharedConflictResult, BatchPairKeyHash>
+      cache_;
   BatchStats stats_;
 };
 

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "pattern/pattern.h"
+#include "pattern/pattern_store.h"
 #include "xml/tree.h"
 
 namespace xmlup {
@@ -21,6 +22,14 @@ namespace xmlup {
 /// nothing.
 bool HasContainmentHomomorphism(const Pattern& p, const Pattern& q);
 
+/// Ref-based variant over patterns interned in `store`. Containment is a
+/// semantic property, so deciding it on the store's minimized forms agrees
+/// with the original patterns; only the *counterexample* of
+/// DecideContainment may differ syntactically (it is a model of the
+/// minimized p, which is still a model of the original p).
+bool HasContainmentHomomorphism(const PatternStore& store, PatternRef p,
+                                PatternRef q);
+
 /// Exact decision via canonical models: p ⊆ q iff q embeds into every
 /// canonical model of p, where canonical models replace each wildcard with
 /// a fresh symbol z and each descendant edge with a chain of 0..w z-nodes,
@@ -36,6 +45,8 @@ struct ContainmentDecision {
 };
 
 ContainmentDecision DecideContainment(const Pattern& p, const Pattern& q);
+ContainmentDecision DecideContainment(const PatternStore& store, PatternRef p,
+                                      PatternRef q);
 
 /// Number of canonical models the exact decision would enumerate —
 /// (w+1)^d; used by benchmark E6.

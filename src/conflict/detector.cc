@@ -133,14 +133,14 @@ Result<ConflictReport> DetectInsertImpl(const Pattern& read,
   const DetectorMetrics& metrics = DetectorMetrics::Get();
   if (read.IsLinear()) {
     metrics.dispatch_linear.Increment();
-    return DetectReadInsertConflictLinear(read, insert_pattern, inserted,
+    return DetectLinearReadInsertConflict(read, insert_pattern, inserted,
                                           options.semantics, options.matcher);
   }
   metrics.dispatch_branching.Increment();
   // Heuristic: conflict of the read's mainline often extends to the full
   // branching read once its predicates are satisfiable everywhere.
   Result<ConflictReport> mainline_report =
-      DetectReadInsertConflictLinear(Mainline(read), insert_pattern, inserted,
+      DetectLinearReadInsertConflict(Mainline(read), insert_pattern, inserted,
                                      options.semantics, options.matcher);
   if (mainline_report.ok()) {
     std::optional<Tree> candidate = TryMainlineWitness(
@@ -168,12 +168,12 @@ Result<ConflictReport> DetectDeleteImpl(const Pattern& read,
   const DetectorMetrics& metrics = DetectorMetrics::Get();
   if (read.IsLinear()) {
     metrics.dispatch_linear.Increment();
-    return DetectReadDeleteConflictLinear(read, delete_pattern,
+    return DetectLinearReadDeleteConflict(read, delete_pattern,
                                           options.semantics, options.matcher);
   }
   metrics.dispatch_branching.Increment();
   Result<ConflictReport> mainline_report =
-      DetectReadDeleteConflictLinear(Mainline(read), delete_pattern,
+      DetectLinearReadDeleteConflict(Mainline(read), delete_pattern,
                                      options.semantics, options.matcher);
   if (mainline_report.ok()) {
     std::optional<Tree> candidate = TryMainlineWitness(
@@ -212,23 +212,10 @@ Result<ConflictReport> Detect(const Pattern& read, const UpdateOp& update,
   return result;
 }
 
-Result<ConflictReport> DetectReadInsert(const Pattern& read,
-                                        const Pattern& insert_pattern,
-                                        const Tree& inserted,
-                                        const DetectorOptions& options) {
-  return Detect(read,
-                UpdateOp::MakeInsert(
-                    insert_pattern,
-                    std::make_shared<const Tree>(CopyTree(inserted))),
-                options);
-}
-
-Result<ConflictReport> DetectReadDelete(const Pattern& read,
-                                        const Pattern& delete_pattern,
-                                        const DetectorOptions& options) {
-  XMLUP_ASSIGN_OR_RETURN(UpdateOp update,
-                         UpdateOp::MakeDelete(delete_pattern));
-  return Detect(read, update, options);
+Result<ConflictReport> Detect(const PatternStore& store, PatternRef read,
+                              const UpdateOp& update,
+                              const DetectorOptions& options) {
+  return Detect(store.pattern(read), update, options);
 }
 
 }  // namespace xmlup

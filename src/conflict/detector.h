@@ -8,6 +8,7 @@
 #include "conflict/witness_check.h"
 #include "match/matching.h"
 #include "pattern/pattern.h"
+#include "pattern/pattern_store.h"
 #include "xml/tree.h"
 
 namespace xmlup {
@@ -34,21 +35,15 @@ struct DetectorOptions {
 Result<ConflictReport> Detect(const Pattern& read, const UpdateOp& update,
                               const DetectorOptions& options = {});
 
-/// Deprecated pre-facade entry point: wraps the arguments in an insert
-/// UpdateOp (copying `inserted` into shared content) and calls Detect().
-/// New code should build an UpdateOp once and call Detect() directly.
-[[deprecated("use Detect(read, UpdateOp::MakeInsert(...), options)")]]
-Result<ConflictReport> DetectReadInsert(const Pattern& read,
-                                        const Pattern& insert_pattern,
-                                        const Tree& inserted,
-                                        const DetectorOptions& options = {});
-
-/// Deprecated pre-facade entry point: wraps the arguments in a delete
-/// UpdateOp and calls Detect().
-[[deprecated("use Detect(read, UpdateOp::MakeDelete(...), options)")]]
-Result<ConflictReport> DetectReadDelete(const Pattern& read,
-                                        const Pattern& delete_pattern,
-                                        const DetectorOptions& options = {});
+/// Ref-based entry point: the read is an interned pattern; the detector
+/// fetches its pre-minimized form from `store` (O(1), no canonicalization)
+/// and otherwise behaves exactly like the value overload. The verdict is
+/// identical to Detect(store.pattern(read), ...) by construction, and to
+/// detection on the original (un-minimized) pattern because minimization
+/// is equivalence-preserving.
+Result<ConflictReport> Detect(const PatternStore& store, PatternRef read,
+                              const UpdateOp& update,
+                              const DetectorOptions& options = {});
 
 }  // namespace xmlup
 

@@ -76,7 +76,7 @@ Result<Tree> BuildSubtreeModificationWitness(const Pattern& read,
 
 }  // namespace
 
-Result<ConflictReport> DetectReadDeleteConflictLinear(
+Result<ConflictReport> DetectLinearReadDeleteConflict(
     const Pattern& read, const Pattern& delete_pattern,
     ConflictSemantics semantics, MatcherKind matcher, bool build_witness) {
   if (!read.IsLinear()) {

@@ -29,7 +29,7 @@ namespace xmlup {
 /// bug) surfaces as an Internal error.
 /// Returns a ConflictReport with method == kLinearPtime and a definitive
 /// verdict (the linear algorithms are complete — never kUnknown).
-Result<ConflictReport> DetectReadDeleteConflictLinear(
+Result<ConflictReport> DetectLinearReadDeleteConflict(
     const Pattern& read, const Pattern& delete_pattern,
     ConflictSemantics semantics = ConflictSemantics::kNode,
     MatcherKind matcher = MatcherKind::kNfa,

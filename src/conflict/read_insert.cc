@@ -60,7 +60,7 @@ Result<Tree> BuildSubtreeModificationWitness(const Pattern& read,
 
 }  // namespace
 
-Result<ConflictReport> DetectReadInsertConflictLinear(
+Result<ConflictReport> DetectLinearReadInsertConflict(
     const Pattern& read, const Pattern& insert_pattern, const Tree& inserted,
     ConflictSemantics semantics, MatcherKind matcher, bool build_witness) {
   if (!read.IsLinear()) {

@@ -29,7 +29,7 @@ namespace xmlup {
 /// with the Lemma 1 checker.
 /// Returns a ConflictReport with method == kLinearPtime and a definitive
 /// verdict (the linear algorithms are complete — never kUnknown).
-Result<ConflictReport> DetectReadInsertConflictLinear(
+Result<ConflictReport> DetectLinearReadInsertConflict(
     const Pattern& read, const Pattern& insert_pattern, const Tree& inserted,
     ConflictSemantics semantics = ConflictSemantics::kNode,
     MatcherKind matcher = MatcherKind::kNfa,

@@ -3,13 +3,19 @@
 namespace xmlup {
 namespace {
 
-/// Treats `update`'s own pattern evaluation as a read and asks whether the
-/// other update can ever change it (node semantics).
-Result<ConflictReport> PatternVsUpdate(const Pattern& read,
+/// Treats `read_op`'s own pattern evaluation as a read and asks whether
+/// the other update can ever change it (node semantics). Ops bound to a
+/// PatternStore go through the ref facade, so transaction-level callers
+/// that Bind their ops once pay no per-pair canonicalization here.
+Result<ConflictReport> PatternVsUpdate(const UpdateOp& read_op,
                                        const UpdateOp& update,
                                        DetectorOptions options) {
   options.semantics = ConflictSemantics::kNode;
-  return Detect(read, update, options);
+  if (read_op.pattern_store() != nullptr && read_op.pattern_ref().valid()) {
+    return Detect(*read_op.pattern_store(), read_op.pattern_ref(), update,
+                  options);
+  }
+  return Detect(read_op.pattern(), update, options);
 }
 
 }  // namespace
@@ -24,7 +30,7 @@ Result<IndependenceReport> CertifyUpdatesCommute(
   // other order deletes, and fresh inserted copies are never selected; the
   // two results are isomorphic.
   XMLUP_ASSIGN_OR_RETURN(ConflictReport o1_affects_o2,
-                         PatternVsUpdate(o2.pattern(), o1, options));
+                         PatternVsUpdate(o2, o1, options));
   if (o1_affects_o2.verdict != ConflictVerdict::kNoConflict) {
     report.certificate = CommutativityCertificate::kUnknown;
     report.detail =
@@ -33,7 +39,7 @@ Result<IndependenceReport> CertifyUpdatesCommute(
     return report;
   }
   XMLUP_ASSIGN_OR_RETURN(ConflictReport o2_affects_o1,
-                         PatternVsUpdate(o1.pattern(), o2, options));
+                         PatternVsUpdate(o1, o2, options));
   if (o2_affects_o1.verdict != ConflictVerdict::kNoConflict) {
     report.certificate = CommutativityCertificate::kUnknown;
     report.detail =

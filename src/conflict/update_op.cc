@@ -21,6 +21,41 @@ Result<UpdateOp> UpdateOp::MakeDelete(Pattern pattern) {
   return UpdateOp(DeleteDesc{std::move(pattern)});
 }
 
+UpdateOp UpdateOp::MakeInsert(std::shared_ptr<const PatternStore> store,
+                              PatternRef pattern,
+                              std::shared_ptr<const Tree> content) {
+  XMLUP_CHECK(store != nullptr && pattern.valid());
+  UpdateOp op = MakeInsert(store->pattern(pattern), std::move(content));
+  op.store_ = std::move(store);
+  op.pattern_ref_ = pattern;
+  return op;
+}
+
+Result<UpdateOp> UpdateOp::MakeDelete(std::shared_ptr<const PatternStore> store,
+                                      PatternRef pattern) {
+  XMLUP_CHECK(store != nullptr && pattern.valid());
+  XMLUP_ASSIGN_OR_RETURN(UpdateOp op, MakeDelete(store->pattern(pattern)));
+  op.store_ = std::move(store);
+  op.pattern_ref_ = pattern;
+  return op;
+}
+
+UpdateOp UpdateOp::Bind(const std::shared_ptr<PatternStore>& store) const {
+  XMLUP_CHECK(store != nullptr);
+  const PatternRef ref = store->Intern(pattern());
+  return Visit(
+      [&](const InsertDesc& insert) {
+        return MakeInsert(store, ref, insert.content);
+      },
+      [&](const DeleteDesc&) {
+        // The original op passed the root check and minimization never
+        // reroots the output, so re-construction cannot fail.
+        Result<UpdateOp> bound = MakeDelete(store, ref);
+        XMLUP_CHECK(bound.ok());
+        return *std::move(bound);
+      });
+}
+
 const Pattern& UpdateOp::pattern() const {
   return Visit([](const InsertDesc& i) -> const Pattern& { return i.pattern; },
                [](const DeleteDesc& d) -> const Pattern& { return d.pattern; });

@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "pattern/pattern.h"
+#include "pattern/pattern_store.h"
 #include "xml/tree.h"
 
 namespace xmlup {
@@ -41,6 +42,29 @@ class UpdateOp {
   /// Fails if the delete pattern selects the root.
   static Result<UpdateOp> MakeDelete(Pattern pattern);
 
+  /// Ref-based factories: the op's pattern is `store->pattern(pattern)`
+  /// (the interned canonical form) and the op carries the ref, so layers
+  /// that memoize on pattern identity (batch engine, pair loops) use the
+  /// integer id instead of re-canonicalizing. `store` must be non-null and
+  /// `pattern` minted by it.
+  static UpdateOp MakeInsert(std::shared_ptr<const PatternStore> store,
+                             PatternRef pattern,
+                             std::shared_ptr<const Tree> content);
+  static Result<UpdateOp> MakeDelete(std::shared_ptr<const PatternStore> store,
+                                     PatternRef pattern);
+
+  /// A copy of this op bound to `store`: its pattern interned (minimized)
+  /// and the ref recorded. Amortizes canonicalization across pair loops
+  /// (update_independence, transactions, batch). Equivalence-preserving:
+  /// the bound op selects the same nodes on every tree.
+  UpdateOp Bind(const std::shared_ptr<PatternStore>& store) const;
+
+  /// The interning ref, or an invalid ref for ops built from raw Patterns.
+  PatternRef pattern_ref() const { return pattern_ref_; }
+  /// The store `pattern_ref()` belongs to; null for ops built from raw
+  /// Patterns.
+  const PatternStore* pattern_store() const { return store_.get(); }
+
   Kind kind() const {
     return std::holds_alternative<InsertDesc>(op_) ? Kind::kInsert
                                                    : Kind::kDelete;
@@ -70,6 +94,10 @@ class UpdateOp {
   explicit UpdateOp(std::variant<InsertDesc, DeleteDesc> op);
 
   std::variant<InsertDesc, DeleteDesc> op_;
+  /// Set only by the ref-based factories / Bind(); keeps the op cheaply
+  /// copyable (shared_ptr + 32-bit id).
+  std::shared_ptr<const PatternStore> store_;
+  PatternRef pattern_ref_;
 };
 
 }  // namespace xmlup

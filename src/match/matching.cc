@@ -56,6 +56,16 @@ MatchResult MatchWeakly(const Pattern& l1, const Pattern& l2,
   return MatchViaNfa(l1, l2, /*weak=*/true);
 }
 
+MatchResult MatchStrongly(const PatternStore& store, PatternRef l1,
+                          PatternRef l2, MatcherKind kind) {
+  return MatchStrongly(store.pattern(l1), store.pattern(l2), kind);
+}
+
+MatchResult MatchWeakly(const PatternStore& store, PatternRef l1,
+                        PatternRef l2, MatcherKind kind) {
+  return MatchWeakly(store.pattern(l1), store.pattern(l2), kind);
+}
+
 Tree WordToPathTree(const ClassWord& word,
                     const std::shared_ptr<SymbolTable>& symbols,
                     Label filler) {

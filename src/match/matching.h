@@ -6,6 +6,7 @@
 #include "automata/nfa_ops.h"
 #include "automata/regex.h"
 #include "pattern/pattern.h"
+#include "pattern/pattern_store.h"
 #include "xml/tree.h"
 
 namespace xmlup {
@@ -45,6 +46,16 @@ MatchResult MatchStrongly(const Pattern& l1, const Pattern& l2,
                           MatcherKind kind = MatcherKind::kNfa);
 MatchResult MatchWeakly(const Pattern& l1, const Pattern& l2,
                         MatcherKind kind = MatcherKind::kNfa);
+
+/// Ref-based entry points: both patterns are interned refs resolved
+/// against `store` (O(1) lookup of the pre-minimized forms). Matching is
+/// invariant under minimization (it is equivalence-preserving), so these
+/// agree with the value overloads on the original patterns. Both refs must
+/// denote linear patterns (PatternStore::linear()).
+MatchResult MatchStrongly(const PatternStore& store, PatternRef l1,
+                          PatternRef l2, MatcherKind kind = MatcherKind::kNfa);
+MatchResult MatchWeakly(const PatternStore& store, PatternRef l1,
+                        PatternRef l2, MatcherKind kind = MatcherKind::kNfa);
 
 /// Materializes a witness word as a path tree, resolving Any classes to
 /// `filler`. The word must be non-empty.

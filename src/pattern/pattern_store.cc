@@ -1,0 +1,151 @@
+#include "pattern/pattern_store.h"
+
+#include <utility>
+
+#include "common/check.h"
+// The interner canonicalizes through the conflict layer's minimizer; this is
+// the one place the pattern module reaches upward, so every layer above gets
+// pre-minimized forms for free.
+#include "conflict/minimize.h"
+#include "obs/metrics.h"
+#include "pattern/pattern_ops.h"
+#include "xml/isomorphism.h"
+
+namespace xmlup {
+namespace {
+
+/// Store observability, aggregated across every store in the process (the
+/// same convention as the batch.* counters).
+struct StoreMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& bytes;
+
+  static const StoreMetrics& Get() {
+    static const StoreMetrics* const metrics = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+      return new StoreMetrics{
+          reg.GetCounter("pattern_store.hits"),
+          reg.GetCounter("pattern_store.misses"),
+          reg.GetCounter("pattern_store.bytes"),
+      };
+    }();
+    return *metrics;
+  }
+};
+
+/// Retained-storage estimate for the bytes counter: the pattern's node
+/// array plus the canonical code and map-key strings.
+uint64_t EntryBytes(const Pattern& stored, const std::string& code) {
+  return stored.size() * 24  /* Pattern::Node */ + 2 * code.size() +
+         sizeof(std::string);
+}
+
+}  // namespace
+
+PatternStore::PatternStore(std::shared_ptr<SymbolTable> symbols,
+                           PatternStoreOptions options)
+    : options_(options), symbols_(std::move(symbols)) {}
+
+PatternRef PatternStore::Intern(const Pattern& p) {
+  XMLUP_CHECK_STREAM(p.has_root()) << "PatternStore::Intern: empty pattern";
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (symbols_ == nullptr) {
+      symbols_ = p.symbols();
+    } else {
+      XMLUP_CHECK_STREAM(SameSymbolTable(symbols_, p.symbols()))
+          << "PatternStore::Intern: pattern was built against a different "
+             "SymbolTable than this store's. Labels are only comparable "
+             "within one table; all patterns sharing a store (or a batch "
+             "engine) must share one SymbolTable.";
+    }
+  }
+  const StoreMetrics& metrics = StoreMetrics::Get();
+  std::string code = CanonicalPatternCode(p);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = by_code_.find(code);
+    if (it != by_code_.end()) {
+      metrics.hits.Increment();
+      return PatternRef(it->second);
+    }
+  }
+  // Miss: canonicalize outside the lock so distinct patterns minimize in
+  // parallel, then re-check (another thread may have won the race).
+  Pattern stored = options_.minimize ? MinimizePattern(p) : p;
+  std::string stored_code =
+      options_.minimize ? CanonicalPatternCode(stored) : code;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = by_code_.find(code); it != by_code_.end()) {
+    metrics.hits.Increment();
+    return PatternRef(it->second);
+  }
+  metrics.misses.Increment();
+  uint32_t id;
+  if (auto it = by_code_.find(stored_code); it != by_code_.end()) {
+    // A different spelling of an already-stored canonical form.
+    id = it->second;
+  } else {
+    id = static_cast<uint32_t>(entries_.size());
+    const bool is_linear = stored.IsLinear();
+    metrics.bytes.Increment(EntryBytes(stored, stored_code));
+    entries_.push_back(Entry{std::move(stored), stored_code, is_linear});
+    by_code_.emplace(std::move(stored_code), id);
+  }
+  if (code != entries_[id].code) by_code_.emplace(std::move(code), id);
+  return PatternRef(id);
+}
+
+const PatternStore::Entry& PatternStore::entry(PatternRef ref) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  XMLUP_CHECK_STREAM(ref.valid() && ref.id() < entries_.size())
+      << "PatternRef does not belong to this store";
+  return entries_[ref.id()];
+}
+
+const Pattern& PatternStore::pattern(PatternRef ref) const {
+  return entry(ref).stored;
+}
+
+const std::string& PatternStore::canonical_code(PatternRef ref) const {
+  return entry(ref).code;
+}
+
+bool PatternStore::linear(PatternRef ref) const {
+  return entry(ref).is_linear;
+}
+
+uint32_t PatternStore::InternContentCode(const Tree& content) {
+  const StoreMetrics& metrics = StoreMetrics::Get();
+  std::string code = CanonicalCode(content);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] =
+      content_ids_.emplace(std::move(code),
+                           static_cast<uint32_t>(content_ids_.size()));
+  if (inserted) {
+    metrics.misses.Increment();
+    metrics.bytes.Increment(it->first.size() + sizeof(std::string));
+  } else {
+    metrics.hits.Increment();
+  }
+  return it->second;
+}
+
+size_t PatternStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::shared_ptr<SymbolTable> PatternStore::symbols() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return symbols_;
+}
+
+PatternStore& PatternStore::Default() {
+  // Intentionally leaked: refs may be resolved from atexit paths.
+  static PatternStore* const store = new PatternStore();
+  return *store;
+}
+
+}  // namespace xmlup

@@ -1,0 +1,170 @@
+#ifndef XMLUP_PATTERN_PATTERN_STORE_H_
+#define XMLUP_PATTERN_PATTERN_STORE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "pattern/pattern.h"
+
+namespace xmlup {
+
+class Tree;
+
+/// A handle to a pattern interned in a PatternStore: a trivially-copyable
+/// 32-bit id. Two refs from the same store are equal iff the interned
+/// patterns are canonically equal (equal up to sibling reordering, and —
+/// for minimizing stores, the default — up to equivalence-preserving
+/// minimization, so `a[b][b]` and `a[b]` intern to the same ref). Equality
+/// and hashing are therefore integer operations; the string-keyed
+/// comparisons happen once, at intern time.
+///
+/// A ref is only meaningful relative to the store that minted it; resolving
+/// it through another store is a bug (caught by a bounds DCHECK at best).
+class PatternRef {
+ public:
+  /// Default-constructed refs are invalid (no pattern).
+  constexpr PatternRef() = default;
+
+  constexpr bool valid() const { return id_ != kInvalidId; }
+  constexpr uint32_t id() const { return id_; }
+
+  friend constexpr bool operator==(PatternRef a, PatternRef b) {
+    return a.id_ == b.id_;
+  }
+  friend constexpr bool operator!=(PatternRef a, PatternRef b) {
+    return a.id_ != b.id_;
+  }
+  friend constexpr bool operator<(PatternRef a, PatternRef b) {
+    return a.id_ < b.id_;
+  }
+
+ private:
+  friend class PatternStore;
+  static constexpr uint32_t kInvalidId = 0xFFFFFFFFu;
+  explicit constexpr PatternRef(uint32_t id) : id_(id) {}
+
+  uint32_t id_ = kInvalidId;
+};
+
+inline constexpr PatternRef kInvalidPatternRef{};
+
+struct PatternRefHash {
+  size_t operator()(PatternRef ref) const {
+    return std::hash<uint32_t>()(ref.id());
+  }
+};
+
+struct PatternStoreOptions {
+  /// Canonicalize through MinimizePattern before storing, so equivalent
+  /// patterns share one ref. Sound (minimization is equivalence-
+  /// preserving); costs one minimization per distinct input pattern.
+  bool minimize = true;
+};
+
+/// Interns patterns into immutable, address-stable storage and hands out
+/// integer PatternRefs. Interning computes the canonical string code (and,
+/// by default, the minimized form) exactly once per distinct input pattern;
+/// every later lookup of the same pattern is one code build plus one hash
+/// probe, and everything downstream of the ref — batch memo keys, pair
+/// loops, equality tests — is integer-only.
+///
+/// All patterns in one store must share one SymbolTable: labels are only
+/// comparable within a table, and the stored minimized forms are handed to
+/// detectors that compare label ids directly. The table is bound at
+/// construction (or by the first Intern) and Intern CHECK-fails on a
+/// pattern from a different table.
+///
+/// Thread safety: all methods are safe to call concurrently (the batch
+/// engine interns phase-1 inputs on its pool). Minimization of distinct
+/// patterns proceeds in parallel; a race interning the *same* pattern twice
+/// resolves to one entry. References returned by pattern() /
+/// canonical_code() stay valid for the store's lifetime (entries live in a
+/// deque and are never erased).
+///
+/// Observability: every store reports `pattern_store.hits`,
+/// `pattern_store.misses` (== distinct patterns interned) and
+/// `pattern_store.bytes` (retained storage estimate) into
+/// obs::MetricsRegistry::Default().
+class PatternStore {
+ public:
+  /// `symbols` may be null: the table then binds on the first Intern.
+  explicit PatternStore(std::shared_ptr<SymbolTable> symbols = nullptr,
+                        PatternStoreOptions options = {});
+
+  PatternStore(const PatternStore&) = delete;
+  PatternStore& operator=(const PatternStore&) = delete;
+
+  /// Interns `p`, returning the ref of its canonical form. CHECK-fails if
+  /// `p` was built against a different SymbolTable than this store's.
+  PatternRef Intern(const Pattern& p);
+
+  /// The stored (canonical, pre-minimized) pattern. The reference stays
+  /// valid for the store's lifetime.
+  const Pattern& pattern(PatternRef ref) const;
+
+  /// CanonicalPatternCode of the stored pattern. Refs are equal iff these
+  /// strings are equal; the strings exist for diagnostics and persistence,
+  /// not for comparison.
+  const std::string& canonical_code(PatternRef ref) const;
+
+  /// Cached Pattern::IsLinear() of the stored pattern (the detector
+  /// dispatch bit, precomputed at intern time).
+  bool linear(PatternRef ref) const;
+
+  /// Interns the canonical code of a content tree (insert payloads),
+  /// returning a dense integer id with the same exact-equality guarantee —
+  /// the content leg of the batch engine's integer memo key. Ids share the
+  /// hits/misses counters with pattern interning.
+  uint32_t InternContentCode(const Tree& content);
+
+  /// Number of distinct patterns stored.
+  size_t size() const;
+
+  /// The bound symbol table; null until the first Intern if none was given
+  /// at construction.
+  std::shared_ptr<SymbolTable> symbols() const;
+
+  const PatternStoreOptions& options() const { return options_; }
+
+  /// Process-wide store for single-table applications (examples, benches,
+  /// CLIs that run everything over one SymbolTable). Library layers take a
+  /// store explicitly instead of reaching for this; never destroyed.
+  static PatternStore& Default();
+
+ private:
+  struct Entry {
+    Pattern stored;
+    std::string code;
+    bool is_linear = false;
+  };
+
+  const Entry& entry(PatternRef ref) const;
+
+  const PatternStoreOptions options_;
+  mutable std::mutex mu_;
+  std::shared_ptr<SymbolTable> symbols_;
+  /// Deque: growth never relocates entries, so pattern() references stay
+  /// valid without holding the lock.
+  std::deque<Entry> entries_;
+  /// Canonical input code → entry id. Contains every *input* code seen
+  /// (aliases) plus every stored code, so equivalent inputs that minimize
+  /// to one entry each pay minimization only once.
+  std::unordered_map<std::string, uint32_t> by_code_;
+  std::unordered_map<std::string, uint32_t> content_ids_;
+};
+
+}  // namespace xmlup
+
+template <>
+struct std::hash<xmlup::PatternRef> {
+  size_t operator()(xmlup::PatternRef ref) const {
+    return std::hash<uint32_t>()(ref.id());
+  }
+};
+
+#endif  // XMLUP_PATTERN_PATTERN_STORE_H_

@@ -66,6 +66,20 @@ class SymbolTable {
   uint64_t fresh_counter_ = 0;
 };
 
+/// True iff `a` and `b` are the same table, i.e. their Labels are mutually
+/// comparable. Labels have no cross-table meaning, so this is deliberately
+/// an identity check, not a structural one — two tables that happened to
+/// intern the same names in the same order are still different tables.
+/// Used by the comparison/interning sites (PatternStore::Intern rejects
+/// patterns whose table is not the store's with this predicate).
+inline bool SameSymbolTable(const SymbolTable* a, const SymbolTable* b) {
+  return a == b;
+}
+inline bool SameSymbolTable(const std::shared_ptr<SymbolTable>& a,
+                            const std::shared_ptr<SymbolTable>& b) {
+  return a.get() == b.get();
+}
+
 }  // namespace xmlup
 
 #endif  // XMLUP_XML_SYMBOL_TABLE_H_

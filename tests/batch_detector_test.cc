@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tests/test_util.h"
 
@@ -247,6 +248,66 @@ TEST_F(BatchDetectorTest, SparsePairsAlignWithRequest) {
     ASSERT_TRUE(sparse[k]->ok() && cell->ok());
     EXPECT_EQ((*sparse[k])->verdict, (*cell)->verdict) << "pair " << k;
   }
+}
+
+TEST_F(BatchDetectorTest, InterningIsPerPatternNotPerPair) {
+  // The PR's acceptance signal: canonicalization cost scales with the
+  // number of *distinct patterns*, never with the number of pairs. The
+  // store counts one miss per distinct pattern/content and the second
+  // identical matrix re-interns everything as hits.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  obs::Counter& misses = reg.GetCounter("pattern_store.misses");
+  const std::vector<Pattern> reads = Reads();
+  const std::vector<UpdateOp> updates = Updates();
+  const size_t pairs = reads.size() * updates.size();
+  // Distinct inputs: 8 read patterns, 6 update patterns, 3 insert contents
+  // (minimization can only merge further).
+  const size_t distinct_inputs = 8 + 6 + 3;
+
+  BatchConflictDetector engine(Options(2));
+  const uint64_t before = misses.value();
+  engine.DetectMatrix(reads, updates);
+  const uint64_t first_call = misses.value() - before;
+  EXPECT_GT(first_call, 0u);
+  EXPECT_LE(first_call, distinct_inputs);
+  EXPECT_LT(first_call, pairs);
+  EXPECT_GE(first_call, engine.pattern_store()->size());
+
+  // Warm store: zero misses no matter how many pairs the call asks for.
+  engine.DetectMatrix(reads, updates);
+  EXPECT_EQ(misses.value() - before, first_call);
+}
+
+TEST_F(BatchDetectorTest, InjectedStoreIsSharedAndRefOverloadsAgree) {
+  auto store = std::make_shared<PatternStore>(symbols_);
+  BatchDetectorOptions options = Options(2);
+  options.store = store;
+  BatchConflictDetector engine(options);
+  ASSERT_EQ(engine.pattern_store(), store);
+
+  const std::vector<Pattern> reads = Reads();
+  std::vector<UpdateOp> updates;
+  for (const UpdateOp& op : Updates()) updates.push_back(op.Bind(store));
+  std::vector<PatternRef> read_refs;
+  for (const Pattern& read : reads) read_refs.push_back(store->Intern(read));
+
+  const auto by_value = engine.DetectMatrix(reads, Updates());
+  const auto by_ref = engine.DetectMatrix(read_refs, updates);
+  EXPECT_EQ(Fingerprint(by_value), Fingerprint(by_ref));
+  // Identical canonical pairs resolve to the very same shared result.
+  for (size_t k = 0; k < by_value.size(); ++k) {
+    EXPECT_EQ(by_value[k], by_ref[k]) << "cell " << k;
+  }
+
+  // A second engine over the same store reuses the interned patterns (no
+  // new misses) while keeping its own result cache.
+  obs::Counter& misses =
+      obs::MetricsRegistry::Default().GetCounter("pattern_store.misses");
+  const uint64_t before = misses.value();
+  BatchConflictDetector sibling(options);
+  const auto sibling_matrix = sibling.DetectMatrix(read_refs, updates);
+  EXPECT_EQ(misses.value(), before);
+  EXPECT_EQ(Fingerprint(sibling_matrix), Fingerprint(by_ref));
 }
 
 TEST_F(BatchDetectorTest, KnownVerdictsSurviveTheBatchPath) {

@@ -71,7 +71,7 @@ TEST_F(FiguresTest, Figure4ReadInsertConflictStructure) {
   const Pattern read = Xp("x//A/B", symbols_);
   const Pattern ins = Xp("x/u", symbols_);
   Tree x_tree = Xml("<A><B/></A>", symbols_);
-  Result<ConflictReport> r = DetectReadInsertConflictLinear(
+  Result<ConflictReport> r = DetectLinearReadInsertConflict(
       read, ins, x_tree, ConflictSemantics::kNode);
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(r->conflict());
@@ -79,11 +79,11 @@ TEST_F(FiguresTest, Figure4ReadInsertConflictStructure) {
   const Pattern read_above = Xp("x//A", symbols_);
   const Pattern ins_below = Xp("x//A/B", symbols_);
   Tree small_x = Xml("<C/>", symbols_);
-  Result<ConflictReport> node_sem = DetectReadInsertConflictLinear(
+  Result<ConflictReport> node_sem = DetectLinearReadInsertConflict(
       read_above, ins_below, small_x, ConflictSemantics::kNode);
   ASSERT_TRUE(node_sem.ok());
   EXPECT_FALSE(node_sem->conflict());
-  Result<ConflictReport> tree_sem = DetectReadInsertConflictLinear(
+  Result<ConflictReport> tree_sem = DetectLinearReadInsertConflict(
       read_above, ins_below, small_x, ConflictSemantics::kTree);
   ASSERT_TRUE(tree_sem.ok());
   EXPECT_TRUE(tree_sem->conflict());
@@ -95,7 +95,7 @@ TEST_F(FiguresTest, Figure5ReadDeleteConflictStructure) {
   const Pattern read = Xp("r//m//v", symbols_);
   const Pattern del = Xp("r/s//m", symbols_);
   Result<ConflictReport> r =
-      DetectReadDeleteConflictLinear(read, del, ConflictSemantics::kNode);
+      DetectLinearReadDeleteConflict(read, del, ConflictSemantics::kNode);
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(r->conflict());
   ASSERT_TRUE(r->witness.has_value());

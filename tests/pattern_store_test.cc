@@ -1,0 +1,266 @@
+// PatternStore/PatternRef: interned-ref identity must agree with the two
+// independent notions of pattern equality it claims to encode:
+//  - canonical-code string equality (CanonicalPatternCode), and
+//  - pattern isomorphism up to sibling reordering, decided here by a
+//    brute-force backtracking matcher that shares no code with the
+//    canonical-code implementation.
+// The agreement is verified *exhaustively* for every pattern with at most
+// 4 nodes over a 2-label alphabet (all shapes × axes × labels × output
+// choices), plus a randomized XPath round-trip property (parse → write →
+// parse interns to the same ref), the symbol-table aliasing death test,
+// and the obs-counter contract (misses == distinct patterns interned).
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "pattern/pattern_ops.h"
+#include "pattern/pattern_store.h"
+#include "pattern/pattern_writer.h"
+#include "pattern/xpath_parser.h"
+#include "tests/test_util.h"
+#include "workload/pattern_generator.h"
+
+namespace xmlup {
+namespace {
+
+using testing_util::NewSymbols;
+using testing_util::Xp;
+
+/// Independent oracle: isomorphism up to sibling reordering, respecting
+/// labels, incoming axes and the output-node marking. Exponential in the
+/// worst case (tries child permutations by backtracking) — fine for the
+/// tiny patterns enumerated here.
+bool IsoAt(const Pattern& p, PatternNodeId a, const Pattern& q,
+           PatternNodeId b) {
+  if (p.label(a) != q.label(b)) return false;
+  if ((a == p.output()) != (b == q.output())) return false;
+  const std::vector<PatternNodeId> ca = p.Children(a);
+  const std::vector<PatternNodeId> cb = q.Children(b);
+  if (ca.size() != cb.size()) return false;
+  std::vector<bool> used(cb.size(), false);
+  std::function<bool(size_t)> match = [&](size_t i) {
+    if (i == ca.size()) return true;
+    for (size_t j = 0; j < cb.size(); ++j) {
+      if (used[j] || p.axis(ca[i]) != q.axis(cb[j])) continue;
+      if (!IsoAt(p, ca[i], q, cb[j])) continue;
+      used[j] = true;
+      if (match(i + 1)) return true;
+      used[j] = false;
+    }
+    return false;
+  };
+  return match(0);
+}
+
+bool PatternsIsomorphic(const Pattern& p, const Pattern& q) {
+  return IsoAt(p, p.root(), q, q.root());
+}
+
+/// Every pattern with `1 <= size <= max_nodes` over `labels`: all tree
+/// shapes (parent[i] < i), all axis assignments, all labelings, all output
+/// choices. 3282 patterns for max_nodes = 4 with two labels.
+std::vector<Pattern> EnumeratePatterns(
+    const std::shared_ptr<SymbolTable>& symbols,
+    const std::vector<Label>& labels, size_t max_nodes) {
+  std::vector<Pattern> out;
+  for (size_t n = 1; n <= max_nodes; ++n) {
+    std::vector<size_t> parent(n, 0);
+    while (true) {
+      const size_t edges = n - 1;
+      for (size_t axes = 0; axes < (size_t{1} << edges); ++axes) {
+        std::vector<size_t> labeling(n, 0);
+        while (true) {
+          for (size_t output = 0; output < n; ++output) {
+            Pattern p(symbols);
+            std::vector<PatternNodeId> ids(n);
+            ids[0] = p.CreateRoot(labels[labeling[0]]);
+            for (size_t i = 1; i < n; ++i) {
+              const Axis axis = (axes >> (i - 1)) & 1 ? Axis::kDescendant
+                                                      : Axis::kChild;
+              ids[i] = p.AddChild(ids[parent[i]], labels[labeling[i]], axis);
+            }
+            p.SetOutput(ids[output]);
+            out.push_back(std::move(p));
+          }
+          // Next labeling (mixed-radix increment, radix |labels|).
+          size_t i = 0;
+          while (i < n && labeling[i] == labels.size() - 1) labeling[i++] = 0;
+          if (i == n) break;
+          ++labeling[i];
+        }
+      }
+      // Next shape: digit i of the parent array has radix i.
+      size_t i = 1;
+      while (i < n && parent[i] == i - 1) parent[i++] = 0;
+      if (i == n) break;
+      ++parent[i];
+    }
+  }
+  return out;
+}
+
+TEST(PatternStoreTest, ExhaustiveSmallPatternOracle) {
+  auto symbols = NewSymbols();
+  const std::vector<Label> labels = {symbols->Intern("a"),
+                                     symbols->Intern("b")};
+  const std::vector<Pattern> all = EnumeratePatterns(symbols, labels, 4);
+  ASSERT_EQ(all.size(), 3282u);  // 2 + 16 + 192 + 3072
+
+  // A non-minimizing store, so ref identity must coincide exactly with
+  // canonical-code equality (minimization would additionally merge
+  // equivalent-but-non-isomorphic patterns; that is tested separately).
+  PatternStore store(symbols, PatternStoreOptions{/*minimize=*/false});
+  std::vector<PatternRef> refs(all.size());
+  std::unordered_map<std::string, PatternRef> ref_by_code;
+  for (size_t i = 0; i < all.size(); ++i) {
+    refs[i] = store.Intern(all[i]);
+    ASSERT_TRUE(refs[i].valid());
+    // Ref identity ⇔ canonical-code equality: all patterns with one code
+    // share one ref, and a ref never serves two codes.
+    const std::string code = CanonicalPatternCode(all[i]);
+    auto [it, inserted] = ref_by_code.emplace(code, refs[i]);
+    ASSERT_EQ(it->second, refs[i])
+        << "code " << code << " maps to two refs (pattern " << i << ")";
+    ASSERT_EQ(store.canonical_code(refs[i]), code);
+    // The stored pattern is the pattern (up to sibling order), and the
+    // cached linearity bit is honest.
+    ASSERT_TRUE(PatternsIsomorphic(store.pattern(refs[i]), all[i])) << i;
+    ASSERT_EQ(store.linear(refs[i]), all[i].IsLinear()) << i;
+  }
+  ASSERT_EQ(store.size(), ref_by_code.size());
+
+  // Ref identity ⇔ isomorphism. Positive direction: within each ref
+  // class, every member is isomorphic to the class representative (iso is
+  // transitive, so this covers all within-class pairs).
+  std::unordered_map<uint32_t, size_t> representative;
+  for (size_t i = 0; i < all.size(); ++i) {
+    auto [it, inserted] = representative.emplace(refs[i].id(), i);
+    if (!inserted) {
+      ASSERT_TRUE(PatternsIsomorphic(all[it->second], all[i]))
+          << "same ref, not isomorphic: " << it->second << " vs " << i;
+    }
+  }
+  // Negative direction: sampled cross-class pairs must not be isomorphic.
+  Rng rng(20060301);  // EDBT 2006 vintage
+  size_t checked = 0;
+  while (checked < 20000) {
+    const size_t i = rng.NextBounded(all.size());
+    const size_t j = rng.NextBounded(all.size());
+    if (refs[i] == refs[j]) continue;
+    ASSERT_FALSE(PatternsIsomorphic(all[i], all[j]))
+        << "distinct refs, isomorphic: " << i << " vs " << j;
+    ++checked;
+  }
+}
+
+TEST(PatternStoreTest, MinimizingStoreOnlyMergesRefClasses) {
+  auto symbols = NewSymbols();
+  const std::vector<Label> labels = {symbols->Intern("a"),
+                                     symbols->Intern("b")};
+  const std::vector<Pattern> all = EnumeratePatterns(symbols, labels, 4);
+  PatternStore plain(symbols, PatternStoreOptions{/*minimize=*/false});
+  PatternStore minimizing(symbols, PatternStoreOptions{/*minimize=*/true});
+  // Minimization is a function of the canonical form, so it can only merge
+  // ref classes (isomorphic patterns stay together), never split them.
+  std::unordered_map<uint32_t, PatternRef> merged;
+  for (const Pattern& p : all) {
+    const PatternRef plain_ref = plain.Intern(p);
+    const PatternRef min_ref = minimizing.Intern(p);
+    auto [it, inserted] = merged.emplace(plain_ref.id(), min_ref);
+    EXPECT_EQ(it->second, min_ref);
+  }
+  EXPECT_LE(minimizing.size(), plain.size());
+  // And it does merge something: a[b][b] minimizes to a[b].
+  EXPECT_EQ(minimizing.Intern(Xp("a[b][b]", symbols)),
+            minimizing.Intern(Xp("a[b]", symbols)));
+  EXPECT_NE(plain.Intern(Xp("a[b][b]", symbols)),
+            plain.Intern(Xp("a[b]", symbols)));
+}
+
+TEST(PatternStoreTest, XPathRoundTripInternsToSameRef) {
+  auto symbols = NewSymbols();
+  auto store = std::make_shared<PatternStore>(symbols);
+  Rng rng(77);
+  PatternGenOptions options;
+  options.size = 6;
+  options.branch_prob = 0.5;
+  options.wildcard_prob = 0.2;
+  options.descendant_prob = 0.4;
+  options.alphabet = {symbols->Intern("a"), symbols->Intern("b"),
+                      symbols->Intern("c")};
+  RandomPatternGenerator gen(symbols, options);
+  for (int iter = 0; iter < 200; ++iter) {
+    const Pattern p = iter % 2 == 0 ? gen.GenerateLinear(&rng)
+                                    : gen.GenerateBranching(&rng);
+    const std::string xpath = ToXPathString(p);
+    Result<Pattern> reparsed = ParseXPath(xpath, symbols);
+    ASSERT_TRUE(reparsed.ok()) << xpath;
+    EXPECT_EQ(store->Intern(p), store->Intern(*reparsed))
+        << "round trip changed the interned ref: " << xpath;
+  }
+}
+
+TEST(PatternStoreTest, InternCountsMissesPerDistinctPattern) {
+  auto symbols = NewSymbols();
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  const uint64_t hits_before = reg.GetCounter("pattern_store.hits").value();
+  const uint64_t misses_before =
+      reg.GetCounter("pattern_store.misses").value();
+  const uint64_t bytes_before = reg.GetCounter("pattern_store.bytes").value();
+
+  PatternStore store(symbols);
+  const char* kPatterns[] = {"a/b", "a//b", "a[c]/b", "a/b", "a//b", "a/b"};
+  for (const char* xpath : kPatterns) store.Intern(Xp(xpath, symbols));
+
+  // misses == distinct patterns (3), regardless of how often each repeats;
+  // the other 3 interns are hits. This is the acceptance signal that the
+  // batch path canonicalizes once per pattern, not once per pair.
+  EXPECT_EQ(reg.GetCounter("pattern_store.misses").value(),
+            misses_before + 3);
+  EXPECT_EQ(reg.GetCounter("pattern_store.hits").value(), hits_before + 3);
+  EXPECT_GT(reg.GetCounter("pattern_store.bytes").value(), bytes_before);
+  EXPECT_EQ(store.size(), 3u);
+}
+
+TEST(PatternStoreTest, ContentCodesAreExactEqualityClasses) {
+  auto symbols = NewSymbols();
+  PatternStore store(symbols);
+  const Tree c1 = testing_util::Xml("<a><b/><c/></a>", symbols);
+  const Tree c2 = testing_util::Xml("<a><c/><b/></a>", symbols);  // reordered
+  const Tree c3 = testing_util::Xml("<a><b/></a>", symbols);
+  const uint32_t id1 = store.InternContentCode(c1);
+  // Unordered-tree equality: sibling order does not distinguish contents.
+  EXPECT_EQ(id1, store.InternContentCode(c2));
+  EXPECT_NE(id1, store.InternContentCode(c3));
+  EXPECT_EQ(id1, store.InternContentCode(c1));
+}
+
+TEST(PatternStoreDeathTest, MismatchedSymbolTableIsFatal) {
+  auto symbols = NewSymbols();
+  auto other = NewSymbols();
+  PatternStore store(symbols);
+  store.Intern(Xp("a/b", symbols));
+  // A pattern from a different table must be rejected loudly: its label
+  // ids are incomparable with the store's, so interning it would silently
+  // alias unrelated patterns.
+  EXPECT_DEATH(store.Intern(Xp("a/b", other)), "different SymbolTable");
+}
+
+TEST(PatternStoreDeathTest, TableBindsOnFirstIntern) {
+  auto symbols = NewSymbols();
+  auto other = NewSymbols();
+  PatternStore store;  // no table at construction
+  EXPECT_EQ(store.symbols(), nullptr);
+  store.Intern(Xp("a", symbols));
+  EXPECT_EQ(store.symbols(), symbols);
+  EXPECT_DEATH(store.Intern(Xp("a", other)), "different SymbolTable");
+}
+
+}  // namespace
+}  // namespace xmlup

@@ -19,7 +19,7 @@ class ReadDeleteTest : public ::testing::Test {
   ConflictReport Detect(const char* read, const char* del,
                               ConflictSemantics semantics =
                                   ConflictSemantics::kNode) {
-    Result<ConflictReport> r = DetectReadDeleteConflictLinear(
+    Result<ConflictReport> r = DetectLinearReadDeleteConflict(
         Xp(read, symbols_), Xp(del, symbols_), semantics);
     EXPECT_TRUE(r.ok()) << r.status();
     return std::move(r).value();
@@ -81,14 +81,14 @@ TEST_F(ReadDeleteTest, BranchingDeleteUsesMainline) {
 }
 
 TEST_F(ReadDeleteTest, RejectsNonLinearRead) {
-  Result<ConflictReport> r = DetectReadDeleteConflictLinear(
+  Result<ConflictReport> r = DetectLinearReadDeleteConflict(
       Xp("a[x]/b", symbols_), Xp("a/b", symbols_));
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST_F(ReadDeleteTest, RejectsRootDeletingPattern) {
-  Result<ConflictReport> r = DetectReadDeleteConflictLinear(
+  Result<ConflictReport> r = DetectLinearReadDeleteConflict(
       Xp("a/b", symbols_), Xp("a", symbols_));
   EXPECT_FALSE(r.ok());
 }
@@ -123,10 +123,10 @@ TEST_F(ReadDeleteTest, DpMatcherGivesSameAnswers) {
       {"a/b", "a/b/c"},   {"a/*", "a/c"},   {"a/b", "a/c/b"},
   };
   for (const auto& c : cases) {
-    Result<ConflictReport> nfa = DetectReadDeleteConflictLinear(
+    Result<ConflictReport> nfa = DetectLinearReadDeleteConflict(
         Xp(c[0], symbols_), Xp(c[1], symbols_), ConflictSemantics::kNode,
         MatcherKind::kNfa);
-    Result<ConflictReport> dp = DetectReadDeleteConflictLinear(
+    Result<ConflictReport> dp = DetectLinearReadDeleteConflict(
         Xp(c[0], symbols_), Xp(c[1], symbols_), ConflictSemantics::kNode,
         MatcherKind::kDp);
     ASSERT_TRUE(nfa.ok());
@@ -175,7 +175,7 @@ TEST_P(ReadDeletePropertyTest, AgreesWithBruteForce) {
          {ConflictSemantics::kNode, ConflictSemantics::kTree,
           ConflictSemantics::kValue}) {
       Result<ConflictReport> detect =
-          DetectReadDeleteConflictLinear(read, del, semantics);
+          DetectLinearReadDeleteConflict(read, del, semantics);
       ASSERT_TRUE(detect.ok())
           << detect.status() << " seed=" << GetParam() << " iter=" << iter;
       const BruteForceResult brute =
@@ -217,16 +217,16 @@ TEST_P(Lemma2DeleteTest, TreeAndValueSemanticsCoincide) {
     const Pattern read = gen.GenerateLinear(&rng);
     const Pattern del = gen.GenerateLinear(&rng);
     if (del.output() == del.root()) continue;
-    Result<ConflictReport> tree_sem = DetectReadDeleteConflictLinear(
+    Result<ConflictReport> tree_sem = DetectLinearReadDeleteConflict(
         read, del, ConflictSemantics::kTree);
-    Result<ConflictReport> value_sem = DetectReadDeleteConflictLinear(
+    Result<ConflictReport> value_sem = DetectLinearReadDeleteConflict(
         read, del, ConflictSemantics::kValue);
     ASSERT_TRUE(tree_sem.ok()) << tree_sem.status();
     ASSERT_TRUE(value_sem.ok()) << value_sem.status();
     EXPECT_EQ(tree_sem->conflict(), value_sem->conflict())
         << "Lemma 2 violated; seed=" << GetParam() << " iter=" << iter;
     // Node conflicts imply tree conflicts.
-    Result<ConflictReport> node_sem = DetectReadDeleteConflictLinear(
+    Result<ConflictReport> node_sem = DetectLinearReadDeleteConflict(
         read, del, ConflictSemantics::kNode);
     ASSERT_TRUE(node_sem.ok());
     if (node_sem->conflict()) {

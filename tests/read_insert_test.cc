@@ -23,7 +23,7 @@ class ReadInsertTest : public ::testing::Test {
                               ConflictSemantics semantics =
                                   ConflictSemantics::kNode) {
     Tree inserted = Xml(x, symbols_);
-    Result<ConflictReport> r = DetectReadInsertConflictLinear(
+    Result<ConflictReport> r = DetectLinearReadInsertConflict(
         Xp(read, symbols_), Xp(ins, symbols_), inserted, semantics);
     EXPECT_TRUE(r.ok()) << r.status();
     return std::move(r).value();
@@ -103,7 +103,7 @@ TEST_F(ReadInsertTest, TreeConflictWhenInsertionBelowResult) {
 
 TEST_F(ReadInsertTest, RejectsNonLinearRead) {
   Tree x = Xml("<c/>", symbols_);
-  Result<ConflictReport> r = DetectReadInsertConflictLinear(
+  Result<ConflictReport> r = DetectLinearReadInsertConflict(
       Xp("a[q]/b", symbols_), Xp("a/b", symbols_), x);
   EXPECT_FALSE(r.ok());
 }
@@ -161,7 +161,7 @@ TEST_P(ReadInsertPropertyTest, AgreesWithBruteForce) {
          {ConflictSemantics::kNode, ConflictSemantics::kTree,
           ConflictSemantics::kValue}) {
       Result<ConflictReport> detect =
-          DetectReadInsertConflictLinear(read, ins, x, semantics);
+          DetectLinearReadInsertConflict(read, ins, x, semantics);
       ASSERT_TRUE(detect.ok())
           << detect.status() << " seed=" << GetParam() << " iter=" << iter;
       const BruteForceResult brute =
@@ -203,15 +203,15 @@ TEST_P(Lemma2InsertTest, TreeAndValueSemanticsCoincide) {
     const Pattern read = gen.GenerateLinear(&rng);
     const Pattern ins = gen.GenerateLinear(&rng);
     const Tree x = contents.Generate(&rng);
-    Result<ConflictReport> tree_sem = DetectReadInsertConflictLinear(
+    Result<ConflictReport> tree_sem = DetectLinearReadInsertConflict(
         read, ins, x, ConflictSemantics::kTree);
-    Result<ConflictReport> value_sem = DetectReadInsertConflictLinear(
+    Result<ConflictReport> value_sem = DetectLinearReadInsertConflict(
         read, ins, x, ConflictSemantics::kValue);
     ASSERT_TRUE(tree_sem.ok()) << tree_sem.status();
     ASSERT_TRUE(value_sem.ok()) << value_sem.status();
     EXPECT_EQ(tree_sem->conflict(), value_sem->conflict())
         << "Lemma 2 violated; seed=" << GetParam() << " iter=" << iter;
-    Result<ConflictReport> node_sem = DetectReadInsertConflictLinear(
+    Result<ConflictReport> node_sem = DetectLinearReadInsertConflict(
         read, ins, x, ConflictSemantics::kNode);
     ASSERT_TRUE(node_sem.ok());
     if (node_sem->conflict()) {

@@ -157,7 +157,7 @@ TEST_P(ShrinkPropertyTest, ShrunkenWitnessesStaySmallAndValid) {
     const Pattern read = gen.GenerateLinear(&rng);
     const Pattern del = gen.GenerateLinear(&rng);
     if (del.output() == del.root()) continue;
-    Result<ConflictReport> detect = DetectReadDeleteConflictLinear(
+    Result<ConflictReport> detect = DetectLinearReadDeleteConflict(
         read, del, ConflictSemantics::kNode);
     ASSERT_TRUE(detect.ok());
     if (!detect->conflict()) continue;

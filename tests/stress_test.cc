@@ -99,7 +99,7 @@ TEST(StressTest, DetectionWithLargePatterns) {
     n = del.AddChild(n, symbols->Intern("s"), Axis::kDescendant);
   }
   del.SetOutput(n);
-  Result<ConflictReport> report = DetectReadDeleteConflictLinear(
+  Result<ConflictReport> report = DetectLinearReadDeleteConflict(
       read, del, ConflictSemantics::kNode, MatcherKind::kDp);
   ASSERT_TRUE(report.ok()) << report.status();
   if (report->conflict()) {
