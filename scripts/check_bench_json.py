@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Validates the BENCH_<name>.json stats dumps for the CI bench-smoke job.
+
+Usage: check_bench_json.py <batch|intern|incremental> [--min-speedup X]
+
+Two failure classes with distinct exit codes, so the workflow can retry
+the right one:
+  exit 2 — structural: required keys missing, obs disabled, instrumentation
+           dead, or an invariant violated. Never retried: reruns cannot fix
+           a missing key.
+  exit 3 — performance: a measured speedup landed below --min-speedup.
+           Retryable: shared CI runners are noisy, so the workflow reruns
+           the bench once and revalidates against a relaxed floor.
+"""
+
+import argparse
+import json
+import sys
+
+
+def structural(msg):
+    print(f"FAIL (structural): {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def performance(msg):
+    print(f"FAIL (performance): {msg}", file=sys.stderr)
+    sys.exit(3)
+
+
+def load(name):
+    path = f"BENCH_{name}.json"
+    try:
+        with open(path) as f:
+            stats = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        structural(f"{path}: {e}")
+    if not stats.get("obs_enabled"):
+        structural(f"{path}: obs was not enabled during the bench run")
+    return stats
+
+
+def require(stats, name, keys, sub=None):
+    scope = stats if sub is None else stats.get(sub, {})
+    label = f"BENCH_{name}.json" + (f" [{sub}]" if sub else "")
+    missing = [k for k in keys if k not in scope]
+    if missing:
+        structural(f"{label} missing required keys: {missing}")
+    return scope
+
+
+def check_batch(stats, args):
+    require(stats, "batch", ["bench", "obs_enabled", "metrics", "trace"])
+    counters = require(
+        stats["metrics"], "batch",
+        ["batch.pairs_total", "batch.cache_hits", "batch.cache_misses",
+         "detector.calls"],
+        sub="counters")
+    if "spans" not in stats["trace"]:
+        structural("BENCH_batch.json missing trace.spans")
+    if counters["batch.pairs_total"] == 0:
+        structural("no pairs recorded: instrumentation is dead")
+    try:
+        with open("BENCH_batch_trace.json") as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        structural(f"BENCH_batch_trace.json: {e}")
+    if not trace.get("traceEvents"):
+        structural("Chrome trace has no events")
+    print(f"ok: {counters['batch.pairs_total']} pairs, "
+          f"{len(trace['traceEvents'])} trace events")
+
+
+def check_intern(stats, args):
+    require(stats, "intern",
+            ["bench", "obs_enabled", "key_lookup", "metrics", "trace"])
+    key_lookup = require(stats, "intern",
+                         ["pairs", "string_ns", "interned_ns", "speedup"],
+                         sub="key_lookup")
+    counters = require(
+        stats["metrics"], "intern",
+        ["pattern_store.hits", "pattern_store.misses", "pattern_store.bytes"],
+        sub="counters")
+    # Misses count distinct patterns; the repeated-intern benchmarks drive
+    # hits far above misses, proving canonicalization is not paid per lookup.
+    if counters["pattern_store.misses"] == 0:
+        structural("no interns recorded: instrumentation is dead")
+    if counters["pattern_store.hits"] <= counters["pattern_store.misses"]:
+        structural("expected repeated interning to be hit-dominated: "
+                   f"{counters}")
+    if key_lookup["speedup"] < args.min_speedup:
+        performance(f"key_lookup speedup {key_lookup['speedup']} "
+                    f"< {args.min_speedup}x")
+    print(f"ok: key_lookup speedup {key_lookup['speedup']}x, "
+          f"{counters['pattern_store.misses']} distinct patterns, "
+          f"{counters['pattern_store.hits']} hits")
+
+
+def check_incremental(stats, args):
+    require(stats, "incremental",
+            ["bench", "obs_enabled", "edit_stream", "metrics", "trace"])
+    edit_stream = require(
+        stats, "incremental",
+        ["matrix", "edits", "scratch_ms", "maintained_ms", "speedup",
+         "pairs_requested", "pairs_solved", "cells_recomputed"],
+        sub="edit_stream")
+    counters = require(
+        stats["metrics"], "incremental",
+        ["matrix.edits", "matrix.cells_recomputed", "matrix.cells_reused",
+         "batch.pairs_total"],
+        sub="counters")
+    if counters["matrix.edits"] == 0:
+        structural("no matrix edits recorded: instrumentation is dead")
+    # The tentpole invariant: a single-statement edit of an N×M matrix asks
+    # the engine for at most max(N, M) pairs, so the whole stream stays
+    # within edits * matrix requests.
+    bound = edit_stream["edits"] * edit_stream["matrix"]
+    if edit_stream["pairs_requested"] > bound:
+        structural(f"edit stream requested {edit_stream['pairs_requested']} "
+                   f"pairs > row/column bound {bound}")
+    if edit_stream["speedup"] < args.min_speedup:
+        performance(f"edit_stream speedup {edit_stream['speedup']} "
+                    f"< {args.min_speedup}x")
+    print(f"ok: edit_stream speedup {edit_stream['speedup']}x "
+          f"({edit_stream['edits']} edits, "
+          f"{edit_stream['pairs_requested']} pairs requested, "
+          f"{edit_stream['pairs_solved']} solved)")
+
+
+CHECKS = {
+    "batch": check_batch,
+    "intern": check_intern,
+    "incremental": check_incremental,
+}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench", choices=sorted(CHECKS))
+    parser.add_argument("--min-speedup", type=float, default=5.0,
+                        help="performance floor for the bench's speedup "
+                             "number (ignored by 'batch')")
+    args = parser.parse_args()
+    CHECKS[args.bench](load(args.bench), args)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,238 @@
+#include "analysis/incremental_dependence.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "conflict/update_independence.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace xmlup {
+namespace {
+
+bool IsUpdate(const Statement& s) {
+  return s.kind == Statement::Kind::kInsert ||
+         s.kind == Statement::Kind::kDelete;
+}
+
+std::optional<UpdateOp> ToUpdateOp(const Statement& s) {
+  if (s.kind == Statement::Kind::kInsert) {
+    return UpdateOp::MakeInsert(s.pattern, s.content);
+  }
+  Result<UpdateOp> del = UpdateOp::MakeDelete(s.pattern);
+  if (!del.ok()) return std::nullopt;
+  return std::move(del).value();
+}
+
+}  // namespace
+
+size_t IncrementalDependenceAnalyzer::UpdatePairKeyHash::operator()(
+    const UpdatePairKey& k) const {
+  uint64_t h = (static_cast<uint64_t>(k.ref_a) << 32) ^ k.ref_b;
+  h ^= (static_cast<uint64_t>(k.content_a) << 32) ^ k.content_b ^
+       (static_cast<uint64_t>(k.kind_a) << 17) ^
+       (static_cast<uint64_t>(k.kind_b) << 9);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return static_cast<size_t>(h);
+}
+
+IncrementalDependenceAnalyzer::IncrementalDependenceAnalyzer(
+    DetectorOptions options)
+    : IncrementalDependenceAnalyzer(
+          BatchDetectorOptions{options, 0, true, true}) {}
+
+IncrementalDependenceAnalyzer::IncrementalDependenceAnalyzer(
+    BatchDetectorOptions options)
+    : options_(std::move(options)), matrix_(options_) {}
+
+const Statement& IncrementalDependenceAnalyzer::statement(size_t index) const {
+  XMLUP_CHECK(index < stmts_.size());
+  return stmts_[index].stmt;
+}
+
+void IncrementalDependenceAnalyzer::SetProgram(const Program& program) {
+  obs::TraceSpan span("IncrementalDependence.set_program");
+  stmts_.clear();
+  std::vector<Pattern> reads;
+  std::vector<UpdateOp> updates;
+  for (const Statement& s : program.statements()) {
+    StmtInfo info{s, std::nullopt, std::nullopt};
+    if (s.kind == Statement::Kind::kRead) {
+      info.read_slot = reads.size();
+      reads.push_back(s.pattern);
+    } else if (std::optional<UpdateOp> op = ToUpdateOp(s)) {
+      info.update_slot = updates.size();
+      updates.push_back(std::move(*op));
+    }
+    stmts_.push_back(std::move(info));
+  }
+  // uu_memo_ survives: its facts are keyed on canonical op pairs, which a
+  // new program may well repeat.
+  matrix_.Assign(reads, updates);
+}
+
+void IncrementalDependenceAnalyzer::AttachSlots(size_t index) {
+  StmtInfo& info = stmts_[index];
+  if (info.stmt.kind == Statement::Kind::kRead) {
+    info.read_slot = matrix_.AddRead(info.stmt.pattern);
+  } else if (std::optional<UpdateOp> op = ToUpdateOp(info.stmt)) {
+    info.update_slot = matrix_.AddUpdate(*op);
+  }
+}
+
+void IncrementalDependenceAnalyzer::DetachSlots(size_t index) {
+  StmtInfo& info = stmts_[index];
+  if (info.read_slot.has_value()) {
+    const size_t row = *info.read_slot;
+    matrix_.RemoveRead(row);
+    info.read_slot.reset();
+    for (StmtInfo& other : stmts_) {
+      if (other.read_slot.has_value() && *other.read_slot > row) {
+        --*other.read_slot;
+      }
+    }
+  }
+  if (info.update_slot.has_value()) {
+    const size_t column = *info.update_slot;
+    matrix_.RemoveUpdate(column);
+    info.update_slot.reset();
+    for (StmtInfo& other : stmts_) {
+      if (other.update_slot.has_value() && *other.update_slot > column) {
+        --*other.update_slot;
+      }
+    }
+  }
+}
+
+void IncrementalDependenceAnalyzer::InsertStatement(size_t index,
+                                                    const Statement& statement) {
+  obs::TraceSpan span("IncrementalDependence.insert");
+  XMLUP_CHECK(index <= stmts_.size());
+  stmts_.insert(stmts_.begin() + static_cast<ptrdiff_t>(index),
+                StmtInfo{statement, std::nullopt, std::nullopt});
+  AttachSlots(index);
+}
+
+void IncrementalDependenceAnalyzer::RemoveStatement(size_t index) {
+  obs::TraceSpan span("IncrementalDependence.remove");
+  XMLUP_CHECK(index < stmts_.size());
+  DetachSlots(index);
+  stmts_.erase(stmts_.begin() + static_cast<ptrdiff_t>(index));
+}
+
+void IncrementalDependenceAnalyzer::ReplaceStatement(
+    size_t index, const Statement& statement) {
+  obs::TraceSpan span("IncrementalDependence.replace");
+  XMLUP_CHECK(index < stmts_.size());
+  StmtInfo& info = stmts_[index];
+  const bool old_read = info.stmt.kind == Statement::Kind::kRead;
+  const bool new_read = statement.kind == Statement::Kind::kRead;
+  if (old_read && new_read) {
+    matrix_.ReplaceRead(*info.read_slot, statement.pattern);
+    info.stmt = statement;
+    return;
+  }
+  if (!old_read && !new_read && info.update_slot.has_value()) {
+    if (std::optional<UpdateOp> op = ToUpdateOp(statement)) {
+      matrix_.ReplaceUpdate(*info.update_slot, *op);
+      info.stmt = statement;
+      return;
+    }
+  }
+  // Kind change (or a malformed update on either side): fall back to
+  // detach + attach, still one row/column of work.
+  DetachSlots(index);
+  info.stmt = statement;
+  info.read_slot.reset();
+  info.update_slot.reset();
+  AttachSlots(index);
+}
+
+bool IncrementalDependenceAnalyzer::MustOrderUpdates(
+    const Statement& earlier, const Statement& later) const {
+  // §6: update-update conflicts are NP-hard in general; the sound
+  // commutativity certificate proves many pairs reorderable, and its
+  // verdict for a canonical op pair never changes — memoize it.
+  std::optional<UpdateOp> op_a = ToUpdateOp(earlier);
+  std::optional<UpdateOp> op_b = ToUpdateOp(later);
+  if (!op_a.has_value() || !op_b.has_value()) return true;
+  auto leg = [&](const UpdateOp& op, uint32_t* ref, uint32_t* content,
+                 uint8_t* kind) {
+    *ref = uu_store_.Intern(op.pattern()).id();
+    *kind = static_cast<uint8_t>(op.kind());
+    *content = op.kind() == UpdateOp::Kind::kInsert
+                   ? uu_store_.InternContentCode(op.content())
+                   : 0;
+  };
+  UpdatePairKey key;
+  leg(*op_a, &key.ref_a, &key.content_a, &key.kind_a);
+  leg(*op_b, &key.ref_b, &key.content_b, &key.kind_b);
+  auto it = uu_memo_.find(key);
+  if (it != uu_memo_.end()) return it->second;
+  Result<IndependenceReport> cert =
+      CertifyUpdatesCommute(*op_a, *op_b, options_.detector);
+  const bool ordered =
+      !cert.ok() || cert->certificate != CommutativityCertificate::kCertified;
+  uu_memo_.emplace(key, ordered);
+  return ordered;
+}
+
+DependenceAnalysisResult IncrementalDependenceAnalyzer::Analyze() const {
+  obs::TraceSpan span("IncrementalDependenceAnalyze");
+  DependenceAnalysisResult result;
+  for (size_t i = 0; i < stmts_.size(); ++i) {
+    for (size_t j = i + 1; j < stmts_.size(); ++j) {
+      ++result.pairs_total;
+      const Statement& a = stmts_[i].stmt;
+      const Statement& b = stmts_[j].stmt;
+      bool ordered;
+      if (a.target_var != b.target_var || (!IsUpdate(a) && !IsUpdate(b))) {
+        ordered = false;
+      } else if (IsUpdate(a) && IsUpdate(b)) {
+        ordered = MustOrderUpdates(a, b);
+      } else {
+        const StmtInfo& read_info = IsUpdate(a) ? stmts_[j] : stmts_[i];
+        const StmtInfo& update_info = IsUpdate(a) ? stmts_[i] : stmts_[j];
+        if (!update_info.update_slot.has_value()) {
+          ordered = true;  // malformed update: stay conservative
+        } else {
+          const SharedConflictResult& cell =
+              matrix_.cell(*read_info.read_slot, *update_info.update_slot);
+          ordered = !cell->ok() ||
+                    (*cell)->verdict != ConflictVerdict::kNoConflict;
+        }
+      }
+      if (ordered) {
+        result.dependences.push_back({i, j, a.target_var});
+      } else {
+        ++result.pairs_independent;
+      }
+    }
+  }
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  reg.GetCounter("dependence.pairs_analyzed").Increment(result.pairs_total);
+  reg.GetCounter("dependence.edges_pruned").Increment(result.pairs_independent);
+  result.batch_stats = matrix_.engine().stats();
+  return result;
+}
+
+std::vector<std::pair<size_t, size_t>>
+IncrementalDependenceAnalyzer::IndependentPairs() const {
+  const DependenceAnalysisResult result = Analyze();
+  std::vector<bool> dependent(stmts_.size() * stmts_.size(), false);
+  for (const Dependence& d : result.dependences) {
+    dependent[d.from * stmts_.size() + d.to] = true;
+  }
+  std::vector<std::pair<size_t, size_t>> independent;
+  independent.reserve(result.pairs_independent);
+  for (size_t i = 0; i < stmts_.size(); ++i) {
+    for (size_t j = i + 1; j < stmts_.size(); ++j) {
+      if (!dependent[i * stmts_.size() + j]) independent.emplace_back(i, j);
+    }
+  }
+  return independent;
+}
+
+}  // namespace xmlup

@@ -1,0 +1,124 @@
+#ifndef XMLUP_ANALYSIS_INCREMENTAL_DEPENDENCE_H_
+#define XMLUP_ANALYSIS_INCREMENTAL_DEPENDENCE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "analysis/dependence.h"
+#include "analysis/program.h"
+#include "conflict/conflict_matrix.h"
+
+namespace xmlup {
+
+/// Dependence analysis for *evolving* programs — the incremental face of
+/// DependenceAnalyzer. The compiler edits a statement (inserts one,
+/// deletes one, rewrites a pattern) and wants the refreshed dependence /
+/// independent-pair information without re-solving the whole read×update
+/// conflict matrix.
+///
+/// The analyzer keeps every read statement as a row and every well-formed
+/// update statement as a column of a MaintainedConflictMatrix, so a
+/// single-statement edit triggers at most one row or column recompute
+/// (≤ max(#reads, #updates) batch-engine requests, mostly memo hits), plus
+/// — for update statements — commutativity certificates against the other
+/// updates, which are memoized on canonical (ref, content, kind) pairs so
+/// each distinct update pair is certified once per analyzer lifetime.
+///
+/// Analyze() then classifies statement pairs from the maintained cells
+/// exactly as DependenceAnalyzer::Analyze would from a fresh matrix; the
+/// two agree dependence-for-dependence on the equivalent Program (the
+/// oracle property the tests enforce). Statement indices follow program
+/// order; Remove/Insert shift later statements like a text edit would.
+///
+/// Cross-variable note: the matrix holds a cell for *every* read/update
+/// statement pair, including pairs on different tree variables whose
+/// verdict the classification never consults (they are independent by
+/// definition). That keeps edit cost a clean row/column and lets one
+/// matrix serve any variable mix; single-variable programs — the common
+/// compiler shape — waste nothing.
+class IncrementalDependenceAnalyzer {
+ public:
+  explicit IncrementalDependenceAnalyzer(DetectorOptions options = {});
+  explicit IncrementalDependenceAnalyzer(BatchDetectorOptions options);
+
+  /// Replaces the current statement list with `program` (bulk edit: one
+  /// full matrix assign).
+  void SetProgram(const Program& program);
+
+  size_t size() const { return stmts_.size(); }
+  const Statement& statement(size_t index) const;
+
+  /// Program-edit API; `index` is a current statement position. Insert
+  /// places the statement *before* index (index == size() appends).
+  void InsertStatement(size_t index, const Statement& statement);
+  void RemoveStatement(size_t index);
+  void ReplaceStatement(size_t index, const Statement& statement);
+
+  /// Analysis of the current statement list from the maintained state.
+  /// Same result contract as DependenceAnalyzer::Analyze on the
+  /// equivalent Program.
+  DependenceAnalysisResult Analyze() const;
+
+  /// The (i, j) statement pairs (i < j) proven independent — the §1
+  /// reordering freedom, refreshed after each edit.
+  std::vector<std::pair<size_t, size_t>> IndependentPairs() const;
+
+  const MaintainedConflictMatrix& matrix() const { return matrix_; }
+  const DeltaStats& delta_stats() const { return matrix_.delta_stats(); }
+
+ private:
+  struct StmtInfo {
+    Statement stmt;
+    /// Row in matrix_ for reads; column for well-formed updates. A
+    /// malformed update (root-selecting delete) gets neither and is
+    /// treated as conservatively dependent on everything sharing its
+    /// variable, matching DependenceAnalyzer.
+    std::optional<size_t> read_slot;
+    std::optional<size_t> update_slot;
+  };
+
+  /// Memo key for an *ordered* update-statement pair: canonical store ids
+  /// of both ops in (earlier, later) call order, so memoized answers
+  /// reproduce DependenceAnalyzer::MustOrder call-for-call.
+  struct UpdatePairKey {
+    uint32_t ref_a = 0, ref_b = 0;
+    uint32_t content_a = 0, content_b = 0;
+    uint8_t kind_a = 0, kind_b = 0;
+
+    friend bool operator==(const UpdatePairKey& x, const UpdatePairKey& y) {
+      return x.ref_a == y.ref_a && x.ref_b == y.ref_b &&
+             x.content_a == y.content_a && x.content_b == y.content_b &&
+             x.kind_a == y.kind_a && x.kind_b == y.kind_b;
+    }
+  };
+  struct UpdatePairKeyHash {
+    size_t operator()(const UpdatePairKey& k) const;
+  };
+
+  /// Detaches matrix slots held by stmts_[index] (decrementing later
+  /// slots), used by Remove/Replace.
+  void DetachSlots(size_t index);
+  /// Attaches stmts_[index] to the matrix (AddRead / AddUpdate).
+  void AttachSlots(size_t index);
+
+  /// DependenceAnalyzer::MustOrder's update-update branch, memoized.
+  bool MustOrderUpdates(const Statement& earlier, const Statement& later) const;
+
+  BatchDetectorOptions options_;
+  MaintainedConflictMatrix matrix_;
+  std::vector<StmtInfo> stmts_;
+  /// Exact-canonical (non-minimizing) interner for uu_memo_ keys: certify
+  /// runs on the raw statement ops (exactly what DependenceAnalyzer
+  /// does), so the memo must not conflate patterns that only minimization
+  /// would merge.
+  mutable PatternStore uu_store_{nullptr, PatternStoreOptions{false}};
+  mutable std::unordered_map<UpdatePairKey, bool, UpdatePairKeyHash> uu_memo_;
+};
+
+}  // namespace xmlup
+
+#endif  // XMLUP_ANALYSIS_INCREMENTAL_DEPENDENCE_H_

@@ -3,17 +3,24 @@
 #include <algorithm>
 #include <atomic>
 
+#include "common/check.h"
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
 
 namespace xmlup {
 namespace {
 
 /// Pool observability: tasks executed, current queue depth, and per-task
-/// wall time. The gauge is updated under the pool mutex that already
-/// guards the queue, so it is always consistent with queue_.size(); the
-/// histogram is per *task*, which for ParallelFor means per worker-sized
-/// stealing loop, not per iteration.
+/// wall time. The queue_depth gauge is process-global while pools are not,
+/// so it is maintained with deltas (+1 on enqueue, -1 on dequeue, under
+/// each pool's own mutex): the aggregate is the true total queued across
+/// all live pools, where a per-pool Set() would let concurrent pools
+/// overwrite each other. The histogram is per *task*, which for
+/// ParallelFor means per worker-sized stealing loop, not per iteration.
 struct PoolMetrics {
   obs::Counter& tasks;
   obs::Gauge& queue_depth;
@@ -38,6 +45,12 @@ void RunTimed(const std::function<void()>& task) {
   obs::ScopedTimer timer(&metrics.task_us);
   task();
 }
+
+/// True on threads executing a pool's WorkerLoop. Guards against nested
+/// blocking constructs: a ParallelFor issued from inside a worker would
+/// Wait() on the very pool that is running it — with all workers doing the
+/// same, nobody drains the queue and the pool deadlocks.
+thread_local bool t_in_pool_worker = false;
 
 }  // namespace
 
@@ -67,7 +80,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     std::unique_lock<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
     ++in_flight_;
-    PoolMetrics::Get().queue_depth.Set(static_cast<int64_t>(queue_.size()));
+    PoolMetrics::Get().queue_depth.Add(1);
   }
   work_available_.notify_one();
 }
@@ -79,6 +92,7 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::WorkerLoop() {
+  t_in_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -88,7 +102,7 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // shutting down and drained
       task = std::move(queue_.front());
       queue_.pop_front();
-      PoolMetrics::Get().queue_depth.Set(static_cast<int64_t>(queue_.size()));
+      PoolMetrics::Get().queue_depth.Add(-1);
     }
     RunTimed(task);
     {
@@ -99,19 +113,42 @@ void ThreadPool::WorkerLoop() {
 }
 
 size_t ThreadPool::DefaultThreadCount() {
+#if defined(__linux__)
+  // hardware_concurrency() reports host cores even inside cpuset-limited
+  // containers (CI cgroups), which oversubscribes the pool; the affinity
+  // mask is what the scheduler will actually grant us. (CFS quota limits
+  // are invisible to both — the mask is still the better of the two.)
+  cpu_set_t mask;
+  if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+    const int allowed = CPU_COUNT(&mask);
+    if (allowed > 0) {
+      const unsigned hw = std::thread::hardware_concurrency();
+      return hw == 0 ? static_cast<size_t>(allowed)
+                     : std::min(static_cast<size_t>(allowed),
+                                static_cast<size_t>(hw));
+    }
+  }
+#endif
   return std::max(1u, std::thread::hardware_concurrency());
 }
 
 void ParallelFor(ThreadPool* pool, size_t count,
                  const std::function<void(size_t)>& body) {
+  if (count == 0) return;
   if (pool == nullptr || pool->num_workers() == 0) {
     for (size_t i = 0; i < count; ++i) body(i);
     return;
   }
+  // Nested ParallelFor from inside a pool worker is unsupported: Wait()
+  // below would block a worker on work only workers can drain (deadlock
+  // once every worker does it). Run the inner loop inline (null pool) or
+  // restructure instead.
+  XMLUP_DCHECK(!t_in_pool_worker)
+      << "ParallelFor called from inside a ThreadPool worker";
   // Dynamic work stealing off a shared counter: tasks are cheap to skip,
   // so one submission per worker suffices and load-balances uneven items.
   auto next = std::make_shared<std::atomic<size_t>>(0);
-  const size_t fan_out = std::min(pool->num_workers(), std::max<size_t>(count, 1));
+  const size_t fan_out = std::min(pool->num_workers(), count);
   for (size_t w = 0; w < fan_out; ++w) {
     pool->Submit([next, count, &body] {
       for (size_t i = next->fetch_add(1); i < count; i = next->fetch_add(1)) {

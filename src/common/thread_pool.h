@@ -41,7 +41,10 @@ class ThreadPool {
   /// Blocks until every task submitted so far has finished.
   void Wait();
 
-  /// std::thread::hardware_concurrency with a floor of 1.
+  /// Threads this process can actually run in parallel, with a floor of
+  /// 1: the scheduler affinity mask on Linux (correct inside
+  /// cpuset-limited containers, where hardware_concurrency() reports host
+  /// cores), capped by / falling back to hardware_concurrency elsewhere.
   static size_t DefaultThreadCount();
 
  private:
@@ -59,6 +62,10 @@ class ThreadPool {
 /// Runs `body(i)` for every i in [0, count), distributing iterations over
 /// `pool` (or inline when `pool` is null or has no workers), and blocks
 /// until all iterations complete. Iterations must be independent.
+/// `count == 0` returns immediately without touching the pool. Calling
+/// ParallelFor on a pool from inside that (or any) pool's worker is
+/// unsupported — Wait() would deadlock — and DCHECK-fails in debug
+/// builds; pass a null pool to run nested loops inline instead.
 void ParallelFor(ThreadPool* pool, size_t count,
                  const std::function<void(size_t)>& body);
 

@@ -1,5 +1,6 @@
 #include "conflict/batch_detector.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -16,6 +17,7 @@ struct BatchMetrics {
   obs::Counter& pairs_total;
   obs::Counter& cache_hits;
   obs::Counter& cache_misses;
+  obs::Counter& cache_evictions;
   obs::Histogram& solve_pair_us;
 
   static const BatchMetrics& Get() {
@@ -25,12 +27,23 @@ struct BatchMetrics {
           reg.GetCounter("batch.pairs_total"),
           reg.GetCounter("batch.cache_hits"),
           reg.GetCounter("batch.cache_misses"),
+          reg.GetCounter("batch.cache_evictions"),
           reg.GetHistogram("batch.solve_pair_us"),
       };
     }();
     return *metrics;
   }
 };
+
+/// Total order on keys for deterministic LRU tie-breaking within one
+/// generation (key ids are intern-order-dense, so this order is stable
+/// across runs of the same workload).
+bool KeyLess(const BatchPairKey& a, const BatchPairKey& b) {
+  if (a.read_id != b.read_id) return a.read_id < b.read_id;
+  if (a.update_id != b.update_id) return a.update_id < b.update_id;
+  if (a.content_id != b.content_id) return a.content_id < b.content_id;
+  return a.kind < b.kind;
+}
 
 /// One job = one unified-facade call on the canonicalized pair fetched
 /// from the store.
@@ -130,6 +143,7 @@ std::vector<SharedConflictResult> BatchConflictDetector::DetectPairs(
   const BatchMetrics& metrics = BatchMetrics::Get();
   obs::TraceRecorder& recorder = obs::TraceRecorder::Default();
   obs::TraceSpan batch_span(recorder, "BatchDetectPairs");
+  ++generation_;
   stats_.pairs_total += pairs.size();
   metrics.pairs_total.Increment(pairs.size());
 
@@ -178,7 +192,8 @@ std::vector<SharedConflictResult> BatchConflictDetector::DetectPairs(
     if (options_.enable_cache) {
       auto cached = cache_.find(key);
       if (cached != cache_.end()) {
-        out[k] = cached->second;
+        cached->second.generation = generation_;  // LRU recency stamp
+        out[k] = cached->second.result;
         ++hits_this_call;
         continue;
       }
@@ -243,15 +258,39 @@ std::vector<SharedConflictResult> BatchConflictDetector::DetectPairs(
     recorder.MergeThreadEvents(std::move(job_events));
   }
 
-  // Phase 4 — publish to the cache (deterministic job order) and scatter
-  // shared results to every requesting pair.
+  // Phase 4 — publish to the cache (deterministic job order), scatter
+  // shared results to every requesting pair, then enforce the size bound.
   if (options_.enable_cache) {
-    for (const Job& job : jobs) cache_.emplace(job.key, job.result);
+    for (const Job& job : jobs) {
+      cache_.emplace(job.key, CacheEntry{job.result, generation_});
+    }
+    EvictIfOverBound();
   }
   for (size_t k = 0; k < pairs.size(); ++k) {
     if (pending[k] != kNone) out[k] = jobs[pending[k]].result;
   }
   return out;
+}
+
+void BatchConflictDetector::EvictIfOverBound() {
+  const size_t bound = options_.max_cache_entries;
+  if (bound == 0 || cache_.size() <= bound) return;
+  // Deterministic LRU: order every entry by (generation, key) and drop the
+  // front of that order. Runs only on calls that grew the cache past the
+  // bound, so the sort amortizes over the solves that caused it.
+  std::vector<std::pair<uint64_t, BatchPairKey>> order;
+  order.reserve(cache_.size());
+  for (const auto& [key, entry] : cache_) {
+    order.emplace_back(entry.generation, key);
+  }
+  std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return KeyLess(a.second, b.second);
+  });
+  const size_t to_drop = cache_.size() - bound;
+  for (size_t i = 0; i < to_drop; ++i) cache_.erase(order[i].second);
+  stats_.cache_evictions += to_drop;
+  BatchMetrics::Get().cache_evictions.Increment(to_drop);
 }
 
 }  // namespace xmlup

@@ -55,6 +55,15 @@ struct BatchDetectorOptions {
   /// Pattern interner shared with the caller (and possibly other engines
   /// over the same SymbolTable). Null: the engine creates a private store.
   std::shared_ptr<PatternStore> store;
+  /// Upper bound on memoized results kept across Detect* calls; 0 means
+  /// unbounded. When a call leaves the cache over this bound, the
+  /// least-recently-used entries are evicted (LRU on generations: every
+  /// Detect* call stamps the entries it touched with the call's
+  /// generation; the oldest stamps go first, ties broken by key id order,
+  /// so eviction is deterministic). Eviction never changes verdicts —
+  /// every solve is independent of cache state — it only turns future
+  /// hits into recomputed misses, counted in BatchStats::cache_evictions.
+  size_t max_cache_entries = 0;
 };
 
 struct BatchStats {
@@ -69,6 +78,10 @@ struct BatchStats {
   /// Detector invocations (distinct canonical pairs actually solved).
   /// Equal to cache_misses: every miss is solved exactly once.
   uint64_t unique_pairs_solved = 0;
+  /// Entries dropped by the max_cache_entries LRU policy. Evictions do not
+  /// disturb the hits + misses == pairs_total invariant: they only make a
+  /// later identical pair miss (and re-solve) instead of hit.
+  uint64_t cache_evictions = 0;
 };
 
 /// Reports are shared: identical pairs point at the same object
@@ -147,6 +160,10 @@ class BatchConflictDetector {
   /// Drops all memoized results (stats and interned patterns are kept).
   void ClearCache();
 
+  /// Memoized results currently retained (≤ max_cache_entries when the
+  /// bound is set).
+  size_t cache_size() const { return cache_.size(); }
+
   /// The engine's pattern interner. Callers that build their inputs
   /// against it (Intern + ref overloads / UpdateOp::Bind) skip per-call
   /// canonicalization entirely.
@@ -157,15 +174,27 @@ class BatchConflictDetector {
   BatchPairKey CacheKey(const Pattern& read, const UpdateOp& update);
 
  private:
+  struct CacheEntry {
+    SharedConflictResult result;
+    /// Generation (Detect* call counter) that created or last hit this
+    /// entry — the LRU recency stamp.
+    uint64_t generation = 0;
+  };
+
   /// The update ref within store_, reusing the op's own ref when it was
   /// bound to the same store.
   PatternRef UpdateRef(const UpdateOp& update);
 
+  /// Applies the max_cache_entries LRU policy after a call published its
+  /// results.
+  void EvictIfOverBound();
+
   BatchDetectorOptions options_;
   std::shared_ptr<PatternStore> store_;
   std::unique_ptr<ThreadPool> pool_;
-  std::unordered_map<BatchPairKey, SharedConflictResult, BatchPairKeyHash>
-      cache_;
+  std::unordered_map<BatchPairKey, CacheEntry, BatchPairKeyHash> cache_;
+  /// Bumped at the start of every (ref-overload) DetectPairs call.
+  uint64_t generation_ = 0;
   BatchStats stats_;
 };
 

@@ -1,0 +1,194 @@
+#include "conflict/conflict_matrix.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace xmlup {
+namespace {
+
+/// Maintained-matrix observability: edit counts and the reuse/recompute/
+/// drop cell deltas (the payoff metric — reused cells are work the
+/// incremental layer saved relative to a from-scratch rebuild).
+struct MatrixMetrics {
+  obs::Counter& edits;
+  obs::Counter& cells_reused;
+  obs::Counter& cells_recomputed;
+  obs::Counter& cells_dropped;
+
+  static const MatrixMetrics& Get() {
+    static const MatrixMetrics* const metrics = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+      return new MatrixMetrics{
+          reg.GetCounter("matrix.edits"),
+          reg.GetCounter("matrix.cells_reused"),
+          reg.GetCounter("matrix.cells_recomputed"),
+          reg.GetCounter("matrix.cells_dropped"),
+      };
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
+
+MaintainedConflictMatrix::MaintainedConflictMatrix(
+    BatchDetectorOptions options)
+    : engine_(std::make_shared<BatchConflictDetector>(std::move(options))) {}
+
+MaintainedConflictMatrix::MaintainedConflictMatrix(
+    std::shared_ptr<BatchConflictDetector> engine)
+    : engine_(std::move(engine)) {
+  XMLUP_CHECK(engine_ != nullptr);
+}
+
+void MaintainedConflictMatrix::RecordEdit(uint64_t reused, uint64_t recomputed,
+                                          uint64_t dropped) {
+  ++delta_.edits;
+  delta_.cells_reused += reused;
+  delta_.cells_recomputed += recomputed;
+  delta_.cells_dropped += dropped;
+  const MatrixMetrics& metrics = MatrixMetrics::Get();
+  metrics.edits.Increment();
+  metrics.cells_reused.Increment(reused);
+  metrics.cells_recomputed.Increment(recomputed);
+  metrics.cells_dropped.Increment(dropped);
+}
+
+std::vector<SharedConflictResult> MaintainedConflictMatrix::SolveRow(
+    PatternRef read) const {
+  std::vector<ReadUpdatePair> pairs;
+  pairs.reserve(updates_.size());
+  for (size_t j = 0; j < updates_.size(); ++j) pairs.push_back({0, j});
+  return engine_->DetectPairs(std::vector<PatternRef>{read}, updates_, pairs);
+}
+
+std::vector<SharedConflictResult> MaintainedConflictMatrix::SolveColumn(
+    const UpdateOp& update) const {
+  std::vector<ReadUpdatePair> pairs;
+  pairs.reserve(reads_.size());
+  for (size_t i = 0; i < reads_.size(); ++i) pairs.push_back({i, 0});
+  return engine_->DetectPairs(reads_, std::vector<UpdateOp>{update}, pairs);
+}
+
+void MaintainedConflictMatrix::Assign(const std::vector<Pattern>& reads,
+                                      const std::vector<UpdateOp>& updates) {
+  obs::TraceSpan span("matrix.assign");
+  const uint64_t dropped = static_cast<uint64_t>(reads_.size()) *
+                           static_cast<uint64_t>(updates_.size());
+  const std::shared_ptr<PatternStore>& store = engine_->pattern_store();
+  reads_.clear();
+  reads_.reserve(reads.size());
+  for (const Pattern& read : reads) reads_.push_back(store->Intern(read));
+  updates_.clear();
+  updates_.reserve(updates.size());
+  for (const UpdateOp& update : updates) updates_.push_back(update.Bind(store));
+
+  std::vector<ReadUpdatePair> pairs;
+  pairs.reserve(reads_.size() * updates_.size());
+  for (size_t i = 0; i < reads_.size(); ++i) {
+    for (size_t j = 0; j < updates_.size(); ++j) pairs.push_back({i, j});
+  }
+  std::vector<SharedConflictResult> flat =
+      engine_->DetectPairs(reads_, updates_, pairs);
+  cells_.assign(reads_.size(), {});
+  for (size_t i = 0; i < reads_.size(); ++i) {
+    cells_[i].assign(flat.begin() + static_cast<ptrdiff_t>(i * updates_.size()),
+                     flat.begin() +
+                         static_cast<ptrdiff_t>((i + 1) * updates_.size()));
+  }
+  RecordEdit(/*reused=*/0, /*recomputed=*/pairs.size(), dropped);
+}
+
+size_t MaintainedConflictMatrix::AddRead(const Pattern& read) {
+  obs::TraceSpan span("matrix.add_read");
+  const PatternRef ref = engine_->pattern_store()->Intern(read);
+  reads_.push_back(ref);
+  cells_.push_back(SolveRow(ref));
+  RecordEdit((reads_.size() - 1) * updates_.size(), updates_.size(), 0);
+  return reads_.size() - 1;
+}
+
+size_t MaintainedConflictMatrix::AddUpdate(const UpdateOp& update) {
+  obs::TraceSpan span("matrix.add_update");
+  UpdateOp bound = update.Bind(engine_->pattern_store());
+  std::vector<SharedConflictResult> column = SolveColumn(bound);
+  for (size_t i = 0; i < reads_.size(); ++i) {
+    cells_[i].push_back(std::move(column[i]));
+  }
+  updates_.push_back(std::move(bound));
+  RecordEdit(reads_.size() * (updates_.size() - 1), reads_.size(), 0);
+  return updates_.size() - 1;
+}
+
+void MaintainedConflictMatrix::RemoveRead(size_t read_index) {
+  obs::TraceSpan span("matrix.remove_read");
+  XMLUP_CHECK(read_index < reads_.size());
+  reads_.erase(reads_.begin() + static_cast<ptrdiff_t>(read_index));
+  cells_.erase(cells_.begin() + static_cast<ptrdiff_t>(read_index));
+  RecordEdit(reads_.size() * updates_.size(), 0, updates_.size());
+}
+
+void MaintainedConflictMatrix::RemoveUpdate(size_t update_index) {
+  obs::TraceSpan span("matrix.remove_update");
+  XMLUP_CHECK(update_index < updates_.size());
+  updates_.erase(updates_.begin() + static_cast<ptrdiff_t>(update_index));
+  for (std::vector<SharedConflictResult>& row : cells_) {
+    row.erase(row.begin() + static_cast<ptrdiff_t>(update_index));
+  }
+  RecordEdit(reads_.size() * updates_.size(), 0, reads_.size());
+}
+
+void MaintainedConflictMatrix::ReplaceRead(size_t read_index,
+                                           const Pattern& read) {
+  obs::TraceSpan span("matrix.replace_read");
+  XMLUP_CHECK(read_index < reads_.size());
+  const PatternRef ref = engine_->pattern_store()->Intern(read);
+  reads_[read_index] = ref;
+  cells_[read_index] = SolveRow(ref);
+  RecordEdit((reads_.size() - 1) * updates_.size(), updates_.size(),
+             updates_.size());
+}
+
+void MaintainedConflictMatrix::ReplaceUpdate(size_t update_index,
+                                             const UpdateOp& update) {
+  obs::TraceSpan span("matrix.replace_update");
+  XMLUP_CHECK(update_index < updates_.size());
+  UpdateOp bound = update.Bind(engine_->pattern_store());
+  std::vector<SharedConflictResult> column = SolveColumn(bound);
+  for (size_t i = 0; i < reads_.size(); ++i) {
+    cells_[i][update_index] = std::move(column[i]);
+  }
+  updates_[update_index] = std::move(bound);
+  RecordEdit(reads_.size() * (updates_.size() - 1), reads_.size(),
+             reads_.size());
+}
+
+const SharedConflictResult& MaintainedConflictMatrix::cell(
+    size_t read_index, size_t update_index) const {
+  XMLUP_CHECK(read_index < reads_.size() && update_index < updates_.size());
+  return cells_[read_index][update_index];
+}
+
+std::vector<SharedConflictResult> MaintainedConflictMatrix::RowMajor() const {
+  std::vector<SharedConflictResult> out;
+  out.reserve(reads_.size() * updates_.size());
+  for (const std::vector<SharedConflictResult>& row : cells_) {
+    out.insert(out.end(), row.begin(), row.end());
+  }
+  return out;
+}
+
+PatternRef MaintainedConflictMatrix::read_ref(size_t read_index) const {
+  XMLUP_CHECK(read_index < reads_.size());
+  return reads_[read_index];
+}
+
+const UpdateOp& MaintainedConflictMatrix::update(size_t update_index) const {
+  XMLUP_CHECK(update_index < updates_.size());
+  return updates_[update_index];
+}
+
+}  // namespace xmlup

@@ -310,6 +310,89 @@ TEST_F(BatchDetectorTest, InjectedStoreIsSharedAndRefOverloadsAgree) {
   EXPECT_EQ(Fingerprint(sibling_matrix), Fingerprint(by_ref));
 }
 
+TEST_F(BatchDetectorTest, BoundedCacheEvictsButNeverChangesVerdicts) {
+  const std::vector<Pattern> reads = Reads();
+  const std::vector<UpdateOp> updates = Updates();
+  BatchDetectorOptions options = Options(2);
+  options.max_cache_entries = 4;
+  BatchConflictDetector bounded(options);
+  BatchConflictDetector unbounded(Options(2));
+  EXPECT_EQ(Fingerprint(bounded.DetectMatrix(reads, updates)),
+            Fingerprint(unbounded.DetectMatrix(reads, updates)));
+  const BatchStats& stats = bounded.stats();
+  EXPECT_LE(bounded.cache_size(), 4u);
+  EXPECT_GT(stats.cache_evictions, 0u);
+  EXPECT_EQ(stats.cache_evictions,
+            stats.unique_pairs_solved - bounded.cache_size());
+  // Eviction does not disturb the accounting invariant.
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.pairs_total);
+
+  // A repeat call re-solves what was evicted — and only that.
+  const uint64_t solved_before = stats.unique_pairs_solved;
+  bounded.DetectMatrix(reads, updates);
+  EXPECT_GT(bounded.stats().unique_pairs_solved, solved_before);
+  EXPECT_EQ(bounded.stats().cache_hits + bounded.stats().cache_misses,
+            bounded.stats().pairs_total);
+  EXPECT_LE(bounded.cache_size(), 4u);
+}
+
+TEST_F(BatchDetectorTest, EvictionIsLeastRecentlyUsedByGeneration) {
+  // num_threads == 1: the intern order (hence key identity) is sequential
+  // and the LRU decisions below are exact.
+  BatchDetectorOptions options = Options(1);
+  options.max_cache_entries = 2;
+  BatchConflictDetector engine(options);
+  const std::vector<Pattern> reads = {Xp("a//b", symbols_),
+                                      Xp("b/c", symbols_),
+                                      Xp("x//y", symbols_)};
+  std::vector<UpdateOp> updates;
+  updates.push_back(Insert("a/b", "<c/>"));
+  auto pairs_for = [&](std::vector<size_t> read_idx) {
+    std::vector<ReadUpdatePair> pairs;
+    for (size_t i : read_idx) pairs.push_back({i, 0});
+    return pairs;
+  };
+
+  // Gen 1 caches {r0, r1}; gen 2 refreshes r0's stamp; gen 3 brings in r2,
+  // which must evict r1 (oldest stamp), not r0.
+  engine.DetectPairs(reads, updates, pairs_for({0, 1}));
+  engine.DetectPairs(reads, updates, pairs_for({0}));
+  engine.DetectPairs(reads, updates, pairs_for({2}));
+  EXPECT_EQ(engine.stats().cache_evictions, 1u);
+  EXPECT_EQ(engine.cache_size(), 2u);
+
+  const uint64_t hits_before = engine.stats().cache_hits;
+  const uint64_t solved_before = engine.stats().unique_pairs_solved;
+  engine.DetectPairs(reads, updates, pairs_for({0}));  // survived: hit
+  EXPECT_EQ(engine.stats().cache_hits, hits_before + 1);
+  EXPECT_EQ(engine.stats().unique_pairs_solved, solved_before);
+  engine.DetectPairs(reads, updates, pairs_for({1}));  // evicted: re-solved
+  EXPECT_EQ(engine.stats().unique_pairs_solved, solved_before + 1);
+}
+
+TEST_F(BatchDetectorTest, SameGenerationEvictionTieBreaksOnKeyOrder) {
+  // All three entries share one generation: the policy must still be
+  // deterministic, dropping the lowest-id keys first (interned first ==
+  // listed first at num_threads == 1).
+  BatchDetectorOptions options = Options(1);
+  options.max_cache_entries = 1;
+  BatchConflictDetector engine(options);
+  const std::vector<Pattern> reads = {Xp("a//b", symbols_),
+                                      Xp("b/c", symbols_),
+                                      Xp("x//y", symbols_)};
+  std::vector<UpdateOp> updates;
+  updates.push_back(Delete("a//c"));
+  engine.DetectPairs(reads, updates, {{0, 0}, {1, 0}, {2, 0}});
+  EXPECT_EQ(engine.stats().cache_evictions, 2u);
+  EXPECT_EQ(engine.cache_size(), 1u);
+  // The highest-id key (the last read) is the survivor.
+  const uint64_t solved_before = engine.stats().unique_pairs_solved;
+  engine.DetectPairs(reads, updates, {{2, 0}});
+  EXPECT_EQ(engine.stats().unique_pairs_solved, solved_before);
+  engine.DetectPairs(reads, updates, {{0, 0}});
+  EXPECT_EQ(engine.stats().unique_pairs_solved, solved_before + 1);
+}
+
 TEST_F(BatchDetectorTest, KnownVerdictsSurviveTheBatchPath) {
   // a//b vs insert <b/> under a: conflict (linear PTIME path).
   // x//y vs delete a//c: different labels, no conflict.

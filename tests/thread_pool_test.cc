@@ -1,9 +1,17 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "obs/metrics.h"
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
 
 namespace xmlup {
 namespace {
@@ -75,13 +83,107 @@ TEST(ThreadPoolTest, ParallelForNullPoolRunsInline) {
 TEST(ThreadPoolTest, ParallelForZeroCount) {
   ThreadPool pool(2);
   bool ran = false;
+  // count == 0 must return without touching the pool: no body run, no
+  // no-op worker task submitted (the counter would tick if one were).
+  obs::Counter& tasks =
+      obs::MetricsRegistry::Default().GetCounter("thread_pool.tasks");
+  const uint64_t tasks_before = tasks.value();
   ParallelFor(&pool, 0, [&](size_t) { ran = true; });
   EXPECT_FALSE(ran);
+  EXPECT_EQ(tasks.value(), tasks_before);
 }
 
 TEST(ThreadPoolTest, DefaultThreadCountAtLeastOne) {
-  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+  const size_t count = ThreadPool::DefaultThreadCount();
+  EXPECT_GE(count, 1u);
+  // Never above the hardware (when the hardware count is known): the
+  // affinity mask can only restrict, not invent cores.
+  const unsigned hardware = std::thread::hardware_concurrency();
+  if (hardware > 0) {
+    EXPECT_LE(count, static_cast<size_t>(hardware));
+  }
 }
+
+#if defined(__linux__)
+TEST(ThreadPoolTest, DefaultThreadCountRespectsAffinityMask) {
+  cpu_set_t original;
+  ASSERT_EQ(sched_getaffinity(0, sizeof(original), &original), 0);
+  const size_t allowed = static_cast<size_t>(CPU_COUNT(&original));
+  const size_t hardware =
+      std::max<size_t>(1, std::thread::hardware_concurrency());
+  EXPECT_EQ(ThreadPool::DefaultThreadCount(), std::min(allowed, hardware));
+
+  // Pin this thread to a single CPU (the cgroup-limited-container shape)
+  // and the default must follow the mask, not the host core count.
+  int first_cpu = -1;
+  for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+    if (CPU_ISSET(cpu, &original)) {
+      first_cpu = cpu;
+      break;
+    }
+  }
+  ASSERT_GE(first_cpu, 0);
+  cpu_set_t single;
+  CPU_ZERO(&single);
+  CPU_SET(first_cpu, &single);
+  if (sched_setaffinity(0, sizeof(single), &single) == 0) {
+    EXPECT_EQ(ThreadPool::DefaultThreadCount(), 1u);
+    ASSERT_EQ(sched_setaffinity(0, sizeof(original), &original), 0);
+  }
+}
+#endif
+
+TEST(ThreadPoolTest, QueueDepthAggregatesAcrossConcurrentPools) {
+  // The queue_depth gauge is process-global; two live pools must not
+  // last-writer-win each other (the old Set() bug): with deltas the
+  // aggregate is the true total queued across pools.
+  obs::Gauge& depth =
+      obs::MetricsRegistry::Default().GetGauge("thread_pool.queue_depth");
+  depth.Reset();
+  std::atomic<int> blockers_running{0};
+  std::atomic<bool> release{false};
+  {
+    ThreadPool pool_a(2);
+    ThreadPool pool_b(2);
+    auto blocker = [&] {
+      blockers_running.fetch_add(1);
+      while (!release.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    };
+    for (int i = 0; i < 2; ++i) pool_a.Submit(blocker);
+    for (int i = 0; i < 2; ++i) pool_b.Submit(blocker);
+    while (blockers_running.load() < 4) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    // Every worker is pinned in a blocker, so these all sit queued: the
+    // gauge must show the cross-pool total (Set() would report 3 or 5).
+    for (int i = 0; i < 5; ++i) pool_a.Submit([] {});
+    for (int i = 0; i < 3; ++i) pool_b.Submit([] {});
+    EXPECT_EQ(depth.value(), 8);
+    release.store(true);
+    pool_a.Wait();
+    pool_b.Wait();
+    EXPECT_EQ(depth.value(), 0);
+  }
+}
+
+#ifndef NDEBUG
+TEST(ThreadPoolDeathTest, NestedParallelForIsUnsupported) {
+  // A ParallelFor from inside a pool worker would Wait() on the pool that
+  // is running it — deadlock once every worker blocks. The debug build
+  // refuses loudly instead of hanging. (Nested *inline* loops — null
+  // pool — remain fine.)
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(2);
+        ParallelFor(&pool, 1, [&](size_t) {
+          ParallelFor(&pool, 1, [](size_t) {});
+        });
+      },
+      "ParallelFor called from inside a ThreadPool worker");
+}
+#endif
 
 }  // namespace
 }  // namespace xmlup
