@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validates the BENCH_<name>.json stats dumps for the CI bench-smoke job.
 
-Usage: check_bench_json.py <batch|intern|incremental> [--min-speedup X]
+Usage: check_bench_json.py <batch|intern|incremental|lint> [--min-speedup X]
 
 Two failure classes with distinct exit codes, so the workflow can retry
 the right one:
@@ -127,10 +127,38 @@ def check_incremental(stats, args):
           f"{edit_stream['pairs_solved']} solved)")
 
 
+def check_lint(stats, args):
+    require(stats, "lint", ["bench", "obs_enabled", "lint", "metrics",
+                            "trace"])
+    lint = require(
+        stats, "lint",
+        ["programs", "statements", "diagnostics", "fixits", "pairs_checked",
+         "unknown_share", "seconds", "diagnostics_per_sec"],
+        sub="lint")
+    counters = require(
+        stats["metrics"], "lint",
+        ["lint.programs", "lint.statements", "lint.diagnostics",
+         "batch.pairs_total"],
+        sub="counters")
+    if counters["lint.programs"] == 0:
+        structural("no lint runs recorded: instrumentation is dead")
+    if lint["diagnostics"] == 0:
+        structural("lint corpus produced zero diagnostics: passes are dead")
+    if lint["pairs_checked"] == 0:
+        structural("lint corpus checked zero pairs: engine wiring is dead")
+    if not 0.0 <= lint["unknown_share"] <= 1.0:
+        structural(f"unknown_share {lint['unknown_share']} not in [0, 1]")
+    print(f"ok: {lint['programs']} programs, {lint['diagnostics']} "
+          f"diagnostics ({lint['fixits']} fix-its), "
+          f"{lint['pairs_checked']} pairs checked, "
+          f"{lint['diagnostics_per_sec']} diagnostics/s")
+
+
 CHECKS = {
     "batch": check_batch,
     "intern": check_intern,
     "incremental": check_incremental,
+    "lint": check_lint,
 }
 
 

@@ -26,6 +26,10 @@ struct OptimizeResult {
 class Optimizer {
  public:
   explicit Optimizer(DetectorOptions options = {});
+  /// Full control over the underlying batch engine (thread count, memo
+  /// cache, shared PatternStore) — used by the lint pass so optimizer and
+  /// linter intern into one store.
+  explicit Optimizer(BatchDetectorOptions options);
 
   /// Applies read CSE; the returned program is observably equivalent under
   /// value semantics (validated by the test suite by executing both).

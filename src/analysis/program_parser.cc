@@ -1,0 +1,158 @@
+#include "analysis/program_parser.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+#include "conflict/update_op.h"
+#include "pattern/xpath_parser.h"
+#include "xml/xml_parser.h"
+
+namespace xmlup {
+namespace {
+
+bool IsIdentChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+Status LineError(int line, const std::string& message) {
+  return Status::InvalidArgument("line " + std::to_string(line) + ": " +
+                                 message);
+}
+
+/// Parses `$var/xpath` (or `$var//xpath`); the slash belongs to the XPath.
+struct Target {
+  std::string var;
+  Pattern pattern;
+};
+
+Result<Target> ParseTarget(std::string_view text, int line,
+                           const std::shared_ptr<SymbolTable>& symbols) {
+  text = StripWhitespace(text);
+  if (text.empty() || text[0] != '$') {
+    return LineError(line, "expected '$variable/xpath', got '" +
+                               std::string(text) + "'");
+  }
+  size_t pos = 1;
+  while (pos < text.size() && IsIdentChar(text[pos])) ++pos;
+  if (pos == 1) {
+    return LineError(line, "missing variable name after '$'");
+  }
+  std::string var(text.substr(1, pos - 1));
+  std::string_view xpath = text.substr(pos);
+  if (xpath.empty() || xpath[0] != '/') {
+    return LineError(line, "expected '/' after variable '$" + var + "'");
+  }
+  Result<Pattern> pattern = ParseXPath(xpath, symbols);
+  if (!pattern.ok()) {
+    return LineError(line, "bad xpath '" + std::string(xpath) +
+                               "': " + pattern.status().ToString());
+  }
+  return Target{std::move(var), std::move(pattern).value()};
+}
+
+}  // namespace
+
+Result<ParsedProgram> ParseProgram(std::string_view input,
+                                   std::shared_ptr<SymbolTable> symbols) {
+  ParsedProgram parsed;
+  int line_number = 0;
+  for (std::string_view raw_line : Split(input, '\n')) {
+    ++line_number;
+    std::string_view line = StripWhitespace(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+
+    // Optional `index:` prefix (what Program::ToString emits).
+    {
+      size_t pos = 0;
+      while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') ++pos;
+      if (pos > 0 && pos < line.size() && line[pos] == ':') {
+        line = StripWhitespace(line.substr(pos + 1));
+      }
+    }
+    if (line.empty()) continue;
+
+    if (StartsWith(line, "insert")) {
+      std::string_view rest = StripWhitespace(line.substr(6));
+      // The content starts at the first ',' followed by (optional space
+      // and) '<' — commas never occur in the XPath fragment, but scanning
+      // for the '<' keeps the rule robust to future predicate syntax.
+      size_t split = std::string_view::npos;
+      for (size_t i = 0; i < rest.size(); ++i) {
+        if (rest[i] != ',') continue;
+        const std::string_view after = StripWhitespace(rest.substr(i + 1));
+        if (!after.empty() && after[0] == '<') {
+          split = i;
+          break;
+        }
+      }
+      if (split == std::string_view::npos) {
+        return LineError(line_number,
+                         "insert needs ', <content>' after the target");
+      }
+      Result<Target> target =
+          ParseTarget(rest.substr(0, split), line_number, symbols);
+      if (!target.ok()) return target.status();
+      Result<Tree> content =
+          ParseXml(StripWhitespace(rest.substr(split + 1)), symbols);
+      if (!content.ok()) {
+        return LineError(line_number, "bad insert content: " +
+                                          content.status().ToString());
+      }
+      parsed.program.AddInsert(
+          std::move(target->var), std::move(target->pattern),
+          std::make_shared<const Tree>(std::move(content).value()));
+      parsed.lines.push_back(line_number);
+      continue;
+    }
+
+    if (StartsWith(line, "delete")) {
+      Result<Target> target =
+          ParseTarget(line.substr(6), line_number, symbols);
+      if (!target.ok()) return target.status();
+      // Reject what could never execute: UpdateOp::MakeDelete refuses
+      // root-selecting patterns, so catching it here means a parsed
+      // program has no malformed statements.
+      Result<UpdateOp> check = UpdateOp::MakeDelete(target->pattern);
+      if (!check.ok()) {
+        return LineError(line_number, check.status().ToString());
+      }
+      parsed.program.AddDelete(std::move(target->var),
+                               std::move(target->pattern));
+      parsed.lines.push_back(line_number);
+      continue;
+    }
+
+    // result = read $var/xpath
+    const size_t eq = line.find('=');
+    if (eq != std::string_view::npos) {
+      const std::string_view result_var = StripWhitespace(line.substr(0, eq));
+      std::string_view rest = StripWhitespace(line.substr(eq + 1));
+      if (result_var.empty()) {
+        return LineError(line_number, "missing result variable before '='");
+      }
+      for (char c : result_var) {
+        if (!IsIdentChar(c)) {
+          return LineError(line_number, "bad result variable '" +
+                                            std::string(result_var) + "'");
+        }
+      }
+      if (!StartsWith(rest, "read")) {
+        return LineError(line_number, "expected 'read' after '='");
+      }
+      Result<Target> target =
+          ParseTarget(rest.substr(4), line_number, symbols);
+      if (!target.ok()) return target.status();
+      parsed.program.AddRead(std::string(result_var), std::move(target->var),
+                             std::move(target->pattern));
+      parsed.lines.push_back(line_number);
+      continue;
+    }
+
+    return LineError(line_number,
+                     "expected 'r = read ...', 'insert ...' or 'delete ...'");
+  }
+  return parsed;
+}
+
+}  // namespace xmlup

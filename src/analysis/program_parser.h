@@ -1,0 +1,46 @@
+#ifndef XMLUP_ANALYSIS_PROGRAM_PARSER_H_
+#define XMLUP_ANALYSIS_PROGRAM_PARSER_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "analysis/program.h"
+#include "common/result.h"
+#include "xml/symbol_table.h"
+
+namespace xmlup {
+
+/// A parsed program plus the source mapping the renderers need: lines[i]
+/// is the 1-based source line of statement i.
+struct ParsedProgram {
+  Program program;
+  std::vector<int> lines;
+};
+
+/// Parses the pidgin update-program syntax of the paper's §1 examples —
+/// the same syntax Program::ToString emits (minus the index prefix, which
+/// is also accepted and ignored):
+///
+///   y = read $x//book[.//quantity]
+///   insert $x/order, <item><qty/></item>
+///   delete $x//order/item
+///
+/// Grammar per line (blank lines and `#`-comments skipped):
+///
+///   line   := [index ':'] stmt
+///   stmt   := ident '=' 'read' target
+///           | 'insert' target ',' xml
+///           | 'delete' target
+///   target := '$' ident '/' xpath
+///
+/// XPath fragments use pattern/xpath_parser.h; XML content uses
+/// xml/xml_parser.h. A delete whose pattern selects the root is rejected
+/// here (it could never execute — UpdateOp::MakeDelete refuses it), so a
+/// parsed program contains no malformed statements.
+Result<ParsedProgram> ParseProgram(std::string_view input,
+                                   std::shared_ptr<SymbolTable> symbols);
+
+}  // namespace xmlup
+
+#endif  // XMLUP_ANALYSIS_PROGRAM_PARSER_H_

@@ -24,6 +24,10 @@ bool EndsWith(std::string_view input, std::string_view suffix);
 /// Escapes the five XML special characters (& < > " ') for text content.
 std::string XmlEscape(std::string_view input);
 
+/// Escapes a string for embedding in a JSON string literal: backslash,
+/// double quote, and control characters (as \uXXXX or the short forms).
+std::string JsonEscape(std::string_view input);
+
 }  // namespace xmlup
 
 #endif  // XMLUP_COMMON_STRING_UTIL_H_

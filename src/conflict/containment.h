@@ -30,6 +30,11 @@ bool HasContainmentHomomorphism(const Pattern& p, const Pattern& q);
 bool HasContainmentHomomorphism(const PatternStore& store, PatternRef p,
                                 PatternRef q);
 
+/// For the output-preserving strengthening (additionally maps O(q) to
+/// O(p), giving *selected-node* containment — what the lint
+/// shadowed-update pass needs), see HasOutputPreservingHomomorphism in
+/// conflict/minimize.h.
+
 /// Exact decision via canonical models: p ⊆ q iff q embeds into every
 /// canonical model of p, where canonical models replace each wildcard with
 /// a fresh symbol z and each descendant edge with a chain of 0..w z-nodes,

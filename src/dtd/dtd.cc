@@ -83,6 +83,18 @@ std::set<Label> Dtd::MentionedLabels() const {
   return labels;
 }
 
+bool Dtd::ChildAllowed(Label parent, Label child) const {
+  if (sealed_.count(parent) == 0) return true;
+  auto it = allowed_.find(parent);
+  return it != allowed_.end() && it->second.count(child) > 0;
+}
+
+const std::set<Label>& Dtd::RequiredChildren(Label parent) const {
+  static const std::set<Label>* const empty = new std::set<Label>();
+  auto it = required_.find(parent);
+  return it != required_.end() ? it->second : *empty;
+}
+
 bool Dtd::Conforms(const Tree& tree, std::string* why) const {
   if (!tree.has_root()) {
     if (why != nullptr) *why = "empty tree";

@@ -53,6 +53,14 @@ class Dtd {
   /// human-readable reason is stored.
   bool Conforms(const Tree& tree, std::string* why = nullptr) const;
 
+  /// Per-edge query used by static analysis (lint's dtd-violation pass):
+  /// true unless `parent` is sealed and `child` is outside its allow-list.
+  bool ChildAllowed(Label parent, Label child) const;
+
+  /// Child labels every `parent`-labeled node must have (empty set when
+  /// unconstrained).
+  const std::set<Label>& RequiredChildren(Label parent) const;
+
   const std::shared_ptr<SymbolTable>& symbols() const { return symbols_; }
 
   /// Every label mentioned by the schema (root, parents, allowed and

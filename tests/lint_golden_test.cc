@@ -1,0 +1,85 @@
+// Golden-file tests for the lint renderers: a fixed program (the same
+// fixture the README quickstart uses) must render to byte-identical JSON
+// and SARIF. The engine's determinism guarantee makes this safe across
+// thread counts and machines; if a renderer change is intentional, update
+// tests/goldens/lint.json / lint.sarif (the failure message prints the
+// actual output, and `xmlup_lint tests/goldens/lint_demo.xup
+// --format=json` regenerates it from a build tree).
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/lint.h"
+#include "analysis/program_parser.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace xmlup {
+namespace {
+
+using testing_util::NewSymbols;
+
+std::string ReadGolden(const std::string& name) {
+  const std::string path = std::string(XMLUP_TEST_SRCDIR) + "/goldens/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing golden file " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string content = buffer.str();
+  while (!content.empty() && content.back() == '\n') content.pop_back();
+  return content;
+}
+
+class LintGoldenTest : public ::testing::Test {
+ protected:
+  ParsedProgram Fixture() {
+    Result<ParsedProgram> parsed =
+        ParseProgram(ReadGolden("lint_demo.xup"), symbols_);
+    EXPECT_TRUE(parsed.ok()) << parsed.status();
+    return std::move(parsed).value();
+  }
+
+  LintResult LintFixture(const ParsedProgram& parsed) {
+    // CLI-default options; goldens regenerate via examples/xmlup_lint.
+    const Linter linter;
+    return linter.Lint(parsed.program);
+  }
+
+  LintRenderOptions Render(const ParsedProgram& parsed) {
+    LintRenderOptions options;
+    options.artifact_uri = "lint_demo.xup";
+    options.lines = &parsed.lines;
+    return options;
+  }
+
+  std::shared_ptr<SymbolTable> symbols_ = NewSymbols();
+};
+
+TEST_F(LintGoldenTest, JsonMatchesGolden) {
+  const ParsedProgram parsed = Fixture();
+  const LintResult result = LintFixture(parsed);
+  const std::string json =
+      RenderLintJson(parsed.program, result, Render(parsed));
+  EXPECT_EQ(json, ReadGolden("lint.json")) << "actual:\n" << json;
+}
+
+TEST_F(LintGoldenTest, SarifMatchesGolden) {
+  const ParsedProgram parsed = Fixture();
+  const LintResult result = LintFixture(parsed);
+  const std::string sarif =
+      RenderLintSarif(parsed.program, result, Render(parsed));
+  EXPECT_EQ(sarif, ReadGolden("lint.sarif")) << "actual:\n" << sarif;
+}
+
+TEST_F(LintGoldenTest, GoldenIsThreadCountInvariant) {
+  const ParsedProgram parsed = Fixture();
+  LintOptions options;
+  options.batch.num_threads = 8;
+  const LintResult result = Linter(options).Lint(parsed.program);
+  EXPECT_EQ(RenderLintJson(parsed.program, result, Render(parsed)),
+            ReadGolden("lint.json"));
+}
+
+}  // namespace
+}  // namespace xmlup
