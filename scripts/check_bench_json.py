@@ -154,11 +154,59 @@ def check_lint(stats, args):
           f"{lint['diagnostics_per_sec']} diagnostics/s")
 
 
+def check_detect_hot(stats, args):
+    require(stats, "detect_hot",
+            ["bench", "obs_enabled", "detect_hot", "metrics", "trace"])
+    ablation = require(
+        stats, "detect_hot",
+        ["pairs", "cold_us", "warm_nfa_us", "warm_us", "speedup_nfa",
+         "speedup", "verdicts_identical"],
+        sub="detect_hot")
+    counters = require(
+        stats["metrics"], "detect_hot",
+        ["store.nfa.hits", "store.nfa.misses", "store.nfa.bytes",
+         "detector.product_cache.lookups", "detector.product_cache.hits",
+         "detector.product_cache.misses", "detector.calls",
+         "detector.errors"],
+        sub="counters")
+    if ablation["pairs"] == 0:
+        structural("no pairs measured: workload is dead")
+    # Caching must never change answers — the equivalence oracle ran inside
+    # the bench itself, over all three phases.
+    if not ablation["verdicts_identical"]:
+        structural("cached verdicts diverged from the cold value path")
+    if counters["store.nfa.misses"] == 0 or counters["store.nfa.bytes"] == 0:
+        structural("no compiled automata recorded: store cache is dead")
+    if counters["store.nfa.hits"] <= counters["store.nfa.misses"]:
+        structural("expected warm passes to be hit-dominated: "
+                   f"{counters}")
+    # The sharded product cache's accounting invariant: every lookup is
+    # exactly one hit or one miss (racing builders both count misses).
+    lookups = counters["detector.product_cache.lookups"]
+    hits = counters["detector.product_cache.hits"]
+    misses = counters["detector.product_cache.misses"]
+    if lookups != hits + misses:
+        structural(f"product cache accounting broken: {lookups} lookups != "
+                   f"{hits} hits + {misses} misses")
+    if misses == 0:
+        structural("product cache recorded no misses: cache is dead")
+    if counters["detector.errors"] != 0:
+        structural(f"{counters['detector.errors']} detector errors during "
+                   "the bench: the workload should be error-free")
+    if ablation["speedup"] < args.min_speedup:
+        performance(f"warm detect speedup {ablation['speedup']} "
+                    f"< {args.min_speedup}x")
+    print(f"ok: detect_hot speedup {ablation['speedup']}x warm "
+          f"({ablation['speedup_nfa']}x NFA-only) over {ablation['pairs']} "
+          f"pairs; product cache {hits}/{lookups} hits")
+
+
 CHECKS = {
     "batch": check_batch,
     "intern": check_intern,
     "incremental": check_incremental,
     "lint": check_lint,
+    "detect_hot": check_detect_hot,
 }
 
 

@@ -83,6 +83,10 @@ void Nfa::BuildIndex() {
   for (const EpsilonTransition& e : epsilon_transitions_) {
     epsilon_by_state_[e.from].push_back(e.to);
   }
+  closure_by_state_.resize(num_states_);
+  for (StateId s = 0; s < num_states_; ++s) {
+    closure_by_state_[s] = EpsilonClosure({s});
+  }
 }
 
 std::vector<StateId> Nfa::EpsilonClosure(std::vector<StateId> states) const {

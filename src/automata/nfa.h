@@ -49,6 +49,14 @@ class Nfa {
   /// Epsilon closure of a state set (sorted, deduplicated).
   std::vector<StateId> EpsilonClosure(std::vector<StateId> states) const;
 
+  /// Precomputed epsilon closure of the single state `s` (sorted,
+  /// deduplicated, includes `s`). Same contents as EpsilonClosure({s}),
+  /// built once at construction — the product search calls this per
+  /// enqueued pair, so it must not allocate.
+  const std::vector<StateId>& ClosureFrom(StateId s) const {
+    return closure_by_state_[s];
+  }
+
  private:
   Nfa() = default;
 
@@ -61,6 +69,7 @@ class Nfa {
   std::vector<EpsilonTransition> epsilon_transitions_;
   std::vector<std::vector<uint32_t>> by_state_;
   std::vector<std::vector<StateId>> epsilon_by_state_;
+  std::vector<std::vector<StateId>> closure_by_state_;
 };
 
 }  // namespace xmlup

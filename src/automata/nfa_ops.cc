@@ -1,10 +1,53 @@
 #include "automata/nfa_ops.h"
 
 #include <algorithm>
-#include <queue>
+
+#include "obs/metrics.h"
 
 namespace xmlup {
 namespace {
+
+struct ProductCacheMetrics {
+  obs::Counter& lookups;
+  obs::Counter& hits;
+  obs::Counter& misses;
+
+  static ProductCacheMetrics& Get() {
+    static ProductCacheMetrics m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+      return ProductCacheMetrics{
+          reg.GetCounter("detector.product_cache.lookups"),
+          reg.GetCounter("detector.product_cache.hits"),
+          reg.GetCounter("detector.product_cache.misses"),
+      };
+    }();
+    return m;
+  }
+};
+
+/// Per-thread scratch for ProductSearch. The product BFS is the innermost
+/// loop of every match/detect call; reusing these buffers keeps the
+/// steady-state search allocation-free (capacity is retained across
+/// calls, assign() only memsets).
+struct SearchScratch {
+  /// parent[state] = (previous state, class taken); only kept for
+  /// witnesses.
+  struct Parent {
+    size_t prev = SIZE_MAX;
+    LabelClass on;
+  };
+
+  std::vector<char> visited;
+  std::vector<Parent> parents;
+  /// FIFO queue as a vector with a head cursor — same visit order as
+  /// std::queue, but the backing storage survives between calls.
+  std::vector<std::pair<StateId, StateId>> queue;
+
+  static SearchScratch& Get() {
+    thread_local SearchScratch scratch;
+    return scratch;
+  }
+};
 
 /// BFS over product states (sa, sb), taking epsilon moves into account by
 /// closing each side independently. Records parents for witness
@@ -16,38 +59,34 @@ std::optional<ClassWord> ProductSearch(const Nfa& a, const Nfa& b,
     return static_cast<size_t>(sa) * nb + sb;
   };
 
-  std::vector<bool> visited(a.num_states() * b.num_states(), false);
-  // parent[state] = (previous state, class taken); only kept for witnesses.
-  struct Parent {
-    size_t prev = SIZE_MAX;
-    LabelClass on;
-  };
-  std::vector<Parent> parents;
-  if (want_witness) parents.assign(visited.size(), Parent{});
+  SearchScratch& scratch = SearchScratch::Get();
+  std::vector<char>& visited = scratch.visited;
+  visited.assign(a.num_states() * b.num_states(), 0);
+  std::vector<SearchScratch::Parent>& parents = scratch.parents;
+  if (want_witness) parents.assign(visited.size(), SearchScratch::Parent{});
 
-  std::queue<std::pair<StateId, StateId>> queue;
+  std::vector<std::pair<StateId, StateId>>& queue = scratch.queue;
+  queue.clear();
+  size_t queue_head = 0;
 
   auto enqueue_closed = [&](StateId sa, StateId sb, size_t from,
                             const LabelClass& on) {
     // Close both sides under epsilon and enqueue every pair in the closure.
-    const std::vector<StateId> ca = a.EpsilonClosure({sa});
-    const std::vector<StateId> cb = b.EpsilonClosure({sb});
-    for (StateId xa : ca) {
-      for (StateId xb : cb) {
+    for (StateId xa : a.ClosureFrom(sa)) {
+      for (StateId xb : b.ClosureFrom(sb)) {
         const size_t id = encode(xa, xb);
         if (visited[id]) continue;
-        visited[id] = true;
+        visited[id] = 1;
         if (want_witness) parents[id] = {from, on};
-        queue.emplace(xa, xb);
+        queue.emplace_back(xa, xb);
       }
     }
   };
 
   enqueue_closed(a.start(), b.start(), SIZE_MAX, LabelClass::Any());
 
-  while (!queue.empty()) {
-    auto [sa, sb] = queue.front();
-    queue.pop();
+  while (queue_head < queue.size()) {
+    auto [sa, sb] = queue[queue_head++];
     const size_t id = encode(sa, sb);
     if (sa == a.accept() && sb == b.accept()) {
       if (!want_witness) return ClassWord{};
@@ -82,6 +121,57 @@ bool IntersectionNonEmpty(const Nfa& a, const Nfa& b) {
 
 std::optional<ClassWord> IntersectionWitness(const Nfa& a, const Nfa& b) {
   return ProductSearch(a, b, /*want_witness=*/true);
+}
+
+std::optional<ClassWord> NfaProductCache::Intersect(const Nfa& a,
+                                                    uint64_t a_uid,
+                                                    const Nfa& b,
+                                                    uint64_t b_uid) {
+  if (!enabled()) return IntersectionWitness(a, b);
+
+  ProductCacheMetrics& metrics = ProductCacheMetrics::Get();
+  metrics.lookups.Increment();
+
+  const PairKey key{a_uid, b_uid};
+  Shard& s = shard(key);
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.map.find(key);
+    if (it != s.map.end()) {
+      metrics.hits.Increment();
+      return it->second;
+    }
+  }
+  // Compute outside the shard lock: products can be expensive and other
+  // pairs hashing to this shard should not wait on ours.
+  metrics.misses.Increment();
+  std::optional<ClassWord> result = IntersectionWitness(a, b);
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.map.emplace(key, result);
+  }
+  return result;
+}
+
+size_t NfaProductCache::size() const {
+  size_t total = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    total += s.map.size();
+  }
+  return total;
+}
+
+void NfaProductCache::Clear() {
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.map.clear();
+  }
+}
+
+NfaProductCache& NfaProductCache::Default() {
+  static NfaProductCache* cache = new NfaProductCache();
+  return *cache;
 }
 
 }  // namespace xmlup

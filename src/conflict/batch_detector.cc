@@ -45,20 +45,25 @@ bool KeyLess(const BatchPairKey& a, const BatchPairKey& b) {
   return a.kind < b.kind;
 }
 
-/// One job = one unified-facade call on the canonicalized pair fetched
-/// from the store.
-Result<ConflictReport> SolvePair(const Pattern& read, const UpdateOp& update,
-                                 const Pattern& update_pattern,
-                                 const DetectorOptions& options) {
+/// One job = one ref-facade call on the canonicalized pair. The op is
+/// re-bound to the engine's store so Detect takes the cached path —
+/// compiled automata by ref, memoized products — and the matrix pays zero
+/// per-pair compilation. The root-delete guard is re-checked by the
+/// factory and by the facade (centralized in ValidateDeletePattern), so a
+/// root-selecting delete cannot reach the detectors through this engine.
+Result<ConflictReport> SolvePair(
+    const std::shared_ptr<const PatternStore>& store, PatternRef read,
+    const UpdateOp& update, PatternRef update_ref,
+    const DetectorOptions& options) {
   if (update.kind() == UpdateOp::Kind::kInsert) {
-    return Detect(read,
-                  UpdateOp::MakeInsert(update_pattern,
+    return Detect(*store, read,
+                  UpdateOp::MakeInsert(store, update_ref,
                                        update.shared_content()),
                   options);
   }
   XMLUP_ASSIGN_OR_RETURN(UpdateOp canonical,
-                         UpdateOp::MakeDelete(update_pattern));
-  return Detect(read, canonical, options);
+                         UpdateOp::MakeDelete(store, update_ref));
+  return Detect(*store, read, canonical, options);
 }
 
 }  // namespace
@@ -237,10 +242,8 @@ std::vector<SharedConflictResult> BatchConflictDetector::DetectPairs(
       const uint64_t start_us = tracing ? recorder.NowMicros() : 0;
       obs::ScopedTimer job_timer(&metrics.solve_pair_us);
       job.result = std::make_shared<const Result<ConflictReport>>(
-          SolvePair(store_->pattern(reads[job.read_index]),
-                    updates[job.update_index],
-                    store_->pattern(update_refs[job.update_index]),
-                    options_.detector));
+          SolvePair(store_, reads[job.read_index], updates[job.update_index],
+                    update_refs[job.update_index], options_.detector));
       if (!tracing) return;
       obs::TraceEvent event;
       event.name = "batch.solve_pair";

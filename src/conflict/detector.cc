@@ -18,6 +18,7 @@ namespace {
 /// is a handful of relaxed atomic adds.
 struct DetectorMetrics {
   obs::Counter& calls;
+  obs::Counter& errors;
   obs::Counter& dispatch_linear;
   obs::Counter& dispatch_branching;
   obs::Counter& verdict_conflict;
@@ -33,6 +34,7 @@ struct DetectorMetrics {
       obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
       return new DetectorMetrics{
           reg.GetCounter("detector.calls"),
+          reg.GetCounter("detector.errors"),
           reg.GetCounter("detector.dispatch.linear"),
           reg.GetCounter("detector.dispatch.branching"),
           reg.GetCounter("detector.verdict.conflict"),
@@ -47,6 +49,12 @@ struct DetectorMetrics {
     return *metrics;
   }
 };
+
+/// Every Detect() call lands in exactly one of the four outcome counters:
+/// calls == conflict + no_conflict + unknown + errors. Tested by the
+/// accounting-invariant test in detect_hot_cache_test.cc.
+void CountOutcome(const DetectorMetrics& metrics,
+                  const Result<ConflictReport>& result);
 
 void CountReport(const DetectorMetrics& metrics, const ConflictReport& report) {
   switch (report.verdict) {
@@ -70,6 +78,15 @@ void CountReport(const DetectorMetrics& metrics, const ConflictReport& report) {
     case DetectorMethod::kBoundedSearch:
       metrics.method_bounded.Increment();
       break;
+  }
+}
+
+void CountOutcome(const DetectorMetrics& metrics,
+                  const Result<ConflictReport>& result) {
+  if (result.ok()) {
+    CountReport(metrics, *result);
+  } else {
+    metrics.errors.Increment();
   }
 }
 
@@ -134,23 +151,30 @@ Result<ConflictReport> DetectInsertImpl(const Pattern& read,
   if (read.IsLinear()) {
     metrics.dispatch_linear.Increment();
     return DetectLinearReadInsertConflict(read, insert_pattern, inserted,
-                                          options.semantics, options.matcher);
+                                          options.semantics, options.matcher,
+                                          options.build_witness);
   }
   metrics.dispatch_branching.Increment();
   // Heuristic: conflict of the read's mainline often extends to the full
-  // branching read once its predicates are satisfiable everywhere.
+  // branching read once its predicates are satisfiable everywhere. The
+  // mainline call always builds its witness — TryMainlineWitness extends
+  // that verified tree.
   Result<ConflictReport> mainline_report =
       DetectLinearReadInsertConflict(Mainline(read), insert_pattern, inserted,
-                                     options.semantics, options.matcher);
-  if (mainline_report.ok()) {
-    std::optional<Tree> candidate = TryMainlineWitness(
-        read, *mainline_report, [&](const Tree& t) {
-          return IsReadInsertWitness(read, insert_pattern, inserted, t,
-                                     options.semantics);
-        });
-    if (candidate.has_value()) {
-      return MainlineHeuristicReport(std::move(*candidate));
-    }
+                                     options.semantics, options.matcher,
+                                     /*build_witness=*/true);
+  // The mainline run uses the complete linear algorithm on valid inputs
+  // (the mainline of any read is linear); a failure is a real
+  // InvalidArgument/Internal error, not a heuristic miss — propagate it
+  // instead of masking it behind the bounded search.
+  if (!mainline_report.ok()) return mainline_report;
+  std::optional<Tree> candidate = TryMainlineWitness(
+      read, *mainline_report, [&](const Tree& t) {
+        return IsReadInsertWitness(read, insert_pattern, inserted, t,
+                                   options.semantics);
+      });
+  if (candidate.has_value()) {
+    return MainlineHeuristicReport(std::move(*candidate));
   }
   BruteForceResult search = BruteForceReadInsertSearch(
       read, insert_pattern, inserted, options.semantics, options.search);
@@ -162,33 +186,113 @@ Result<ConflictReport> DetectInsertImpl(const Pattern& read,
 Result<ConflictReport> DetectDeleteImpl(const Pattern& read,
                                         const Pattern& delete_pattern,
                                         const DetectorOptions& options) {
-  if (delete_pattern.output() == delete_pattern.root()) {
-    return Status::InvalidArgument("delete pattern must not select the root");
-  }
+  XMLUP_RETURN_NOT_OK(ValidateDeletePattern(delete_pattern));
   const DetectorMetrics& metrics = DetectorMetrics::Get();
   if (read.IsLinear()) {
     metrics.dispatch_linear.Increment();
     return DetectLinearReadDeleteConflict(read, delete_pattern,
-                                          options.semantics, options.matcher);
+                                          options.semantics, options.matcher,
+                                          options.build_witness);
   }
   metrics.dispatch_branching.Increment();
   Result<ConflictReport> mainline_report =
       DetectLinearReadDeleteConflict(Mainline(read), delete_pattern,
-                                     options.semantics, options.matcher);
-  if (mainline_report.ok()) {
-    std::optional<Tree> candidate = TryMainlineWitness(
-        read, *mainline_report, [&](const Tree& t) {
-          return IsReadDeleteWitness(read, delete_pattern, t,
-                                     options.semantics);
-        });
-    if (candidate.has_value()) {
-      return MainlineHeuristicReport(std::move(*candidate));
-    }
+                                     options.semantics, options.matcher,
+                                     /*build_witness=*/true);
+  // See DetectInsertImpl: a mainline failure is a real error, not a
+  // heuristic miss.
+  if (!mainline_report.ok()) return mainline_report;
+  std::optional<Tree> candidate = TryMainlineWitness(
+      read, *mainline_report, [&](const Tree& t) {
+        return IsReadDeleteWitness(read, delete_pattern, t,
+                                   options.semantics);
+      });
+  if (candidate.has_value()) {
+    return MainlineHeuristicReport(std::move(*candidate));
   }
   BruteForceResult search = BruteForceReadDeleteSearch(
       read, delete_pattern, options.semantics, options.search);
   return FromSearch(std::move(search),
                     PaperWitnessBound(read, delete_pattern),
+                    options.search.max_nodes);
+}
+
+/// Cached mirror of DetectInsertImpl: the linear path and the branching
+/// heuristic's mainline probe run on the store's compiled automata (the
+/// compiled read *is* its mainline chain, so one compiled core serves
+/// both); only the heuristic extension and the bounded search still touch
+/// the stored pattern. Dispatch counters and reports match the value impl
+/// exactly.
+Result<ConflictReport> DetectInsertCachedImpl(const PatternStore& store,
+                                              PatternRef read,
+                                              const Pattern& insert_pattern,
+                                              PatternRef insert_ref,
+                                              const Tree& inserted,
+                                              const DetectorOptions& options) {
+  const DetectorMetrics& metrics = DetectorMetrics::Get();
+  const CompiledPattern& read_compiled = store.compiled(read);
+  const CompiledPattern& insert_compiled = store.compiled(insert_ref);
+  if (store.linear(read)) {
+    metrics.dispatch_linear.Increment();
+    return DetectReadInsertConflictCompiled(
+        read_compiled, insert_compiled, insert_pattern, inserted,
+        options.semantics, options.matcher, options.build_witness);
+  }
+  metrics.dispatch_branching.Increment();
+  Result<ConflictReport> mainline_report = DetectReadInsertConflictCompiled(
+      read_compiled, insert_compiled, insert_pattern, inserted,
+      options.semantics, options.matcher, /*build_witness=*/true);
+  if (!mainline_report.ok()) return mainline_report;
+  const Pattern& full_read = store.pattern(read);
+  std::optional<Tree> candidate = TryMainlineWitness(
+      full_read, *mainline_report, [&](const Tree& t) {
+        return IsReadInsertWitness(full_read, insert_pattern, inserted, t,
+                                   options.semantics);
+      });
+  if (candidate.has_value()) {
+    return MainlineHeuristicReport(std::move(*candidate));
+  }
+  BruteForceResult search = BruteForceReadInsertSearch(
+      full_read, insert_pattern, inserted, options.semantics, options.search);
+  return FromSearch(std::move(search),
+                    PaperWitnessBound(full_read, insert_pattern),
+                    options.search.max_nodes);
+}
+
+/// Cached mirror of DetectDeleteImpl; see DetectInsertCachedImpl.
+Result<ConflictReport> DetectDeleteCachedImpl(const PatternStore& store,
+                                              PatternRef read,
+                                              const Pattern& delete_pattern,
+                                              PatternRef delete_ref,
+                                              const DetectorOptions& options) {
+  XMLUP_RETURN_NOT_OK(ValidateDeletePattern(delete_pattern));
+  const DetectorMetrics& metrics = DetectorMetrics::Get();
+  const CompiledPattern& read_compiled = store.compiled(read);
+  const CompiledPattern& delete_compiled = store.compiled(delete_ref);
+  if (store.linear(read)) {
+    metrics.dispatch_linear.Increment();
+    return DetectReadDeleteConflictCompiled(
+        read_compiled, delete_compiled, delete_pattern, options.semantics,
+        options.matcher, options.build_witness);
+  }
+  metrics.dispatch_branching.Increment();
+  Result<ConflictReport> mainline_report = DetectReadDeleteConflictCompiled(
+      read_compiled, delete_compiled, delete_pattern, options.semantics,
+      options.matcher, /*build_witness=*/true);
+  if (!mainline_report.ok()) return mainline_report;
+  const Pattern& full_read = store.pattern(read);
+  std::optional<Tree> candidate = TryMainlineWitness(
+      full_read, *mainline_report, [&](const Tree& t) {
+        return IsReadDeleteWitness(full_read, delete_pattern, t,
+                                   options.semantics);
+      });
+  if (candidate.has_value()) {
+    return MainlineHeuristicReport(std::move(*candidate));
+  }
+  BruteForceResult search = BruteForceReadDeleteSearch(
+      full_read, delete_pattern, options.semantics, options.search);
+  return FromSearch(std::move(search),
+                    PaperWitnessBound(full_read, delete_pattern),
                     options.search.max_nodes);
 }
 
@@ -208,14 +312,44 @@ Result<ConflictReport> Detect(const Pattern& read, const UpdateOp& update,
       [&](const UpdateOp::DeleteDesc& del) -> Result<ConflictReport> {
         return DetectDeleteImpl(read, del.pattern, options);
       });
-  if (result.ok()) CountReport(metrics, *result);
+  CountOutcome(metrics, result);
   return result;
 }
 
 Result<ConflictReport> Detect(const PatternStore& store, PatternRef read,
                               const UpdateOp& update,
                               const DetectorOptions& options) {
-  return Detect(store.pattern(read), update, options);
+  const DetectorMetrics& metrics = DetectorMetrics::Get();
+  if (!read.valid() || read.id() >= store.size()) {
+    // A counted error, not a crash: callers handing out refs (services,
+    // the lint driver) get a diagnosable status and the accounting
+    // invariant still holds.
+    metrics.calls.Increment();
+    metrics.errors.Increment();
+    return Status::InvalidArgument(
+        "PatternRef is invalid or does not belong to this store");
+  }
+  if (update.pattern_store() != &store || !update.pattern_ref().valid()) {
+    // Update not bound to this store: no compiled form to fetch for it —
+    // resolve the read and take the value path (which does its own call
+    // accounting).
+    return Detect(store.pattern(read), update, options);
+  }
+  metrics.calls.Increment();
+  obs::ScopedTimer timer(&metrics.latency_us);
+  obs::TraceSpan span("Detect");
+  const PatternRef update_ref = update.pattern_ref();
+  Result<ConflictReport> result = update.Visit(
+      [&](const UpdateOp::InsertDesc& insert) -> Result<ConflictReport> {
+        return DetectInsertCachedImpl(store, read, insert.pattern, update_ref,
+                                      *insert.content, options);
+      },
+      [&](const UpdateOp::DeleteDesc& del) -> Result<ConflictReport> {
+        return DetectDeleteCachedImpl(store, read, del.pattern, update_ref,
+                                      options);
+      });
+  CountOutcome(metrics, result);
+  return result;
 }
 
 }  // namespace xmlup

@@ -18,6 +18,14 @@ struct DetectorOptions {
   MatcherKind matcher = MatcherKind::kNfa;
   /// Budget for the NP path (branching reads).
   BoundedSearchOptions search;
+  /// Construct (and re-verify) a witness tree on kConflict verdicts.
+  /// Verdict-only callers (the batch matrix, lint) can turn this off: the
+  /// witness construction mints fresh labels and re-runs the Lemma 1
+  /// checker per conflict, which dominates the cached hot path. Verdict,
+  /// method and detail are unaffected. The branching-read heuristic
+  /// internally still builds the mainline witness it extends (its
+  /// soundness proof needs the verified tree).
+  bool build_witness = true;
 };
 
 /// Unified read-update conflict detection — the one entry point of the
@@ -41,6 +49,16 @@ Result<ConflictReport> Detect(const Pattern& read, const UpdateOp& update,
 /// identical to Detect(store.pattern(read), ...) by construction, and to
 /// detection on the original (un-minimized) pattern because minimization
 /// is equivalence-preserving.
+///
+/// This is the hot path: when `update` is bound to `store` (the ref
+/// factories or UpdateOp::Bind), detection runs on the store's compiled
+/// automata (PatternStore::compiled) with product results memoized in
+/// NfaProductCache::Default() — no per-call regex/NFA construction.
+/// Reports are identical to the value overload's on the stored pattern,
+/// field for field. An update not bound to this store falls back to the
+/// value overload on the resolved read. An invalid ref (or one minted by
+/// another store, when detectable) returns InvalidArgument and counts
+/// under detector.errors.
 Result<ConflictReport> Detect(const PatternStore& store, PatternRef read,
                               const UpdateOp& update,
                               const DetectorOptions& options = {});

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "conflict/update_op.h"
 #include "conflict/witness_build.h"
 #include "pattern/pattern_ops.h"
 #include "pattern/pattern_writer.h"
@@ -83,10 +84,7 @@ Result<ConflictReport> DetectLinearReadDeleteConflict(
     return Status::InvalidArgument(
         "read pattern must be linear (P^{//,*}) for polynomial detection");
   }
-  if (delete_pattern.output() == delete_pattern.root()) {
-    return Status::InvalidArgument(
-        "delete pattern must not select the root");
-  }
+  XMLUP_RETURN_NOT_OK(ValidateDeletePattern(delete_pattern));
 
   // Corollary 1: only the delete's mainline matters.
   const Pattern mainline = Mainline(delete_pattern);
@@ -141,6 +139,80 @@ Result<ConflictReport> DetectLinearReadDeleteConflict(
     }
   }
   return report;
+}
+
+Result<ConflictReport> DetectReadDeleteConflictCompiled(
+    const CompiledPattern& read, const CompiledPattern& del,
+    const Pattern& delete_pattern, ConflictSemantics semantics,
+    MatcherKind matcher, bool build_witness) {
+  XMLUP_RETURN_NOT_OK(ValidateDeletePattern(delete_pattern));
+
+  // The compiled read *is* the mainline chain; for a linear read this is
+  // the read itself (linear patterns are mainline fixpoints), so running
+  // on it is the Lemma 3 edge scan verbatim. chain index k has prefix
+  // SEQ_ROOT^chain[k] precompiled — the exact operand the value path
+  // extracts per edge.
+  const Pattern& r = read.mainline_pattern();
+
+  ConflictReport report;
+  report.verdict = ConflictVerdict::kNoConflict;
+  report.method = DetectorMethod::kLinearPtime;
+
+  const size_t length = read.chain_length();
+  for (size_t k = 1; k < length; ++k) {
+    const PatternNodeId n_prime = read.mainline_node(k);
+    MatchResult match;
+    if (r.axis(n_prime) == Axis::kDescendant) {
+      // Weak match against SEQ_ROOT^n (the parent's prefix).
+      match = MatchCompiled(del, read, k - 1, /*weak=*/true, matcher);
+    } else {
+      // Strong match against SEQ_ROOT^n'.
+      match = MatchCompiled(del, read, k, /*weak=*/false, matcher);
+    }
+    if (!match.matches) continue;
+    report.verdict = ConflictVerdict::kConflict;
+    report.detail =
+        std::string("node conflict via ") +
+        (r.axis(n_prime) == Axis::kDescendant ? "descendant" : "child") +
+        " edge into read node " + r.LabelName(n_prime);
+    if (build_witness) {
+      XMLUP_ASSIGN_OR_RETURN(
+          Tree witness,
+          BuildNodeConflictWitness(r, delete_pattern, n_prime,
+                                   match.witness_word, semantics));
+      report.witness = std::move(witness);
+    }
+    return report;
+  }
+
+  if (semantics == ConflictSemantics::kNode) return report;
+
+  MatchResult below = MatchCompiled(del, read, length - 1, /*weak=*/true,
+                                    matcher);
+  if (below.matches) {
+    report.verdict = ConflictVerdict::kConflict;
+    report.detail = "subtree-modification conflict (D weakly matches R)";
+    if (build_witness) {
+      XMLUP_ASSIGN_OR_RETURN(
+          Tree witness,
+          BuildSubtreeModificationWitness(r, delete_pattern,
+                                          below.witness_word, semantics));
+      report.witness = std::move(witness);
+    }
+  }
+  return report;
+}
+
+Result<ConflictReport> DetectLinearReadDeleteConflict(
+    const PatternStore& store, PatternRef read, PatternRef delete_pattern,
+    ConflictSemantics semantics, MatcherKind matcher, bool build_witness) {
+  if (!store.linear(read)) {
+    return Status::InvalidArgument(
+        "read pattern must be linear (P^{//,*}) for polynomial detection");
+  }
+  return DetectReadDeleteConflictCompiled(
+      store.compiled(read), store.compiled(delete_pattern),
+      store.pattern(delete_pattern), semantics, matcher, build_witness);
 }
 
 }  // namespace xmlup

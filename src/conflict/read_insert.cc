@@ -131,4 +131,87 @@ Result<ConflictReport> DetectLinearReadInsertConflict(
   return report;
 }
 
+Result<ConflictReport> DetectReadInsertConflictCompiled(
+    const CompiledPattern& read, const CompiledPattern& ins,
+    const Pattern& insert_pattern, const Tree& inserted,
+    ConflictSemantics semantics, MatcherKind matcher, bool build_witness) {
+  if (!inserted.has_root()) {
+    return Status::InvalidArgument("inserted tree X is empty");
+  }
+
+  // The compiled read *is* the mainline chain; for a linear read this is
+  // the read itself. Chain index k carries both the prefix SEQ_ROOT^n
+  // (k-1) and the suffix SEQ_{n'}^O (k) the Lemma 5-7 cut-edge test needs,
+  // precompiled.
+  const Pattern& r = read.mainline_pattern();
+
+  ConflictReport report;
+  report.verdict = ConflictVerdict::kNoConflict;
+  report.method = DetectorMethod::kLinearPtime;
+
+  const size_t length = read.chain_length();
+  for (size_t k = 1; k < length; ++k) {
+    const PatternNodeId n_prime = read.mainline_node(k);
+    MatchResult match;
+    bool suffix_ok = false;
+    if (r.axis(n_prime) == Axis::kChild) {
+      match = MatchCompiled(ins, read, k - 1, /*weak=*/false, matcher);
+      if (match.matches) {
+        suffix_ok =
+            EmbedsAt(read.suffix_pattern(k), inserted, inserted.root());
+      }
+    } else {
+      match = MatchCompiled(ins, read, k - 1, /*weak=*/true, matcher);
+      if (match.matches) {
+        suffix_ok = EmbedsAnywhereIn(read.suffix_pattern(k), inserted,
+                                     inserted.root());
+      }
+    }
+    if (!match.matches || !suffix_ok) continue;
+    report.verdict = ConflictVerdict::kConflict;
+    report.detail =
+        std::string("cut edge (") +
+        (r.axis(n_prime) == Axis::kDescendant ? "descendant" : "child") +
+        ") into read node " + r.LabelName(n_prime);
+    if (build_witness) {
+      XMLUP_ASSIGN_OR_RETURN(
+          Tree witness, BuildCutEdgeWitness(r, insert_pattern, inserted,
+                                            match.witness_word, semantics));
+      report.witness = std::move(witness);
+    }
+    return report;
+  }
+
+  if (semantics == ConflictSemantics::kNode) return report;
+
+  MatchResult below = MatchCompiled(ins, read, length - 1, /*weak=*/true,
+                                    matcher);
+  if (below.matches) {
+    report.verdict = ConflictVerdict::kConflict;
+    report.detail = "subtree-modification conflict (I weakly matches R)";
+    if (build_witness) {
+      XMLUP_ASSIGN_OR_RETURN(
+          Tree witness,
+          BuildSubtreeModificationWitness(r, insert_pattern, inserted,
+                                          below.witness_word, semantics));
+      report.witness = std::move(witness);
+    }
+  }
+  return report;
+}
+
+Result<ConflictReport> DetectLinearReadInsertConflict(
+    const PatternStore& store, PatternRef read, PatternRef insert_pattern,
+    const Tree& inserted, ConflictSemantics semantics, MatcherKind matcher,
+    bool build_witness) {
+  if (!store.linear(read)) {
+    return Status::InvalidArgument(
+        "read pattern must be linear (P^{//,*}) for polynomial detection");
+  }
+  return DetectReadInsertConflictCompiled(
+      store.compiled(read), store.compiled(insert_pattern),
+      store.pattern(insert_pattern), inserted, semantics, matcher,
+      build_witness);
+}
+
 }  // namespace xmlup

@@ -5,7 +5,9 @@
 #include "conflict/report.h"
 #include "conflict/witness_check.h"
 #include "match/matching.h"
+#include "pattern/compiled_pattern.h"
 #include "pattern/pattern.h"
+#include "pattern/pattern_store.h"
 #include "xml/tree.h"
 
 namespace xmlup {
@@ -31,6 +33,34 @@ namespace xmlup {
 /// verdict (the linear algorithms are complete — never kUnknown).
 Result<ConflictReport> DetectLinearReadInsertConflict(
     const Pattern& read, const Pattern& insert_pattern, const Tree& inserted,
+    ConflictSemantics semantics = ConflictSemantics::kNode,
+    MatcherKind matcher = MatcherKind::kNfa,
+    bool build_witness = true);
+
+/// Compiled-form core: the same algorithm and reports as the value
+/// overload, running on pre-built automata (MatchCompiled + the product
+/// cache) and the precompiled prefix/suffix patterns instead of per-call
+/// Thompson constructions and ExtractSeq copies. `read` is scanned along
+/// its mainline chain — for a linear read that is the read itself; the
+/// detector's branching heuristic passes a branching read's compiled form
+/// to get the Mainline(read) answer. `insert_pattern` is the full stored
+/// insert (the witness construction grafts its branch models); `ins` must
+/// be its compiled form. Verdict, method, detail and witness words are
+/// identical to the value overload on the same operands.
+Result<ConflictReport> DetectReadInsertConflictCompiled(
+    const CompiledPattern& read, const CompiledPattern& ins,
+    const Pattern& insert_pattern, const Tree& inserted,
+    ConflictSemantics semantics = ConflictSemantics::kNode,
+    MatcherKind matcher = MatcherKind::kNfa,
+    bool build_witness = true);
+
+/// Ref-based entry point: both patterns are interned refs resolved
+/// against `store`; compiled automata are fetched (and lazily built) via
+/// PatternStore::compiled(). The read ref must denote a linear pattern
+/// (InvalidArgument otherwise, exactly like the value overload).
+Result<ConflictReport> DetectLinearReadInsertConflict(
+    const PatternStore& store, PatternRef read, PatternRef insert_pattern,
+    const Tree& inserted,
     ConflictSemantics semantics = ConflictSemantics::kNode,
     MatcherKind matcher = MatcherKind::kNfa,
     bool build_witness = true);

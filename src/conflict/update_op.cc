@@ -5,6 +5,13 @@
 
 namespace xmlup {
 
+Status ValidateDeletePattern(const Pattern& pattern) {
+  if (pattern.output() == pattern.root()) {
+    return Status::InvalidArgument("delete pattern must not select the root");
+  }
+  return Status::OK();
+}
+
 UpdateOp::UpdateOp(std::variant<InsertDesc, DeleteDesc> op)
     : op_(std::move(op)) {}
 
@@ -15,9 +22,7 @@ UpdateOp UpdateOp::MakeInsert(Pattern pattern,
 }
 
 Result<UpdateOp> UpdateOp::MakeDelete(Pattern pattern) {
-  if (pattern.output() == pattern.root()) {
-    return Status::InvalidArgument("delete pattern must not select the root");
-  }
+  XMLUP_RETURN_NOT_OK(ValidateDeletePattern(pattern));
   return UpdateOp(DeleteDesc{std::move(pattern)});
 }
 

@@ -1,7 +1,8 @@
 #include "match/dp_matcher.h"
 
 #include <algorithm>
-#include <queue>
+#include <utility>
+#include <vector>
 
 namespace xmlup {
 namespace {
@@ -24,6 +25,26 @@ struct Flat {
   size_t size() const { return classes.size(); }
 };
 
+struct Parent {
+  size_t prev = SIZE_MAX;
+  LabelClass on;
+  bool visited = false;
+};
+
+/// Per-thread scratch: the DP grid and the BFS queue are reused across
+/// calls (assign() keeps capacity), so a steady-state match allocates
+/// nothing. The queue is a vector with a head cursor — same FIFO order as
+/// std::queue with retained storage.
+struct DpScratch {
+  std::vector<Parent> table;
+  std::vector<std::pair<size_t, size_t>> queue;
+
+  static DpScratch& Get() {
+    thread_local DpScratch scratch;
+    return scratch;
+  }
+};
+
 }  // namespace
 
 MatchResult MatchDp(const Pattern& l1, const Pattern& l2, bool weak) {
@@ -42,12 +63,9 @@ MatchResult MatchDp(const Pattern& l1, const Pattern& l2, bool weak) {
   // mode, below l2's already-matched output).
   const size_t width = m2 + 1;
   auto encode = [width](size_t i, size_t j) { return i * width + j; };
-  struct Parent {
-    size_t prev = SIZE_MAX;
-    LabelClass on;
-    bool visited = false;
-  };
-  std::vector<Parent> table((m1 + 1) * (m2 + 1));
+  DpScratch& scratch = DpScratch::Get();
+  std::vector<Parent>& table = scratch.table;
+  table.assign((m1 + 1) * (m2 + 1), Parent{});
 
   auto gap1_ok = [&](size_t i) {
     return i >= 1 && i < m1 && f1.axes[i] == Axis::kDescendant;
@@ -57,18 +75,19 @@ MatchResult MatchDp(const Pattern& l1, const Pattern& l2, bool weak) {
     return weak && j == m2;
   };
 
-  std::queue<std::pair<size_t, size_t>> queue;
+  std::vector<std::pair<size_t, size_t>>& queue = scratch.queue;
+  queue.clear();
+  size_t queue_head = 0;
   auto visit = [&](size_t i, size_t j, size_t from, const LabelClass& on) {
     Parent& cell = table[encode(i, j)];
     if (cell.visited) return;
     cell = {from, on, true};
-    queue.emplace(i, j);
+    queue.emplace_back(i, j);
   };
 
   visit(0, 0, SIZE_MAX, LabelClass::Any());
-  while (!queue.empty()) {
-    auto [i, j] = queue.front();
-    queue.pop();
+  while (queue_head < queue.size()) {
+    auto [i, j] = queue[queue_head++];
     if (i == m1 && j == m2) {
       MatchResult result;
       result.matches = true;

@@ -5,6 +5,7 @@
 
 #include "automata/nfa_ops.h"
 #include "automata/regex.h"
+#include "pattern/compiled_pattern.h"
 #include "pattern/pattern.h"
 #include "pattern/pattern_store.h"
 #include "xml/tree.h"
@@ -52,10 +53,30 @@ MatchResult MatchWeakly(const Pattern& l1, const Pattern& l2,
 /// invariant under minimization (it is equivalence-preserving), so these
 /// agree with the value overloads on the original patterns. Both refs must
 /// denote linear patterns (PatternStore::linear()).
+///
+/// These run on the store's compiled automata (PatternStore::compiled) and
+/// memoize product results in NfaProductCache::Default() — the answers are
+/// identical to the value overloads' (same regex construction, same BFS),
+/// just without the per-call rebuild.
 MatchResult MatchStrongly(const PatternStore& store, PatternRef l1,
                           PatternRef l2, MatcherKind kind = MatcherKind::kNfa);
 MatchResult MatchWeakly(const PatternStore& store, PatternRef l1,
                         PatternRef l2, MatcherKind kind = MatcherKind::kNfa);
+
+/// Compiled-form matching: `l1` contributes its full mainline automaton,
+/// `l2` the prefix at chain index `l2_prefix` — in the strong form
+/// R(prefix), or the weak form R(prefix)·(.)* when `weak` is set (the
+/// asymmetry of Definition 7: l1's output is the deeper one). With
+/// l2_prefix == l2.chain_length() - 1 this is exactly
+/// MatchStrongly/MatchWeakly(l1.mainline, l2.mainline).
+///
+/// kNfa consults NfaProductCache::Default() under the compiled uids, so
+/// repeated pairs skip the product BFS entirely; kDp runs the (pooled)
+/// dynamic-programming matcher on the compiled patterns. Witness words are
+/// byte-identical to the value matchers' for the same operands.
+MatchResult MatchCompiled(const CompiledPattern& l1, const CompiledPattern& l2,
+                          size_t l2_prefix, bool weak,
+                          MatcherKind kind = MatcherKind::kNfa);
 
 /// Materializes a witness word as a path tree, resolving Any classes to
 /// `filler`. The word must be non-empty.

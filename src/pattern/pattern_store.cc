@@ -34,6 +34,28 @@ struct StoreMetrics {
   }
 };
 
+/// Compiled-automata cache observability, aggregated across stores like
+/// StoreMetrics. misses counts entries compiled (at most one per ref —
+/// the once-per-entry latch); hits counts requests served by an already
+/// compiled entry. Invariant: misses <= distinct refs ever compiled.
+struct NfaMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& bytes;
+
+  static const NfaMetrics& Get() {
+    static const NfaMetrics* const metrics = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+      return new NfaMetrics{
+          reg.GetCounter("store.nfa.hits"),
+          reg.GetCounter("store.nfa.misses"),
+          reg.GetCounter("store.nfa.bytes"),
+      };
+    }();
+    return *metrics;
+  }
+};
+
 /// Retained-storage estimate for the bytes counter: the pattern's node
 /// array plus the canonical code and map-key strings.
 uint64_t EntryBytes(const Pattern& stored, const std::string& code) {
@@ -90,7 +112,8 @@ PatternRef PatternStore::Intern(const Pattern& p) {
     id = static_cast<uint32_t>(entries_.size());
     const bool is_linear = stored.IsLinear();
     metrics.bytes.Increment(EntryBytes(stored, stored_code));
-    entries_.push_back(Entry{std::move(stored), stored_code, is_linear});
+    entries_.push_back(Entry{std::move(stored), stored_code, is_linear,
+                             std::make_unique<CompiledSlot>()});
     by_code_.emplace(std::move(stored_code), id);
   }
   if (code != entries_[id].code) by_code_.emplace(std::move(code), id);
@@ -114,6 +137,24 @@ const std::string& PatternStore::canonical_code(PatternRef ref) const {
 
 bool PatternStore::linear(PatternRef ref) const {
   return entry(ref).is_linear;
+}
+
+const CompiledPattern& PatternStore::compiled(PatternRef ref) const {
+  // entry() bounds-checks under the store mutex and returns a deque slot
+  // that never moves; compilation itself runs outside that mutex, so
+  // distinct entries compile in parallel and an expensive build never
+  // blocks Intern.
+  const Entry& e = entry(ref);
+  CompiledSlot& slot = *e.compiled_slot;
+  const NfaMetrics& metrics = NfaMetrics::Get();
+  bool built = false;
+  std::call_once(slot.once, [&] {
+    slot.value = std::make_unique<const CompiledPattern>(e.stored);
+    metrics.bytes.Increment(slot.value->bytes());
+    built = true;
+  });
+  (built ? metrics.misses : metrics.hits).Increment();
+  return *slot.value;
 }
 
 uint32_t PatternStore::InternContentCode(const Tree& content) {

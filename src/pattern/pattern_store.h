@@ -9,6 +9,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "pattern/compiled_pattern.h"
 #include "pattern/pattern.h"
 
 namespace xmlup {
@@ -116,6 +117,19 @@ class PatternStore {
   /// dispatch bit, precomputed at intern time).
   bool linear(PatternRef ref) const;
 
+  /// The compiled automata of the stored pattern (mainline chain, prefix
+  /// patterns, Thompson NFAs — see pattern/compiled_pattern.h), built
+  /// lazily on first request and retained for the store's lifetime. The
+  /// reference stays valid for the store's lifetime.
+  ///
+  /// Thread-safe: a once-per-entry latch guarantees exactly one build per
+  /// entry even under concurrent callers; construction runs outside the
+  /// store mutex so distinct entries compile in parallel. Reports
+  /// `store.nfa.hits` (compiled form already present), `store.nfa.misses`
+  /// (== entries compiled, at most one per ref) and `store.nfa.bytes`
+  /// (retained automata estimate) into obs::MetricsRegistry::Default().
+  const CompiledPattern& compiled(PatternRef ref) const;
+
   /// Interns the canonical code of a content tree (insert payloads),
   /// returning a dense integer id with the same exact-equality guarantee —
   /// the content leg of the batch engine's integer memo key. Ids share the
@@ -137,10 +151,19 @@ class PatternStore {
   static PatternStore& Default();
 
  private:
+  /// Latch + lazily-built compiled form. Held behind a unique_ptr so Entry
+  /// stays movable (std::once_flag is not) and so call_once's non-const
+  /// access works through the const Entry& that entry() hands out.
+  struct CompiledSlot {
+    std::once_flag once;
+    std::unique_ptr<const CompiledPattern> value;
+  };
+
   struct Entry {
     Pattern stored;
     std::string code;
     bool is_linear = false;
+    std::unique_ptr<CompiledSlot> compiled_slot;
   };
 
   const Entry& entry(PatternRef ref) const;
