@@ -9,8 +9,7 @@
 #include <iostream>
 #include <vector>
 
-#include "conflict/detector.h"
-#include "conflict/update_independence.h"
+#include "engine/engine.h"
 #include "pattern/xpath_parser.h"
 #include "xml/xml_parser.h"
 
@@ -38,7 +37,8 @@ char VerdictChar(ConflictVerdict verdict) {
 }  // namespace
 
 int main() {
-  auto symbols = std::make_shared<SymbolTable>();
+  Engine engine;
+  const std::shared_ptr<SymbolTable>& symbols = engine.symbols();
   auto xp = [&](const char* s) { return MustParseXPath(s, symbols); };
   auto xml = [&](const char* s) {
     return std::make_shared<const Tree>(std::move(ParseXml(s, symbols)).value());
@@ -66,6 +66,15 @@ int main() {
       {"drop-high-books",
        std::move(UpdateOp::MakeDelete(xp("catalog/book[.//high]")).value())});
 
+  // The engine's batch path solves the whole N×M matrix in one call
+  // (deduplicated, memoized, parallel) instead of N*M singleton Detects.
+  std::vector<Pattern> read_patterns;
+  std::vector<UpdateOp> update_ops;
+  for (const auto& entry : reads) read_patterns.push_back(entry.second);
+  for (const NamedUpdate& u : updates) update_ops.push_back(u.op);
+  const std::vector<SharedConflictResult> matrix =
+      engine.DetectMatrix(read_patterns, update_ops);
+
   std::cout << "read-vs-update conflict matrix (node semantics)\n";
   std::cout << "  X = conflict, . = provably independent, ? = unknown\n\n";
   std::cout << std::left << std::setw(14) << "";
@@ -73,12 +82,12 @@ int main() {
     std::cout << std::setw(16) << u.name;
   }
   std::cout << "\n";
-  for (const auto& [read_name, read] : reads) {
-    std::cout << std::setw(14) << read_name;
-    for (const NamedUpdate& u : updates) {
-      Result<ConflictReport> report = Detect(read, u.op);
+  for (size_t i = 0; i < reads.size(); ++i) {
+    std::cout << std::setw(14) << reads[i].first;
+    for (size_t j = 0; j < updates.size(); ++j) {
+      const SharedConflictResult& cell = matrix[i * updates.size() + j];
       std::cout << std::setw(16)
-                << (report.ok() ? VerdictChar(report->verdict) : '!');
+                << (cell->ok() ? VerdictChar((*cell)->verdict) : '!');
     }
     std::cout << "\n";
   }
@@ -91,7 +100,7 @@ int main() {
   for (const NamedUpdate& a : updates) {
     std::cout << std::setw(16) << a.name;
     for (const NamedUpdate& b : updates) {
-      Result<IndependenceReport> cert = CertifyUpdatesCommute(a.op, b.op);
+      Result<IndependenceReport> cert = engine.CertifyCommute(a.op, b.op);
       const bool certified =
           cert.ok() &&
           cert->certificate == CommutativityCertificate::kCertified;

@@ -6,9 +6,11 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <memory>
+#include <vector>
 
 #include "common/random.h"
-#include "conflict/read_insert.h"
+#include "engine/engine.h"
 #include "eval/evaluator.h"
 #include "ops/operations.h"
 #include "pattern/xpath_parser.h"
@@ -40,7 +42,20 @@ int main(int argc, char** argv) {
   std::cout << "restocked " << low << " books\n\n";
 
   // Classify typical reads against the restock update under all three
-  // semantics of the paper (§3).
+  // semantics of the paper (§3). One Engine per semantics — an engine's
+  // detector configuration is fixed at construction (every cache below
+  // assumes it) — all three sharing the one SymbolTable the catalog was
+  // generated against.
+  std::vector<std::unique_ptr<Engine>> engines;
+  for (ConflictSemantics semantics :
+       {ConflictSemantics::kNode, ConflictSemantics::kTree,
+        ConflictSemantics::kValue}) {
+    EngineOptions options;
+    options.batch.detector.semantics = semantics;
+    engines.push_back(std::make_unique<Engine>(symbols, options));
+  }
+  const UpdateOp restock_insert = UpdateOp::MakeInsert(condition, restock);
+
   const char* reads[] = {
       "catalog//restock",          // sees the inserted nodes
       "catalog//title",            // untouched
@@ -54,11 +69,8 @@ int main(int argc, char** argv) {
     std::string row = xpath;
     row.resize(30, ' ');
     std::cout << row;
-    for (ConflictSemantics semantics :
-         {ConflictSemantics::kNode, ConflictSemantics::kTree,
-          ConflictSemantics::kValue}) {
-      Result<ConflictReport> r = DetectLinearReadInsertConflict(
-          read, condition, *restock, semantics);
+    for (const std::unique_ptr<Engine>& engine : engines) {
+      Result<ConflictReport> r = engine->Detect(read, restock_insert);
       if (!r.ok()) {
         std::cout << " err  ";
         continue;

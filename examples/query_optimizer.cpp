@@ -9,13 +9,19 @@
 
 #include "analysis/interpreter.h"
 #include "analysis/optimizer.h"
+#include "engine/engine.h"
 #include "pattern/xpath_parser.h"
 #include "xml/xml_parser.h"
 
 using namespace xmlup;
 
 int main() {
-  auto symbols = std::make_shared<SymbolTable>();
+  // Tree semantics: a read depends on an update if any node in its result
+  // *subtrees* changes — the right notion for whole-result CSE.
+  EngineOptions engine_options;
+  engine_options.batch.detector.semantics = ConflictSemantics::kTree;
+  Engine engine(engine_options);
+  const std::shared_ptr<SymbolTable>& symbols = engine.symbols();
 
   // The §1 program:
   //   y = read $x//A
@@ -34,10 +40,7 @@ int main() {
 
   std::cout << "original program:\n" << program.ToString() << "\n";
 
-  DetectorOptions options;
-  options.semantics = ConflictSemantics::kTree;
-  DependenceAnalyzer analyzer(options);
-  const DependenceAnalysisResult deps = analyzer.Analyze(program);
+  const DependenceAnalysisResult deps = engine.AnalyzeDependences(program);
   std::cout << "dependences (must stay ordered):\n";
   for (const Dependence& d : deps.dependences) {
     std::cout << "  stmt " << d.from << " -> stmt " << d.to << "  (on $"
@@ -46,7 +49,7 @@ int main() {
   std::cout << deps.pairs_independent << "/" << deps.pairs_total
             << " pairs proven independent\n\n";
 
-  Optimizer optimizer(options);
+  Optimizer optimizer(engine.detector_options());
   const OptimizeResult cse = optimizer.EliminateCommonReads(program);
   std::cout << "after read CSE (" << cse.reads_aliased << " read(s) aliased):\n"
             << cse.program.ToString() << "\n";

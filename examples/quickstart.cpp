@@ -6,10 +6,9 @@
 
 #include <iostream>
 
-#include "conflict/detector.h"
+#include "engine/engine.h"
 #include "eval/evaluator.h"
 #include "ops/operations.h"
-#include "pattern/pattern_store.h"
 #include "pattern/xpath_parser.h"
 #include "xml/xml_parser.h"
 #include "xml/xml_writer.h"
@@ -17,7 +16,10 @@
 using namespace xmlup;  // examples only; library code never does this
 
 int main() {
-  auto symbols = std::make_shared<SymbolTable>();
+  // One Engine = the whole stack wired: symbol table, pattern store
+  // (interning + compiled automata), conflict detector.
+  Engine engine;
+  const std::shared_ptr<SymbolTable>& symbols = engine.symbols();
 
   // 1. Parse a document (the paper's running example, Figure 1).
   Result<Tree> doc = ParseXml(
@@ -45,16 +47,20 @@ int main() {
   std::cout << "after insert:\n" << WriteXml(catalog, {.indent = 2});
 
   // 4. Conflict detection: does this insert affect other reads?  Intern
-  //    patterns once into a PatternStore and detect via PatternRefs —
+  //    patterns once into the engine's store and detect via PatternRefs —
   //    minimization and canonical codes are computed per distinct pattern,
   //    not per Detect call.
-  auto store = std::make_shared<PatternStore>(symbols);
   UpdateOp restock_insert =
-      UpdateOp::MakeInsert(low_books, insert.shared_content()).Bind(store);
+      engine.Bind(UpdateOp::MakeInsert(low_books, insert.shared_content()));
   for (const char* read_xpath :
        {"catalog//restock", "catalog//title", "catalog/book"}) {
-    PatternRef read = store->Intern(MustParseXPath(read_xpath, symbols));
-    Result<ConflictReport> report = Detect(*store, read, restock_insert);
+    Result<PatternRef> read_ref = engine.InternXPath(read_xpath);
+    if (!read_ref.ok()) {
+      std::cerr << "bad read pattern: " << read_ref.status() << "\n";
+      return 1;
+    }
+    PatternRef read = *read_ref;
+    Result<ConflictReport> report = engine.Detect(read, restock_insert);
     if (!report.ok()) {
       std::cerr << "detection failed: " << report.status() << "\n";
       return 1;

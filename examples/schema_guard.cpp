@@ -8,8 +8,8 @@
 #include <iostream>
 #include <memory>
 
-#include "conflict/detector.h"
 #include "dtd/dtd_conflict.h"
+#include "engine/engine.h"
 #include "xml/tree_algos.h"
 #include "pattern/xpath_parser.h"
 #include "xml/xml_parser.h"
@@ -18,7 +18,8 @@
 using namespace xmlup;
 
 int main() {
-  auto symbols = std::make_shared<SymbolTable>();
+  Engine engine;
+  const std::shared_ptr<SymbolTable>& symbols = engine.symbols();
 
   // The catalog schema: books hold title/author/stock; stock holds
   // quantity; restock markers live directly under book.
@@ -46,7 +47,7 @@ int main() {
   Result<Tree> content = ParseXml("<audit/>", symbols);
   Tree x = std::move(content).value();
 
-  Result<ConflictReport> unrestricted = Detect(
+  Result<ConflictReport> unrestricted = engine.Detect(
       read, UpdateOp::MakeInsert(insert,
                                  std::make_shared<const Tree>(CopyTree(x))));
   if (!unrestricted.ok()) {

@@ -19,8 +19,8 @@
 #include <string>
 
 #include "conflict/containment.h"
-#include "conflict/detector.h"
 #include "conflict/minimize.h"
+#include "engine/engine.h"
 #include "eval/evaluator.h"
 #include "ops/operations.h"
 #include "pattern/pattern_writer.h"
@@ -68,7 +68,8 @@ Result<Tree> LoadDocument(const std::string& path,
 int main(int argc, char** argv) {
   if (argc < 3) return Usage();
   const std::string command = argv[1];
-  auto symbols = std::make_shared<SymbolTable>();
+  Engine engine;
+  const std::shared_ptr<SymbolTable>& symbols = engine.symbols();
 
   auto parse_pattern = [&](const char* s) -> Result<Pattern> {
     return ParseXPath(s, symbols);
@@ -140,15 +141,15 @@ int main(int argc, char** argv) {
       if (argc != 5) return Usage();
       Result<Tree> content = ParseXml(argv[4], symbols);
       if (!content.ok()) return fail(content.status());
-      report = Detect(*read,
-                      UpdateOp::MakeInsert(
-                          *update, std::make_shared<const Tree>(
-                                       std::move(content).value())));
+      report = engine.Detect(*read,
+                             UpdateOp::MakeInsert(
+                                 *update, std::make_shared<const Tree>(
+                                              std::move(content).value())));
     } else {
       if (argc != 4) return Usage();
       Result<UpdateOp> del = UpdateOp::MakeDelete(*update);
       if (!del.ok()) return fail(del.status());
-      report = Detect(*read, *del);
+      report = engine.Detect(*read, *del);
     }
     if (!report.ok()) return fail(report.status());
     std::cout << ConflictVerdictName(report->verdict) << "  ("

@@ -30,6 +30,7 @@
 #include "analysis/program_parser.h"
 #include "common/string_util.h"
 #include "dtd/dtd.h"
+#include "engine/engine.h"
 
 using namespace xmlup;
 
@@ -60,7 +61,8 @@ int main(int argc, char** argv) {
   std::string input_path;
   std::string format = "text";
   std::string dtd_path;
-  LintOptions options;
+  EngineOptions options;
+  Engine::LintRunOptions run_options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (StartsWith(arg, "--format=")) {
@@ -74,7 +76,7 @@ int main(int argc, char** argv) {
       options.batch.num_threads =
           static_cast<size_t>(std::stoul(arg.substr(10)));
     } else if (arg == "--no-partition") {
-      options.partition = false;
+      run_options.partition = false;
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
       return Usage();
     } else if (input_path.empty()) {
@@ -93,7 +95,8 @@ int main(int argc, char** argv) {
     std::cerr << "error: " << source.status() << "\n";
     return 2;
   }
-  auto symbols = std::make_shared<SymbolTable>();
+  Engine engine(options);
+  const std::shared_ptr<SymbolTable>& symbols = engine.symbols();
   Result<ParsedProgram> parsed = ParseProgram(*source, symbols);
   if (!parsed.ok()) {
     std::cerr << "error: " << parsed.status() << "\n";
@@ -113,11 +116,10 @@ int main(int argc, char** argv) {
       return 2;
     }
     dtd.emplace(std::move(dtd_parsed).value());
-    options.dtd = &*dtd;
+    run_options.dtd = &*dtd;
   }
 
-  const Linter linter(options);
-  const LintResult result = linter.Lint(parsed->program);
+  const LintResult result = engine.Lint(parsed->program, run_options);
 
   LintRenderOptions render;
   render.artifact_uri = input_path == "-" ? "<stdin>" : input_path;

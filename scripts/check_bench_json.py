@@ -201,12 +201,68 @@ def check_detect_hot(stats, args):
           f"pairs; product cache {hits}/{lookups} hits")
 
 
+def check_workload(stats, args):
+    require(stats, "workload",
+            ["bench", "obs_enabled", "workload", "metrics", "trace"])
+    report = require(stats, "workload",
+                     ["workload", "seed", "phases", "total_verdicts"],
+                     sub="workload")
+    counters = require(stats["metrics"], "workload", ["detector.calls"],
+                       sub="counters")
+    if counters["detector.calls"] == 0:
+        structural("no detector calls recorded: the driver never ran")
+    phases = report["phases"]
+    if not phases:
+        structural("workload report has no phases")
+    for phase in phases:
+        label = phase.get("name", "?")
+        missing = [k for k in
+                   ["name", "mode", "workers", "ops_planned", "ops_completed",
+                    "truncated", "wall_seconds", "throughput_ops_per_s",
+                    "latency", "verdicts", "engine_counters"]
+                   if k not in phase]
+        if missing:
+            structural(f"phase {label} missing keys: {missing}")
+        latency = phase["latency"]
+        missing = [k for k in
+                   ["count", "p50_us", "p95_us", "p99_us", "mean_us", "max_us"]
+                   if k not in latency]
+        if missing:
+            structural(f"phase {label} latency missing keys: {missing}")
+        if phase["ops_completed"] == 0:
+            structural(f"phase {label} completed zero ops")
+        if phase["throughput_ops_per_s"] <= 0:
+            structural(f"phase {label} throughput "
+                       f"{phase['throughput_ops_per_s']} not > 0")
+        if latency["count"] != phase["ops_completed"]:
+            structural(f"phase {label} recorded {latency['count']} latencies "
+                       f"for {phase['ops_completed']} ops")
+        # The quantile invariant the interpolated extraction must preserve.
+        if not (0 <= latency["p50_us"] <= latency["p95_us"]
+                <= latency["p99_us"] <= latency["max_us"]):
+            structural(f"phase {label} latency not monotone: "
+                       f"p50 {latency['p50_us']} p95 {latency['p95_us']} "
+                       f"p99 {latency['p99_us']} max {latency['max_us']}")
+    totals = report["total_verdicts"]
+    tallied = sum(totals.get(k, 0) for k in
+                  ["no_conflict", "conflict", "unknown", "errors"])
+    if tallied == 0:
+        structural("workload tallied zero verdicts: work units are dead")
+    if totals.get("errors", 0) == tallied:
+        structural("every verdict was an error: the workload is degenerate")
+    print(f"ok: {len(phases)} phases, {tallied} verdicts "
+          f"({totals.get('errors', 0)} errors); throughput " +
+          ", ".join(f"{p['name']} {p['throughput_ops_per_s']:.0f} ops/s"
+                    for p in phases))
+
+
 CHECKS = {
     "batch": check_batch,
     "intern": check_intern,
     "incremental": check_incremental,
     "lint": check_lint,
     "detect_hot": check_detect_hot,
+    "workload": check_workload,
 }
 
 

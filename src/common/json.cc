@@ -1,0 +1,613 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace xmlup {
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, const JsonParseOptions& options)
+      : text_(text), options_(options) {}
+
+  Result<JsonValue> Parse() {
+    SkipWhitespace();
+    Result<JsonValue> value = ParseValue(0);
+    if (!value.ok()) return value;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    size_t line = 1;
+    size_t column = 1;
+    for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    return Status::InvalidArgument("JSON parse error at " +
+                                   std::to_string(line) + ":" +
+                                   std::to_string(column) + ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Result<JsonValue> ParseValue(size_t depth) {
+    if (depth > options_.max_depth) {
+      return Error("nesting deeper than " + std::to_string(options_.max_depth));
+    }
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"': {
+        Result<std::string> s = ParseString();
+        if (!s.ok()) return s.status();
+        return JsonValue(std::move(s).value());
+      }
+      case 't':
+        if (ConsumeLiteral("true")) return JsonValue(true);
+        return Error("invalid literal");
+      case 'f':
+        if (ConsumeLiteral("false")) return JsonValue(false);
+        return Error("invalid literal");
+      case 'n':
+        if (ConsumeLiteral("null")) return JsonValue(nullptr);
+        return Error("invalid literal");
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber();
+        return Error(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  Result<JsonValue> ParseObject(size_t depth) {
+    XMLUP_CHECK(Consume('{'));
+    JsonValue::Object members;
+    SkipWhitespace();
+    if (Consume('}')) return JsonValue(std::move(members));
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key string");
+      }
+      Result<std::string> key = ParseString();
+      if (!key.ok()) return key.status();
+      for (const auto& [existing, unused] : members) {
+        if (existing == *key) return Error("duplicate key \"" + *key + "\"");
+      }
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      SkipWhitespace();
+      Result<JsonValue> value = ParseValue(depth + 1);
+      if (!value.ok()) return value;
+      members.emplace_back(std::move(key).value(), std::move(value).value());
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return JsonValue(std::move(members));
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Result<JsonValue> ParseArray(size_t depth) {
+    XMLUP_CHECK(Consume('['));
+    JsonValue::Array elements;
+    SkipWhitespace();
+    if (Consume(']')) return JsonValue(std::move(elements));
+    while (true) {
+      SkipWhitespace();
+      Result<JsonValue> value = ParseValue(depth + 1);
+      if (!value.ok()) return value;
+      elements.push_back(std::move(value).value());
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return JsonValue(std::move(elements));
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    XMLUP_CHECK(Consume('"'));
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          Result<uint32_t> unit = ParseHex4();
+          if (!unit.ok()) return unit.status();
+          uint32_t code = *unit;
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: a low surrogate escape must follow.
+            if (!ConsumeLiteral("\\u")) {
+              return Error("unpaired high surrogate");
+            }
+            Result<uint32_t> low = ParseHex4();
+            if (!low.ok()) return low.status();
+            if (*low < 0xDC00 || *low > 0xDFFF) {
+              return Error("invalid low surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (*low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            return Error("unpaired low surrogate");
+          }
+          AppendUtf8(&out, code);
+          break;
+        }
+        default:
+          return Error(std::string("invalid escape '\\") + esc + "'");
+      }
+    }
+  }
+
+  Result<uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("invalid hex digit in \\u escape");
+      }
+    }
+    return value;
+  }
+
+  static void AppendUtf8(std::string* out, uint32_t code) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (Consume('-')) {
+      // sign consumed; digits must follow.
+    }
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      return Error("invalid number");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;
+      if (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        return Error("leading zero in number");
+      }
+    } else {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (Consume('.')) {
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Error("digits required after decimal point");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Error("digits required in exponent");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(value)) {
+      return Error("number out of range");
+    }
+    return JsonValue(value);
+  }
+
+  std::string_view text_;
+  const JsonParseOptions& options_;
+  size_t pos_ = 0;
+};
+
+void AppendNumber(std::string* out, double value) {
+  XMLUP_CHECK(std::isfinite(value));  // JSON cannot represent NaN/Inf
+  // Integral values within double's exact range print as integers so
+  // counts and seeds round-trip textually.
+  if (value == std::floor(value) && std::abs(value) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(value));  // NOLINT(runtime/int)
+    *out += buf;
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  // Trim to the shortest representation that round-trips.
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, value);
+    if (std::strtod(shorter, nullptr) == value) {
+      *out += shorter;
+      return;
+    }
+  }
+  *out += buf;
+}
+
+void Append(std::string* out, const JsonValue& value, int indent, int depth) {
+  const bool pretty = indent > 0;
+  const auto newline = [&](int d) {
+    if (!pretty) return;
+    out->push_back('\n');
+    out->append(static_cast<size_t>(indent) * d, ' ');
+  };
+  switch (value.kind()) {
+    case JsonValue::Kind::kNull:
+      *out += "null";
+      return;
+    case JsonValue::Kind::kBool:
+      *out += value.AsBool() ? "true" : "false";
+      return;
+    case JsonValue::Kind::kNumber:
+      AppendNumber(out, value.AsDouble());
+      return;
+    case JsonValue::Kind::kString:
+      out->push_back('"');
+      *out += JsonEscape(value.AsString());
+      out->push_back('"');
+      return;
+    case JsonValue::Kind::kArray: {
+      const JsonValue::Array& elements = value.AsArray();
+      if (elements.empty()) {
+        *out += "[]";
+        return;
+      }
+      out->push_back('[');
+      bool first = true;
+      for (const JsonValue& element : elements) {
+        if (!first) out->push_back(',');
+        first = false;
+        newline(depth + 1);
+        Append(out, element, indent, depth + 1);
+      }
+      newline(depth);
+      out->push_back(']');
+      return;
+    }
+    case JsonValue::Kind::kObject: {
+      const JsonValue::Object& members = value.AsObject();
+      if (members.empty()) {
+        *out += "{}";
+        return;
+      }
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, member] : members) {
+        if (!first) out->push_back(',');
+        first = false;
+        newline(depth + 1);
+        out->push_back('"');
+        *out += JsonEscape(key);
+        *out += pretty ? "\": " : "\":";
+        Append(out, member, indent, depth + 1);
+      }
+      newline(depth);
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+bool JsonValue::AsBool() const {
+  XMLUP_CHECK(is_bool());
+  return std::get<bool>(value_);
+}
+
+double JsonValue::AsDouble() const {
+  XMLUP_CHECK(is_number());
+  return std::get<double>(value_);
+}
+
+const std::string& JsonValue::AsString() const {
+  XMLUP_CHECK(is_string());
+  return std::get<std::string>(value_);
+}
+
+const JsonValue::Array& JsonValue::AsArray() const {
+  XMLUP_CHECK(is_array());
+  return std::get<Array>(value_);
+}
+
+JsonValue::Array& JsonValue::AsArray() {
+  XMLUP_CHECK(is_array());
+  return std::get<Array>(value_);
+}
+
+const JsonValue::Object& JsonValue::AsObject() const {
+  XMLUP_CHECK(is_object());
+  return std::get<Object>(value_);
+}
+
+JsonValue::Object& JsonValue::AsObject() {
+  XMLUP_CHECK(is_object());
+  return std::get<Object>(value_);
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [name, value] : std::get<Object>(value_)) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+void JsonValue::Set(std::string_view key, JsonValue value) {
+  XMLUP_CHECK(is_object());
+  for (auto& [name, existing] : std::get<Object>(value_)) {
+    if (name == key) {
+      existing = std::move(value);
+      return;
+    }
+  }
+  std::get<Object>(value_).emplace_back(std::string(key), std::move(value));
+}
+
+void JsonValue::Append(JsonValue value) {
+  XMLUP_CHECK(is_array());
+  std::get<Array>(value_).push_back(std::move(value));
+}
+
+bool operator==(const JsonValue& a, const JsonValue& b) {
+  if (a.kind() != b.kind()) return false;
+  switch (a.kind()) {
+    case JsonValue::Kind::kNull:
+      return true;
+    case JsonValue::Kind::kBool:
+      return a.AsBool() == b.AsBool();
+    case JsonValue::Kind::kNumber:
+      return a.AsDouble() == b.AsDouble();
+    case JsonValue::Kind::kString:
+      return a.AsString() == b.AsString();
+    case JsonValue::Kind::kArray: {
+      const JsonValue::Array& lhs = a.AsArray();
+      const JsonValue::Array& rhs = b.AsArray();
+      if (lhs.size() != rhs.size()) return false;
+      for (size_t i = 0; i < lhs.size(); ++i) {
+        if (lhs[i] != rhs[i]) return false;
+      }
+      return true;
+    }
+    case JsonValue::Kind::kObject: {
+      const JsonValue::Object& lhs = a.AsObject();
+      const JsonValue::Object& rhs = b.AsObject();
+      if (lhs.size() != rhs.size()) return false;
+      for (const auto& [key, value] : lhs) {
+        const JsonValue* other = b.Find(key);
+        if (other == nullptr || value != *other) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+JsonObjectReader::JsonObjectReader(const JsonValue& value, std::string context)
+    : value_(value), context_(std::move(context)) {
+  if (!value_.is_object()) {
+    RecordError("expected a JSON object");
+  }
+}
+
+void JsonObjectReader::RecordError(const std::string& message) {
+  if (!first_error_.ok()) return;
+  first_error_ = Status::InvalidArgument(
+      context_.empty() ? message : context_ + ": " + message);
+}
+
+const JsonValue* JsonObjectReader::Consume(std::string_view key) {
+  if (!value_.is_object()) return nullptr;
+  consumed_.emplace_back(key);
+  return value_.Find(key);
+}
+
+void JsonObjectReader::Bool(std::string_view key, bool* out) {
+  const JsonValue* v = Consume(key);
+  if (v == nullptr) return;
+  if (!v->is_bool()) {
+    RecordError(std::string(key) + " must be a boolean");
+    return;
+  }
+  *out = v->AsBool();
+}
+
+void JsonObjectReader::Number(std::string_view key, double min, double max,
+                              double* out) {
+  const JsonValue* v = Consume(key);
+  if (v == nullptr) return;
+  if (!v->is_number()) {
+    RecordError(std::string(key) + " must be a number");
+    return;
+  }
+  const double d = v->AsDouble();
+  if (d < min || d > max) {
+    RecordError(std::string(key) + " = " + WriteJson(*v) + " out of range [" +
+                std::to_string(min) + ", " + std::to_string(max) + "]");
+    return;
+  }
+  *out = d;
+}
+
+void JsonObjectReader::Double(std::string_view key, double* out) {
+  Number(key, -std::numeric_limits<double>::max(),
+         std::numeric_limits<double>::max(), out);
+}
+
+void JsonObjectReader::Fraction(std::string_view key, double* out) {
+  Number(key, 0.0, 1.0, out);
+}
+
+void JsonObjectReader::NonNegative(std::string_view key, double* out) {
+  Number(key, 0.0, std::numeric_limits<double>::max(), out);
+}
+
+void JsonObjectReader::Size(std::string_view key, size_t* out) {
+  double d = -1.0;
+  Number(key, 0.0, 9.007199254740992e15, &d);
+  if (d < 0.0) return;  // absent or already errored
+  if (d != std::floor(d)) {
+    RecordError(std::string(key) + " must be an integer");
+    return;
+  }
+  *out = static_cast<size_t>(d);
+}
+
+void JsonObjectReader::U64(std::string_view key, uint64_t* out) {
+  size_t value = static_cast<size_t>(*out);
+  Size(key, &value);
+  *out = value;
+}
+
+void JsonObjectReader::String(std::string_view key, std::string* out) {
+  const JsonValue* v = Consume(key);
+  if (v == nullptr) return;
+  if (!v->is_string()) {
+    RecordError(std::string(key) + " must be a string");
+    return;
+  }
+  *out = v->AsString();
+}
+
+const JsonValue* JsonObjectReader::Child(std::string_view key) {
+  return Consume(key);
+}
+
+Status JsonObjectReader::Finish() {
+  if (!first_error_.ok()) return first_error_;
+  if (!value_.is_object()) return first_error_;
+  for (const auto& [key, unused] : value_.AsObject()) {
+    bool known = false;
+    for (const std::string& c : consumed_) {
+      if (c == key) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      RecordError("unknown key \"" + key + "\"");
+      break;
+    }
+  }
+  return first_error_;
+}
+
+Result<JsonValue> ParseJson(std::string_view text,
+                            const JsonParseOptions& options) {
+  return Parser(text, options).Parse();
+}
+
+std::string WriteJson(const JsonValue& value) {
+  std::string out;
+  Append(&out, value, /*indent=*/0, /*depth=*/0);
+  return out;
+}
+
+std::string WriteJsonPretty(const JsonValue& value, int indent) {
+  std::string out;
+  Append(&out, value, indent, /*depth=*/0);
+  out.push_back('\n');
+  return out;
+}
+
+}  // namespace xmlup

@@ -1,0 +1,172 @@
+#ifndef XMLUP_COMMON_JSON_H_
+#define XMLUP_COMMON_JSON_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+
+namespace xmlup {
+
+/// A small dependency-free JSON document model for the declarative
+/// configuration surfaces (workload specs, generator specs) and their
+/// round-trip serialization. Deliberately minimal: one value type, one
+/// recursive-descent parser, one compact writer — not a streaming API.
+///
+/// Objects preserve insertion order (a vector of members, not a map), so
+/// Parse → Write round trips are stable and diffs against checked-in spec
+/// files stay readable. Duplicate keys are a parse error: every consumer
+/// here is a config schema, where a duplicate key is a typo, not a merge.
+///
+/// Numbers are stored as double. Integers are exact up to 2^53, which
+/// covers every count, dimension and seed the specs carry; the writer
+/// prints integral values without a decimal point so integer fields
+/// round-trip textually too.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  /// Insertion-ordered object members.
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}  // NOLINT(runtime/explicit)
+  JsonValue(bool b) : value_(b) {}                // NOLINT(runtime/explicit)
+  JsonValue(double d) : value_(d) {}              // NOLINT(runtime/explicit)
+  JsonValue(int i)                                // NOLINT(runtime/explicit)
+      : value_(static_cast<double>(i)) {}
+  JsonValue(int64_t i)                            // NOLINT(runtime/explicit)
+      : value_(static_cast<double>(i)) {}
+  /// Covers size_t on LP64 targets.
+  JsonValue(uint64_t u)                           // NOLINT(runtime/explicit)
+      : value_(static_cast<double>(u)) {}
+  JsonValue(std::string s) : value_(std::move(s)) {}  // NOLINT
+  JsonValue(std::string_view s)                   // NOLINT(runtime/explicit)
+      : value_(std::string(s)) {}
+  JsonValue(const char* s)                        // NOLINT(runtime/explicit)
+      : value_(std::string(s)) {}
+  JsonValue(Array a) : value_(std::move(a)) {}    // NOLINT(runtime/explicit)
+  JsonValue(Object o) : value_(std::move(o)) {}   // NOLINT(runtime/explicit)
+
+  static JsonValue MakeArray() { return JsonValue(Array{}); }
+  static JsonValue MakeObject() { return JsonValue(Object{}); }
+
+  Kind kind() const { return static_cast<Kind>(value_.index()); }
+  bool is_null() const { return kind() == Kind::kNull; }
+  bool is_bool() const { return kind() == Kind::kBool; }
+  bool is_number() const { return kind() == Kind::kNumber; }
+  bool is_string() const { return kind() == Kind::kString; }
+  bool is_array() const { return kind() == Kind::kArray; }
+  bool is_object() const { return kind() == Kind::kObject; }
+
+  /// Checked accessors (XMLUP_CHECK on kind mismatch).
+  bool AsBool() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+  const Array& AsArray() const;
+  Array& AsArray();
+  const Object& AsObject() const;
+  Object& AsObject();
+
+  /// Object member lookup; null when absent or when this is not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Appends/overwrites an object member (this must be an object).
+  void Set(std::string_view key, JsonValue value);
+  /// Appends an array element (this must be an array).
+  void Append(JsonValue value);
+
+  /// Deep structural equality (object member *order* is ignored; numbers
+  /// compare exactly as doubles).
+  friend bool operator==(const JsonValue& a, const JsonValue& b);
+  friend bool operator!=(const JsonValue& a, const JsonValue& b) {
+    return !(a == b);
+  }
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+      value_;
+};
+
+struct JsonParseOptions {
+  /// Maximum array/object nesting; guards the recursive parser against
+  /// stack overflow on adversarial input (same discipline as the XPath
+  /// parser's depth cap).
+  size_t max_depth = 64;
+};
+
+/// Parses one JSON document. The whole input must be consumed (trailing
+/// non-whitespace is an error); errors carry a line:column position.
+Result<JsonValue> ParseJson(std::string_view text,
+                            const JsonParseOptions& options = {});
+
+/// Compact serialization (no insignificant whitespace). Integral numbers
+/// print without a decimal point; non-finite numbers CHECK (JSON cannot
+/// represent them, and no spec field should produce one).
+std::string WriteJson(const JsonValue& value);
+
+/// Indented serialization for files meant to be read and edited by humans
+/// (the checked-in workload specs).
+std::string WriteJsonPretty(const JsonValue& value, int indent = 2);
+
+/// Declarative field extraction for config-object parsing with strict
+/// schemas: every getter marks its key consumed, records the first type or
+/// range violation, and Finish() rejects keys nobody consumed — so a typo
+/// in a spec file is an error, never a silently-ignored knob. Getters are
+/// all "optional with default": they leave *out untouched when the key is
+/// absent, which lets the option structs carry the defaults.
+///
+///   JsonObjectReader reader(json, "phases[0]");
+///   reader.Size("workers", &spec.workers);
+///   reader.Fraction("wildcard_prob", &options.wildcard_prob);
+///   if (Status s = reader.Finish(); !s.ok()) return s;
+class JsonObjectReader {
+ public:
+  /// `value` must outlive the reader. `context` prefixes error messages
+  /// ("generator.pattern: ..."); empty for top-level objects. A non-object
+  /// value is itself recorded as an error.
+  JsonObjectReader(const JsonValue& value, std::string context);
+
+  void Bool(std::string_view key, bool* out);
+  /// Any finite number.
+  void Double(std::string_view key, double* out);
+  /// Number in [0, 1].
+  void Fraction(std::string_view key, double* out);
+  /// Non-negative number (rates, durations).
+  void NonNegative(std::string_view key, double* out);
+  /// Non-negative integer (counts, sizes, ids).
+  void Size(std::string_view key, size_t* out);
+  void U64(std::string_view key, uint64_t* out);
+  void String(std::string_view key, std::string* out);
+
+  /// Marks `key` consumed and returns its value, or null when absent (or
+  /// when the reader is not over an object). For nested objects/arrays
+  /// whose parsing the caller owns.
+  const JsonValue* Child(std::string_view key);
+
+  /// Records a custom validation error against this reader's context.
+  void RecordError(const std::string& message);
+
+  /// The accumulated verdict: the first recorded error, or an
+  /// unknown-key error if any member was never consumed, else OK.
+  Status Finish();
+
+ private:
+  const JsonValue* Consume(std::string_view key);
+  void Number(std::string_view key, double min, double max, double* out);
+
+  const JsonValue& value_;
+  std::string context_;
+  std::vector<std::string> consumed_;
+  Status first_error_;
+};
+
+}  // namespace xmlup
+
+#endif  // XMLUP_COMMON_JSON_H_

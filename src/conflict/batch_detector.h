@@ -157,6 +157,11 @@ class BatchConflictDetector {
   const BatchStats& stats() const { return stats_; }
   void ResetStats() { stats_ = BatchStats(); }
 
+  /// The options this engine was built with (the Engine facade reads them
+  /// to mint per-session engines with matching detector configuration).
+  /// When a store was injected, `options().store` is that store.
+  const BatchDetectorOptions& options() const { return options_; }
+
   /// Drops all memoized results (stats and interned patterns are kept).
   void ClearCache();
 

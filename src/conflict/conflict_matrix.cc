@@ -181,6 +181,23 @@ std::vector<SharedConflictResult> MaintainedConflictMatrix::RowMajor() const {
   return out;
 }
 
+std::vector<SharedConflictResult> MaintainedConflictMatrix::row(
+    size_t read_index) const {
+  XMLUP_CHECK(read_index < reads_.size());
+  return cells_[read_index];
+}
+
+std::vector<SharedConflictResult> MaintainedConflictMatrix::column(
+    size_t update_index) const {
+  XMLUP_CHECK(update_index < updates_.size());
+  std::vector<SharedConflictResult> out;
+  out.reserve(reads_.size());
+  for (const std::vector<SharedConflictResult>& row : cells_) {
+    out.push_back(row[update_index]);
+  }
+  return out;
+}
+
 PatternRef MaintainedConflictMatrix::read_ref(size_t read_index) const {
   XMLUP_CHECK(read_index < reads_.size());
   return reads_[read_index];

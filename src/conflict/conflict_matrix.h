@@ -96,6 +96,13 @@ class MaintainedConflictMatrix {
   /// DetectMatrix(reads, updates) over the current contents.
   std::vector<SharedConflictResult> RowMajor() const;
 
+  /// One row (all cells of a read) / one column (all cells of an update)
+  /// — what an edit-stream consumer tallies after ReplaceRead/
+  /// ReplaceUpdate recomputed exactly that slice. References are
+  /// invalidated by the next edit.
+  std::vector<SharedConflictResult> row(size_t read_index) const;
+  std::vector<SharedConflictResult> column(size_t update_index) const;
+
   /// The interned ref / bound op backing a row / column (refs belong to
   /// engine().pattern_store()).
   PatternRef read_ref(size_t read_index) const;

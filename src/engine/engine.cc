@@ -1,0 +1,123 @@
+#include "engine/engine.h"
+
+#include <utility>
+
+#include "pattern/xpath_parser.h"
+
+namespace xmlup {
+namespace {
+
+std::shared_ptr<SymbolTable> OrFresh(std::shared_ptr<SymbolTable> symbols) {
+  return symbols != nullptr ? std::move(symbols)
+                            : std::make_shared<SymbolTable>();
+}
+
+}  // namespace
+
+Engine::Engine(EngineOptions options)
+    : Engine(std::make_shared<SymbolTable>(), std::move(options)) {}
+
+Engine::Engine(std::shared_ptr<SymbolTable> symbols, EngineOptions options)
+    : options_(std::move(options)), symbols_(OrFresh(std::move(symbols))) {
+  PatternStoreOptions store_options;
+  store_options.minimize = options_.batch.minimize_patterns;
+  store_ = std::make_shared<PatternStore>(symbols_, store_options);
+  options_.batch.store = store_;
+  batch_ = std::make_shared<BatchConflictDetector>(options_.batch);
+}
+
+PatternRef Engine::Intern(const Pattern& pattern) {
+  return store_->Intern(pattern);
+}
+
+Result<PatternRef> Engine::InternXPath(std::string_view xpath) {
+  Result<Pattern> pattern = ParseXPath(xpath, symbols_);
+  if (!pattern.ok()) return pattern.status();
+  return store_->Intern(*pattern);
+}
+
+const Pattern& Engine::pattern(PatternRef ref) const {
+  return store_->pattern(ref);
+}
+
+UpdateOp Engine::Bind(const UpdateOp& op) const { return op.Bind(store_); }
+
+Result<ConflictReport> Engine::Detect(PatternRef read,
+                                      const UpdateOp& update) const {
+  // Ops not bound to this store fall back to the value path inside the
+  // facade below; pre-binding (Engine::Bind) keeps this integer-keyed.
+  return xmlup::Detect(*store_, read, update, options_.batch.detector);
+}
+
+Result<ConflictReport> Engine::Detect(const Pattern& read,
+                                      const UpdateOp& update) const {
+  return xmlup::Detect(*store_, store_->Intern(read), update,
+                       options_.batch.detector);
+}
+
+Result<IndependenceReport> Engine::CertifyCommute(const UpdateOp& a,
+                                                  const UpdateOp& b) const {
+  return CertifyUpdatesCommute(a, b, options_.batch.detector);
+}
+
+std::vector<SharedConflictResult> Engine::DetectMatrix(
+    const std::vector<Pattern>& reads, const std::vector<UpdateOp>& updates) {
+  std::lock_guard<std::mutex> lock(batch_mu_);
+  return batch_->DetectMatrix(reads, updates);
+}
+
+std::vector<SharedConflictResult> Engine::DetectMatrix(
+    const std::vector<PatternRef>& reads,
+    const std::vector<UpdateOp>& updates) {
+  std::lock_guard<std::mutex> lock(batch_mu_);
+  return batch_->DetectMatrix(reads, updates);
+}
+
+std::vector<SharedConflictResult> Engine::DetectPairs(
+    const std::vector<PatternRef>& reads, const std::vector<UpdateOp>& updates,
+    const std::vector<ReadUpdatePair>& pairs) {
+  std::lock_guard<std::mutex> lock(batch_mu_);
+  return batch_->DetectPairs(reads, updates, pairs);
+}
+
+std::unique_ptr<Engine::Session> Engine::MakeSession(
+    SessionOptions options) const {
+  BatchDetectorOptions session_options = options_.batch;
+  session_options.store = store_;
+  session_options.num_threads = options.num_threads;
+  session_options.max_cache_entries = options.max_cache_entries;
+  auto engine = std::make_shared<BatchConflictDetector>(session_options);
+  return std::unique_ptr<Session>(new Session(std::move(engine)));
+}
+
+LintResult Engine::Lint(const Program& program, const LintRunOptions& run) {
+  LintOptions lint_options;
+  lint_options.batch = options_.batch;
+  lint_options.batch.store = store_;
+  lint_options.dtd = run.dtd;
+  lint_options.partition = run.partition;
+  std::lock_guard<std::mutex> lock(batch_mu_);
+  // A fresh Linter per call: its memo cache is cold, but the shared store
+  // keeps interned patterns and compiled automata warm — the distinct-pair
+  // solves, the expensive part, are amortized process-wide.
+  const Linter linter(lint_options);
+  return linter.Lint(program);
+}
+
+DependenceAnalysisResult Engine::AnalyzeDependences(const Program& program) {
+  std::lock_guard<std::mutex> lock(batch_mu_);
+  if (dependence_ == nullptr) {
+    BatchDetectorOptions dependence_options = options_.batch;
+    dependence_options.store = store_;
+    dependence_ = std::make_unique<DependenceAnalyzer>(dependence_options);
+  }
+  return dependence_->Analyze(program);
+}
+
+obs::MetricsSnapshot Engine::MetricsSnapshot() const {
+  return obs::MetricsRegistry::Default().Snapshot();
+}
+
+BatchStats Engine::batch_stats() const { return batch_->stats(); }
+
+}  // namespace xmlup

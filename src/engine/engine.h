@@ -1,0 +1,210 @@
+#ifndef XMLUP_ENGINE_ENGINE_H_
+#define XMLUP_ENGINE_ENGINE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/dependence.h"
+#include "analysis/lint.h"
+#include "common/result.h"
+#include "conflict/batch_detector.h"
+#include "conflict/conflict_matrix.h"
+#include "conflict/detector.h"
+#include "conflict/update_independence.h"
+#include "dtd/dtd.h"
+#include "obs/metrics.h"
+#include "pattern/pattern_store.h"
+#include "xml/symbol_table.h"
+
+namespace xmlup {
+
+/// Configuration of an Engine. One engine = one configuration: the
+/// detector options are fixed at construction because every cache in the
+/// stack below (the batch memo cache, the compiled-automata store, the
+/// product cache) assumes the verdict of a pattern pair is a function of
+/// the pair alone. Callers that need a second semantics build a second
+/// Engine (they can share a SymbolTable).
+struct EngineOptions {
+  /// Detector semantics/budget, worker threads, memoization and cache
+  /// bound for the matrix engine. `batch.store` is ignored — the Engine
+  /// owns the store wiring.
+  BatchDetectorOptions batch;
+};
+
+/// The front door of the library: one object owning the shared state every
+/// layer below needs — the SymbolTable, the PatternStore (interned
+/// canonical patterns + compiled automata), the batch conflict-matrix
+/// engine and its memo cache — and exposing the library's operations as
+/// methods: Detect, DetectMatrix, MakeSession, Lint, AnalyzeDependences,
+/// CertifyCommute.
+///
+/// Before this facade each binary wired those pieces by hand (make a
+/// table, make a store over it, make a batch engine over the store, keep
+/// all three alive in the right order); the workload driver, the lint CLI
+/// and all examples now construct exactly one Engine. The layer APIs
+/// underneath (free Detect, BatchConflictDetector, Linter, ...) remain
+/// public and supported — the facade is wiring, not a wall.
+///
+/// Thread safety:
+///   - Detect / CertifyCommute / Intern / Bind / InternXPath are safe to
+///     call from any number of threads concurrently (they ride the store's
+///     internal locks and the lock-free compiled caches). This is the
+///     driver's hot path.
+///   - DetectMatrix / DetectPairs / Lint / AnalyzeDependences serialize on
+///     an internal mutex (one matrix engine, one memo cache); each call
+///     still parallelizes internally on the engine's pool.
+///   - A Session is single-writer (as MaintainedConflictMatrix is), but
+///     distinct sessions may be driven from distinct threads concurrently:
+///     each session owns a private inline matrix engine over the shared
+///     store, so sessions share interned patterns and compiled automata
+///     without sharing a mutable memo cache.
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+  /// Shares an existing SymbolTable (e.g. with another Engine or with
+  /// trees parsed before the engine existed). `symbols` may be null.
+  explicit Engine(std::shared_ptr<SymbolTable> symbols,
+                  EngineOptions options = {});
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const std::shared_ptr<SymbolTable>& symbols() const { return symbols_; }
+  const std::shared_ptr<PatternStore>& store() const { return store_; }
+  const DetectorOptions& detector_options() const {
+    return options_.batch.detector;
+  }
+
+  /// --- Interning ---
+
+  /// Interns a pattern into the engine's store (minimize + canonical code
+  /// once per distinct pattern). Thread-safe.
+  PatternRef Intern(const Pattern& pattern);
+  /// Parses the paper's XPath fragment against the engine's SymbolTable
+  /// and interns the result.
+  Result<PatternRef> InternXPath(std::string_view xpath);
+  /// The stored canonical form backing a ref.
+  const Pattern& pattern(PatternRef ref) const;
+
+  /// A copy of `op` bound to the engine's store (pattern interned, ref
+  /// recorded) — pre-bind updates once, then Detect against refs on the
+  /// integer-keyed hot path.
+  UpdateOp Bind(const UpdateOp& op) const;
+
+  /// --- Single-pair detection (thread-safe hot path) ---
+
+  /// Unified read/update conflict detection under the engine's options.
+  /// The ref overload runs on the store's compiled automata with product
+  /// memoization — no per-call canonicalization or NFA construction.
+  Result<ConflictReport> Detect(PatternRef read, const UpdateOp& update) const;
+  Result<ConflictReport> Detect(const Pattern& read,
+                                const UpdateOp& update) const;
+
+  /// Update/update commutativity certificate (§6).
+  Result<IndependenceReport> CertifyCommute(const UpdateOp& a,
+                                            const UpdateOp& b) const;
+
+  /// --- Batched detection (serialized on the shared matrix engine) ---
+
+  /// Full N×M matrix / sparse pair set, with memoization across calls.
+  /// Layout and determinism guarantees are BatchConflictDetector's.
+  std::vector<SharedConflictResult> DetectMatrix(
+      const std::vector<Pattern>& reads, const std::vector<UpdateOp>& updates);
+  std::vector<SharedConflictResult> DetectMatrix(
+      const std::vector<PatternRef>& reads,
+      const std::vector<UpdateOp>& updates);
+  std::vector<SharedConflictResult> DetectPairs(
+      const std::vector<PatternRef>& reads,
+      const std::vector<UpdateOp>& updates,
+      const std::vector<ReadUpdatePair>& pairs);
+
+  /// --- Sessions ---
+
+  struct SessionOptions {
+    /// Worker threads of the session's private engine. The default (1)
+    /// runs solves inline on the session's calling thread — the right
+    /// setting when many sessions run on driver/service worker threads.
+    size_t num_threads = 1;
+    /// LRU bound on the session engine's memo cache (0 = unbounded).
+    size_t max_cache_entries = 0;
+  };
+
+  /// A client session: an editable conflict matrix (the per-session state
+  /// of a program being edited statement by statement) over the engine's
+  /// shared PatternStore. Session edits are single-writer; distinct
+  /// sessions are concurrency-safe against each other and against the
+  /// engine's own Detect/DetectMatrix calls.
+  class Session {
+   public:
+    MaintainedConflictMatrix& matrix() { return matrix_; }
+    const MaintainedConflictMatrix& matrix() const { return matrix_; }
+
+   private:
+    friend class Engine;
+    explicit Session(std::shared_ptr<BatchConflictDetector> engine)
+        : matrix_(std::move(engine)) {}
+    MaintainedConflictMatrix matrix_;
+  };
+
+  /// Creates a session whose matrix engine shares the Engine's store (and
+  /// detector options) but owns a private memo cache and runs inline.
+  std::unique_ptr<Session> MakeSession(SessionOptions options) const;
+  std::unique_ptr<Session> MakeSession() const {
+    return MakeSession(SessionOptions());
+  }
+
+  /// --- Program analysis ---
+
+  struct LintRunOptions {
+    /// Enables the dtd-violation pass; must share the engine's
+    /// SymbolTable and outlive the call.
+    const Dtd* dtd = nullptr;
+    /// Run the parallel-safety partitioner.
+    bool partition = true;
+  };
+
+  /// Lints a straight-line update program with the engine's detector
+  /// configuration. Serialized on the engine mutex; the shared store keeps
+  /// compiled automata warm across calls.
+  LintResult Lint(const Program& program, const LintRunOptions& run);
+  LintResult Lint(const Program& program) {
+    return Lint(program, LintRunOptions());
+  }
+
+  /// Pairwise data-dependence analysis over a program (the §1 compiler
+  /// scenario). Serialized on the engine mutex; the analyzer's memo cache
+  /// warms across calls.
+  DependenceAnalysisResult AnalyzeDependences(const Program& program);
+
+  /// --- Observability / escape hatches ---
+
+  /// Snapshot of the process-wide metrics registry the stack reports into.
+  obs::MetricsSnapshot MetricsSnapshot() const;
+  /// Cumulative pair/cache counters of the shared matrix engine.
+  BatchStats batch_stats() const;
+  /// The shared matrix engine. Callers taking this accept its
+  /// single-caller-at-a-time contract (the facade's DetectMatrix/Lint
+  /// serialization no longer protects them).
+  BatchConflictDetector& batch() { return *batch_; }
+  const std::shared_ptr<BatchConflictDetector>& shared_batch() const {
+    return batch_;
+  }
+
+ private:
+  EngineOptions options_;
+  std::shared_ptr<SymbolTable> symbols_;
+  std::shared_ptr<PatternStore> store_;
+  std::shared_ptr<BatchConflictDetector> batch_;
+  /// Serializes DetectMatrix/DetectPairs/Lint/AnalyzeDependences over the
+  /// shared single-caller components.
+  std::mutex batch_mu_;
+  /// Lazily built on first AnalyzeDependences (guarded by batch_mu_).
+  std::unique_ptr<DependenceAnalyzer> dependence_;
+};
+
+}  // namespace xmlup
+
+#endif  // XMLUP_ENGINE_ENGINE_H_

@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <limits>
 
@@ -40,16 +41,92 @@ void AppendJsonString(std::string* out, std::string_view s) {
 
 }  // namespace
 
+double HistogramData::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  uint64_t previous_bound = 0;
+  for (const auto& [le, n] : buckets) {
+    if (rank <= static_cast<double>(cumulative + n)) {
+      if (le == 0) return 0.0;
+      // Bucket i holds values in (previous bound, le]; interpolate from
+      // the previous bucket's inclusive bound across this bucket's width.
+      const double lower = static_cast<double>(previous_bound);
+      if (le == std::numeric_limits<uint64_t>::max()) {
+        return lower;  // unbounded tail: report its lower edge
+      }
+      const double fraction =
+          (rank - static_cast<double>(cumulative)) / static_cast<double>(n);
+      return lower + fraction * (static_cast<double>(le) - lower);
+    }
+    cumulative += n;
+    previous_bound = le;
+  }
+  // rank == count can fall past the loop on floating rounding; clamp to
+  // the top bucket's bound.
+  return static_cast<double>(previous_bound);
+}
+
+uint64_t HistogramData::MaxBound() const {
+  return buckets.empty() ? 0 : buckets.back().first;
+}
+
+HistogramData HistogramData::DiffSince(const HistogramData& before) const {
+  HistogramData diff;
+  diff.count = count - std::min(before.count, count);
+  diff.sum = sum - std::min(before.sum, sum);
+  size_t b = 0;
+  for (const auto& [le, n] : buckets) {
+    uint64_t prior = 0;
+    while (b < before.buckets.size() && before.buckets[b].first < le) ++b;
+    if (b < before.buckets.size() && before.buckets[b].first == le) {
+      prior = before.buckets[b].second;
+    }
+    if (n > prior) diff.buckets.emplace_back(le, n - prior);
+  }
+  return diff;
+}
+
 uint64_t Histogram::BucketUpperBound(size_t index) {
   if (index == 0) return 0;
   if (index >= kNumBuckets - 1) return std::numeric_limits<uint64_t>::max();
   return (uint64_t{1} << index) - 1;
 }
 
+HistogramData Histogram::Data() const {
+  HistogramData data;
+  data.count = count();
+  data.sum = sum();
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    const uint64_t n = bucket(i);
+    if (n != 0) data.buckets.emplace_back(BucketUpperBound(i), n);
+  }
+  return data;
+}
+
 void Histogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
+}
+
+MetricsSnapshot MetricsSnapshot::DiffSince(const MetricsSnapshot& before) const {
+  MetricsSnapshot diff;
+  for (const auto& [name, value] : counters) {
+    auto it = before.counters.find(name);
+    const uint64_t prior = it == before.counters.end() ? 0 : it->second;
+    diff.counters[name] = value - std::min(prior, value);
+  }
+  // Gauges are levels, not cumulative totals — carry the current value.
+  diff.gauges = gauges;
+  for (const auto& [name, data] : histograms) {
+    auto it = before.histograms.find(name);
+    diff.histograms[name] =
+        it == before.histograms.end() ? data : data.DiffSince(it->second);
+  }
+  return diff;
 }
 
 std::string MetricsSnapshot::ToJson() const {
@@ -140,14 +217,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     snapshot.gauges[name] = gauge->value();
   }
   for (const auto& [name, histogram] : histograms_) {
-    MetricsSnapshot::HistogramData data;
-    data.count = histogram->count();
-    data.sum = histogram->sum();
-    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
-      const uint64_t n = histogram->bucket(i);
-      if (n != 0) data.buckets.emplace_back(Histogram::BucketUpperBound(i), n);
-    }
-    snapshot.histograms.emplace(name, std::move(data));
+    snapshot.histograms.emplace(name, histogram->Data());
   }
   return snapshot;
 }

@@ -71,6 +71,38 @@ class Gauge {
   std::atomic<int64_t> value_{0};
 };
 
+/// Point-in-time copy of one histogram, safe to serialize and diff. Also
+/// the quantile-extraction surface: the workload driver snapshots a phase's
+/// latency histogram and reads p50/p95/p99 off the copy.
+struct HistogramData {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  /// Sparse: only non-empty buckets, as (inclusive upper bound, count).
+  std::vector<std::pair<uint64_t, uint64_t>> buckets;
+
+  /// Interpolated quantile for q in [0, 1]: the bucket holding rank
+  /// q*count is located and the value linearly interpolated between the
+  /// bucket's bounds (observations are assumed uniform within a bucket).
+  /// For data uniform over [1, N] this is exact to within rounding; see
+  /// obs_test for the pinned values. Returns 0 for an empty histogram and
+  /// the tail bucket's lower bound when the rank lands in the unbounded
+  /// tail.
+  double Quantile(double q) const;
+
+  double Mean() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / count;
+  }
+
+  /// Upper bound of the highest non-empty bucket (an upper estimate of the
+  /// maximum observation; exact for bucket 0). 0 when empty.
+  uint64_t MaxBound() const;
+
+  /// The observations recorded in this snapshot but not in `before` (an
+  /// earlier snapshot of the *same* histogram): counts subtract
+  /// bucket-wise. The basis of per-phase snapshot diffing.
+  HistogramData DiffSince(const HistogramData& before) const;
+};
+
 /// Exponential (power-of-two) histogram: bucket i counts observations v
 /// with std::bit_width(v) == i, i.e. bucket 0 holds v == 0 and bucket
 /// i >= 1 holds v in [2^(i-1), 2^i - 1]; the last bucket absorbs the tail.
@@ -104,6 +136,11 @@ class Histogram {
     return buckets_[index].load(std::memory_order_relaxed);
   }
 
+  /// Plain-data copy of the current state (sparse buckets), the input to
+  /// Quantile/DiffSince. Safe under concurrent Observe calls; the copy is
+  /// per-bucket atomic, not a cross-bucket consistent cut.
+  HistogramData Data() const;
+
   void Reset();
 
  private:
@@ -115,16 +152,21 @@ class Histogram {
 /// Point-in-time copy of every registered metric. Plain data — safe to
 /// serialize, diff, or ship across threads.
 struct MetricsSnapshot {
-  struct HistogramData {
-    uint64_t count = 0;
-    uint64_t sum = 0;
-    /// Sparse: only non-empty buckets, as (inclusive upper bound, count).
-    std::vector<std::pair<uint64_t, uint64_t>> buckets;
-  };
+  /// Alias kept from when this type was nested here; new code names
+  /// obs::HistogramData directly.
+  using HistogramData = obs::HistogramData;
 
   std::map<std::string, uint64_t> counters;
   std::map<std::string, int64_t> gauges;
   std::map<std::string, HistogramData> histograms;
+
+  /// The activity between `before` (an earlier snapshot of the same
+  /// registry) and this snapshot: counters and histogram buckets subtract;
+  /// gauges are level values, not cumulative, so the diff carries this
+  /// snapshot's value unchanged. Metrics registered after `before` diff
+  /// against zero. This is what gives a workload phase its own counter
+  /// deltas out of the process-wide registry.
+  MetricsSnapshot DiffSince(const MetricsSnapshot& before) const;
 
   /// {"counters": {...}, "gauges": {...}, "histograms": {name:
   /// {"count":..,"sum":..,"buckets":[[le,n],...]}}}

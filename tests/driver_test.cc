@@ -1,0 +1,231 @@
+#include "driver/driver.h"
+
+#include <string>
+#include <vector>
+
+#include "conflict/report.h"
+#include "driver/workload_spec.h"
+#include "engine/engine.h"
+#include "gtest/gtest.h"
+
+namespace xmlup {
+namespace driver {
+namespace {
+
+/// A small mixed workload: closed warmup, closed ramp, open steady state.
+/// Sized to finish in well under a second so determinism runs repeat it.
+constexpr char kSpecText[] = R"({
+  "name": "test-reference",
+  "seed": 42,
+  "generator": {
+    "alphabet_size": 3,
+    "tree": {"target_size": 10, "max_depth": 6},
+    "pattern": {"size": 4, "wildcard_prob": 0.3, "descendant_prob": 0.4}
+  },
+  "sessions": {"count": 2, "initial_reads": 2, "initial_updates": 2},
+  "phases": [
+    {"name": "warmup", "mode": "closed", "workers": 1, "ops": 30},
+    {"name": "ramp", "mode": "closed", "workers": 4, "ops": 40,
+     "mix": {"insert": 0.4, "delete": 0.4, "edit": 0.2}},
+    {"name": "steady", "mode": "open", "workers": 4, "ops": 40,
+     "arrival_rate": 100000,
+     "mix": {"insert": 0.4, "delete": 0.4, "edit": 0.2}}
+  ]
+})";
+
+WorkloadSpec Spec(const std::string& text = kSpecText) {
+  Result<WorkloadSpec> spec = WorkloadSpec::Parse(text);
+  EXPECT_TRUE(spec.ok()) << spec.status();
+  return *spec;
+}
+
+DriverReport RunWith(size_t workers_override) {
+  WorkloadSpec spec = Spec();
+  if (workers_override > 0) {
+    for (PhaseSpec& phase : spec.phases) phase.workers = workers_override;
+  }
+  Engine engine;
+  Driver driver(&engine, spec);
+  Result<DriverReport> report = driver.Run();
+  EXPECT_TRUE(report.ok()) << report.status();
+  return *report;
+}
+
+void ExpectSameOutcome(const DriverReport& a, const DriverReport& b) {
+  ASSERT_EQ(a.phases.size(), b.phases.size());
+  for (size_t p = 0; p < a.phases.size(); ++p) {
+    SCOPED_TRACE(a.phases[p].name);
+    EXPECT_EQ(a.phases[p].ops_planned, b.phases[p].ops_planned);
+    EXPECT_EQ(a.phases[p].ops_completed, b.phases[p].ops_completed);
+    EXPECT_FALSE(a.phases[p].truncated);
+    EXPECT_FALSE(b.phases[p].truncated);
+    EXPECT_EQ(a.phases[p].verdicts, b.phases[p].verdicts);
+  }
+  EXPECT_EQ(a.total_verdicts, b.total_verdicts);
+}
+
+TEST(DriverSpecTest, RoundTripIsIdentity) {
+  const WorkloadSpec spec = Spec();
+  Result<WorkloadSpec> reparsed = WorkloadSpec::FromJson(spec.ToJson());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(*reparsed, spec);
+  Result<WorkloadSpec> from_text =
+      WorkloadSpec::Parse(WriteJsonPretty(spec.ToJson()));
+  ASSERT_TRUE(from_text.ok()) << from_text.status();
+  EXPECT_EQ(*from_text, spec);
+}
+
+TEST(DriverSpecTest, MalformedSpecsAreRejected) {
+  auto fails = [](const std::string& text) {
+    return !WorkloadSpec::Parse(text).ok();
+  };
+  EXPECT_TRUE(fails(""));                          // not JSON
+  EXPECT_TRUE(fails("[]"));                        // not an object
+  EXPECT_TRUE(fails("{}"));                        // no phases
+  EXPECT_TRUE(fails(R"({"phases": []})"));         // empty phases
+  EXPECT_TRUE(fails(R"({"phases": 3})"));          // wrong type
+  EXPECT_TRUE(fails(R"({"phases": [{}], "sead": 1})"));  // top-level typo
+  EXPECT_TRUE(fails(R"({"phases": [{"wrokers": 2}]})"));  // phase typo
+  EXPECT_TRUE(fails(R"({"phases": [{"workers": 0}]})"));
+  EXPECT_TRUE(fails(R"({"phases": [{"ops": 0}]})"));
+  EXPECT_TRUE(fails(R"({"phases": [{"mode": "opne"}]})"));
+  // Open-loop without a rate / closed-loop with one.
+  EXPECT_TRUE(fails(R"({"phases": [{"mode": "open"}]})"));
+  EXPECT_TRUE(
+      fails(R"({"phases": [{"mode": "closed", "arrival_rate": 10}]})"));
+  // All-zero mix.
+  EXPECT_TRUE(fails(
+      R"({"phases": [{"mix": {"insert": 0, "delete": 0, "edit": 0}}]})"));
+  // Bad nested generator block.
+  EXPECT_TRUE(fails(
+      R"({"generator": {"pattern": {"size": 0}}, "phases": [{}]})"));
+  // Edit mix with zero sessions.
+  EXPECT_TRUE(fails(
+      R"({"sessions": {"count": 0},
+          "phases": [{"mix": {"insert": 0, "delete": 0, "edit": 1}}]})"));
+
+  // And the minimal valid spec parses.
+  EXPECT_FALSE(fails(R"({"phases": [{}]})"));
+}
+
+TEST(DriverTest, SameSeedSameReportAcrossRuns) {
+  ExpectSameOutcome(RunWith(0), RunWith(0));
+}
+
+TEST(DriverTest, VerdictsEquivalentAtOneAndEightWorkers) {
+  // The acceptance bar: per-phase op counts and verdict tallies are a
+  // function of (spec, seed) alone — worker count only changes timing.
+  ExpectSameOutcome(RunWith(1), RunWith(8));
+}
+
+TEST(DriverTest, DifferentSeedsGiveDifferentPlans) {
+  WorkloadSpec a = Spec();
+  WorkloadSpec b = Spec();
+  b.seed = 43;
+  Engine engine_a;
+  Engine engine_b;
+  Result<WorkloadPlan> plan_a = Driver::BuildPlan(a, &engine_a);
+  Result<WorkloadPlan> plan_b = Driver::BuildPlan(b, &engine_b);
+  ASSERT_TRUE(plan_a.ok());
+  ASSERT_TRUE(plan_b.ok());
+  // Detect/edit split depends on the seed's weighted draws.
+  bool any_difference = false;
+  for (size_t p = 0; p < plan_a->phases.size(); ++p) {
+    any_difference = any_difference || plan_a->phases[p].detects.size() !=
+                                           plan_b->phases[p].detects.size();
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(DriverTest, DetectVerdictsMatchBatchOracle) {
+  // Pure-detect spec (no edits): every planned pair replayed through the
+  // batch matrix engine must tally to exactly the driver's verdicts.
+  WorkloadSpec spec = Spec(R"({
+    "seed": 7,
+    "generator": {"pattern": {"size": 4}, "tree": {"target_size": 8}},
+    "phases": [{"name": "only", "workers": 4, "ops": 50,
+                "mix": {"insert": 0.5, "delete": 0.5, "edit": 0}}]
+  })");
+
+  Engine engine;
+  Driver driver(&engine, spec);
+  Result<DriverReport> report = driver.Run();
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->phases.size(), 1u);
+  EXPECT_EQ(report->phases[0].ops_completed, 50u);
+
+  // Replay: BuildPlan is deterministic, so a fresh engine sees the same
+  // pairs; the batch engine is the independent oracle.
+  Engine oracle_engine;
+  Result<WorkloadPlan> plan = Driver::BuildPlan(spec, &oracle_engine);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->phases.size(), 1u);
+  ASSERT_EQ(plan->phases[0].detects.size(), 50u);
+
+  VerdictTally oracle;
+  std::vector<PatternRef> reads;
+  std::vector<UpdateOp> updates;
+  std::vector<ReadUpdatePair> pairs;
+  for (size_t k = 0; k < plan->phases[0].detects.size(); ++k) {
+    reads.push_back(plan->phases[0].detects[k].read);
+    updates.push_back(plan->phases[0].detects[k].update);
+    pairs.push_back({k, k});
+  }
+  const std::vector<SharedConflictResult> cells =
+      oracle_engine.DetectPairs(reads, updates, pairs);
+  for (const SharedConflictResult& cell : cells) {
+    if (!cell->ok()) {
+      ++oracle.errors;
+    } else if ((*cell)->verdict == ConflictVerdict::kConflict) {
+      ++oracle.conflict;
+    } else if ((*cell)->verdict == ConflictVerdict::kNoConflict) {
+      ++oracle.no_conflict;
+    } else {
+      ++oracle.unknown;
+    }
+  }
+  EXPECT_EQ(report->phases[0].verdicts, oracle);
+  EXPECT_EQ(oracle.total(), 50u);
+}
+
+TEST(DriverTest, ReportCarriesThroughputLatencyAndMetrics) {
+  const DriverReport report = RunWith(2);
+  for (const PhaseReport& phase : report.phases) {
+    SCOPED_TRACE(phase.name);
+    EXPECT_EQ(phase.ops_completed, phase.ops_planned);
+    EXPECT_GT(phase.wall_seconds, 0.0);
+    EXPECT_GT(phase.throughput_ops_per_s, 0.0);
+    EXPECT_EQ(phase.latency.count, phase.ops_completed);
+    EXPECT_LE(phase.latency.p50_us, phase.latency.p95_us);
+    EXPECT_LE(phase.latency.p95_us, phase.latency.p99_us);
+    EXPECT_LE(phase.latency.p99_us,
+              static_cast<double>(phase.latency.max_us) + 1.0);
+    // The per-phase metrics diff shows engine activity (detector calls).
+    uint64_t detector_activity = 0;
+    for (const auto& [name, value] : phase.metrics_delta.counters) {
+      if (value > 0) detector_activity += value;
+    }
+    EXPECT_GT(detector_activity, 0u);
+  }
+  // The report serializes to the JSON envelope the bench validator reads.
+  const JsonValue json = report.ToJson();
+  EXPECT_NE(json.Find("phases"), nullptr);
+  EXPECT_EQ(json.Find("phases")->AsArray().size(), report.phases.size());
+  EXPECT_NE(json.Find("total_verdicts"), nullptr);
+}
+
+TEST(DriverTest, MaxDurationTruncatesInsteadOfHanging) {
+  WorkloadSpec spec = Spec();
+  spec.phases.resize(1);
+  spec.phases[0].max_duration_s = 1e-9;  // expires immediately
+  Engine engine;
+  Driver driver(&engine, spec);
+  Result<DriverReport> report = driver.Run();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->phases[0].truncated);
+  EXPECT_LT(report->phases[0].ops_completed, report->phases[0].ops_planned);
+}
+
+}  // namespace
+}  // namespace driver
+}  // namespace xmlup

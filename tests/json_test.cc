@@ -1,0 +1,202 @@
+#include "common/json.h"
+
+#include <cstdint>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace xmlup {
+namespace {
+
+TEST(JsonParseTest, Primitives) {
+  EXPECT_TRUE(ParseJson("null")->is_null());
+  EXPECT_EQ(ParseJson("true")->AsBool(), true);
+  EXPECT_EQ(ParseJson("false")->AsBool(), false);
+  EXPECT_DOUBLE_EQ(ParseJson("42")->AsDouble(), 42.0);
+  EXPECT_DOUBLE_EQ(ParseJson("-3.25e2")->AsDouble(), -325.0);
+  EXPECT_EQ(ParseJson("\"hi\"")->AsString(), "hi");
+}
+
+TEST(JsonParseTest, NestedStructures) {
+  Result<JsonValue> parsed =
+      ParseJson(R"({"a": [1, 2, {"b": null}], "c": {"d": "e"}})");
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue::Array& a = parsed->Find("a")->AsArray();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a[1].AsDouble(), 2.0);
+  EXPECT_TRUE(a[2].Find("b")->is_null());
+  EXPECT_EQ(parsed->Find("c")->Find("d")->AsString(), "e");
+  EXPECT_EQ(parsed->Find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  EXPECT_EQ(ParseJson(R"("a\"b\\c\/d\n\t")")->AsString(), "a\"b\\c/d\n\t");
+  // \u escapes decode to UTF-8, including surrogate pairs.
+  EXPECT_EQ(ParseJson(R"("Aé")")->AsString(), "A\xc3\xa9");
+  EXPECT_EQ(ParseJson(R"("😀")")->AsString(),
+            "\xf0\x9f\x98\x80");  // U+1F600
+}
+
+TEST(JsonParseTest, ErrorsCarryPositionAndReject) {
+  // Trailing garbage.
+  EXPECT_FALSE(ParseJson("{} x").ok());
+  // Duplicate keys are config typos, not merges.
+  Result<JsonValue> dup = ParseJson(R"({"a": 1, "a": 2})");
+  ASSERT_FALSE(dup.ok());
+  EXPECT_NE(dup.status().message().find("duplicate"), std::string::npos);
+  // Unterminated constructs.
+  EXPECT_FALSE(ParseJson("[1, 2").ok());
+  EXPECT_FALSE(ParseJson("\"abc").ok());
+  // Bad numbers under the strict grammar.
+  EXPECT_FALSE(ParseJson("01").ok());
+  EXPECT_FALSE(ParseJson("1.").ok());
+  EXPECT_FALSE(ParseJson("+1").ok());
+  // Bare words.
+  EXPECT_FALSE(ParseJson("nul").ok());
+  // Errors include line:column.
+  Result<JsonValue> err = ParseJson("{\n  \"a\": ]\n}");
+  ASSERT_FALSE(err.ok());
+  EXPECT_NE(err.status().message().find("2:"), std::string::npos);
+}
+
+TEST(JsonParseTest, DepthCapGuardsRecursion) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  for (int i = 0; i < 100; ++i) deep += "]";
+  EXPECT_FALSE(ParseJson(deep).ok());
+  JsonParseOptions options;
+  options.max_depth = 200;
+  EXPECT_TRUE(ParseJson(deep, options).ok());
+}
+
+TEST(JsonWriteTest, CompactAndRoundTrip) {
+  JsonValue object = JsonValue::MakeObject();
+  object.Set("n", 42);
+  object.Set("f", 2.5);
+  object.Set("s", "a\"b");
+  JsonValue array = JsonValue::MakeArray();
+  array.Append(true);
+  array.Append(nullptr);
+  object.Set("a", std::move(array));
+  const std::string text = WriteJson(object);
+  // Integral doubles print without a decimal point; members keep
+  // insertion order.
+  EXPECT_EQ(text, R"({"n":42,"f":2.5,"s":"a\"b","a":[true,null]})");
+  Result<JsonValue> reparsed = ParseJson(text);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(*reparsed, object);
+}
+
+TEST(JsonWriteTest, PrettyPrintsIndented) {
+  Result<JsonValue> parsed = ParseJson(R"({"a": [1], "b": {}})");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(WriteJsonPretty(*parsed),
+            "{\n  \"a\": [\n    1\n  ],\n  \"b\": {}\n}\n");
+}
+
+TEST(JsonWriteTest, LargeIntegersRoundTripTextually) {
+  // 2^53 - 1 is the largest exactly-representable odd integer.
+  EXPECT_EQ(WriteJson(ParseJson("9007199254740991").value()),
+            "9007199254740991");
+  EXPECT_EQ(WriteJson(JsonValue(uint64_t{1} << 32)), "4294967296");
+}
+
+TEST(JsonEqualityTest, ObjectOrderInsensitive) {
+  const JsonValue a = ParseJson(R"({"x": 1, "y": [2, 3]})").value();
+  const JsonValue b = ParseJson(R"({"y": [2, 3], "x": 1})").value();
+  const JsonValue c = ParseJson(R"({"x": 1, "y": [3, 2]})").value();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // array order matters
+  EXPECT_NE(a, ParseJson(R"({"x": 1})").value());
+}
+
+TEST(JsonObjectReaderTest, AbsentKeysKeepDefaults) {
+  const JsonValue json = ParseJson(R"({"present": 7})").value();
+  JsonObjectReader reader(json, "ctx");
+  size_t present = 1;
+  size_t absent = 99;
+  reader.Size("present", &present);
+  reader.Size("absent", &absent);
+  EXPECT_TRUE(reader.Finish().ok());
+  EXPECT_EQ(present, 7u);
+  EXPECT_EQ(absent, 99u);  // untouched: the struct default survives
+}
+
+TEST(JsonObjectReaderTest, UnknownKeyIsAnError) {
+  const JsonValue json = ParseJson(R"({"workers": 2, "wrokers": 3})").value();
+  JsonObjectReader reader(json, "phase");
+  size_t workers = 1;
+  reader.Size("workers", &workers);
+  Status status = reader.Finish();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("wrokers"), std::string::npos);
+  EXPECT_NE(status.message().find("phase"), std::string::npos);
+}
+
+TEST(JsonObjectReaderTest, TypeAndRangeViolations) {
+  const JsonValue json =
+      ParseJson(R"({"frac": 1.5, "count": 2.5, "neg": -1, "s": 3})").value();
+  {
+    JsonObjectReader reader(json, "");
+    double frac = 0;
+    reader.Fraction("frac", &frac);  // 1.5 out of [0, 1]
+    reader.Child("count");
+    reader.Child("neg");
+    reader.Child("s");
+    EXPECT_FALSE(reader.Finish().ok());
+  }
+  {
+    JsonObjectReader reader(json, "");
+    size_t count = 0;
+    reader.Size("count", &count);  // 2.5 is not integral
+    reader.Child("frac");
+    reader.Child("neg");
+    reader.Child("s");
+    EXPECT_FALSE(reader.Finish().ok());
+  }
+  {
+    JsonObjectReader reader(json, "");
+    size_t neg = 0;
+    reader.Size("neg", &neg);  // negative
+    reader.Child("frac");
+    reader.Child("count");
+    reader.Child("s");
+    EXPECT_FALSE(reader.Finish().ok());
+  }
+  {
+    JsonObjectReader reader(json, "");
+    std::string s;
+    reader.String("s", &s);  // number where a string is expected
+    reader.Child("frac");
+    reader.Child("count");
+    reader.Child("neg");
+    EXPECT_FALSE(reader.Finish().ok());
+  }
+}
+
+TEST(JsonObjectReaderTest, NonObjectValueFails) {
+  const JsonValue json = ParseJson("[1, 2]").value();
+  JsonObjectReader reader(json, "spec");
+  EXPECT_FALSE(reader.Finish().ok());
+}
+
+TEST(JsonObjectReaderTest, ChildAndRecordError) {
+  const JsonValue json = ParseJson(R"({"nested": {"k": 1}})").value();
+  JsonObjectReader reader(json, "");
+  const JsonValue* nested = reader.Child("nested");
+  ASSERT_NE(nested, nullptr);
+  EXPECT_DOUBLE_EQ(nested->Find("k")->AsDouble(), 1.0);
+  EXPECT_EQ(reader.Child("missing"), nullptr);
+  EXPECT_TRUE(reader.Finish().ok());  // Child consumed the key
+
+  JsonObjectReader failing(json, "");
+  failing.Child("nested");
+  failing.RecordError("custom validation failed");
+  Status status = failing.Finish();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("custom validation failed"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace xmlup

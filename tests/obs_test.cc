@@ -1,5 +1,6 @@
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -213,6 +214,88 @@ TEST(TraceTest, ConcurrentSpansAllArrive) {
   }
   for (std::thread& thread : threads) thread.join();
   EXPECT_EQ(recorder.Snapshot().size(), size_t{kThreads} * kPerThread);
+}
+
+TEST(HistogramDataTest, QuantilesOfUniformDistributionAreExact) {
+  // Uniform 1..1024, one observation each. The power-of-two bucket i >= 2
+  // holds exactly the 2^(i-1) values in (2^(i-1)-1, 2^i-1], so linear
+  // interpolation from the previous bound reconstructs the true quantile
+  // q*N exactly: the bucketing loses nothing on this distribution.
+  Histogram h;
+  for (uint64_t v = 1; v <= 1024; ++v) h.Observe(v);
+  const HistogramData data = h.Data();
+  EXPECT_EQ(data.count, 1024u);
+  EXPECT_DOUBLE_EQ(data.Quantile(0.50), 512.0);
+  EXPECT_DOUBLE_EQ(data.Quantile(0.95), 972.8);
+  EXPECT_DOUBLE_EQ(data.Quantile(0.99), 1013.76);
+  EXPECT_DOUBLE_EQ(data.Mean(), 512.5);
+}
+
+TEST(HistogramDataTest, QuantileEdgeCases) {
+  const HistogramData empty;
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0);
+  EXPECT_EQ(empty.MaxBound(), 0u);
+
+  // All observations zero: every quantile is 0.
+  Histogram zeros;
+  for (int i = 0; i < 10; ++i) zeros.Observe(0);
+  EXPECT_DOUBLE_EQ(zeros.Data().Quantile(0.99), 0.0);
+
+  // Out-of-range q clamps instead of extrapolating.
+  Histogram h;
+  h.Observe(8);
+  EXPECT_DOUBLE_EQ(h.Data().Quantile(-1.0), h.Data().Quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.Data().Quantile(2.0), h.Data().Quantile(1.0));
+
+  // The unbounded tail bucket reports its lower edge rather than
+  // inventing a value from an infinite width.
+  Histogram tail;
+  tail.Observe(100);
+  tail.Observe(std::numeric_limits<uint64_t>::max());
+  EXPECT_DOUBLE_EQ(tail.Data().Quantile(0.99), 127.0);
+}
+
+TEST(HistogramDataTest, DiffSinceSubtractsBuckets) {
+  Histogram h;
+  for (uint64_t v : {1, 2, 100}) h.Observe(v);
+  const HistogramData before = h.Data();
+  for (uint64_t v : {3, 100, 5000}) h.Observe(v);
+  const HistogramData diff = h.Data().DiffSince(before);
+  EXPECT_EQ(diff.count, 3u);
+  EXPECT_EQ(diff.sum, 5103u);
+  // Only the buckets that grew appear: {3} in [2,3], {100} in [64,127],
+  // {5000} in [4096,8191].
+  ASSERT_EQ(diff.buckets.size(), 3u);
+  EXPECT_EQ(diff.buckets[0], (std::pair<uint64_t, uint64_t>{3, 1}));
+  EXPECT_EQ(diff.buckets[1], (std::pair<uint64_t, uint64_t>{127, 1}));
+  EXPECT_EQ(diff.buckets[2], (std::pair<uint64_t, uint64_t>{8191, 1}));
+}
+
+TEST(SnapshotTest, DiffSinceGivesPerPhaseActivity) {
+  MetricsRegistry registry;
+  Counter& ops = registry.GetCounter("ops");
+  Gauge& level = registry.GetGauge("level");
+  Histogram& latency = registry.GetHistogram("latency");
+
+  ops.Increment(10);
+  level.Set(3);
+  latency.Observe(100);
+  const MetricsSnapshot before = registry.Snapshot();
+
+  ops.Increment(5);
+  level.Set(7);
+  latency.Observe(200);
+  latency.Observe(300);
+  registry.GetCounter("late_registration").Increment(2);
+
+  const MetricsSnapshot diff = registry.Snapshot().DiffSince(before);
+  EXPECT_EQ(diff.counters.at("ops"), 5u);
+  // Metrics registered after `before` diff against zero.
+  EXPECT_EQ(diff.counters.at("late_registration"), 2u);
+  // Gauges are levels: the diff carries the current value.
+  EXPECT_EQ(diff.gauges.at("level"), 7);
+  EXPECT_EQ(diff.histograms.at("latency").count, 2u);
+  EXPECT_EQ(diff.histograms.at("latency").sum, 500u);
 }
 
 }  // namespace
