@@ -154,7 +154,16 @@ int main(int argc, char** argv) {
   const bool obs_enabled = obs_env == nullptr || std::strcmp(obs_env, "0") != 0;
   obs::TraceRecorder::Default().set_enabled(obs_enabled);
 
-  Engine engine;
+  // A spec with a "dtd" block builds a schema-aware engine: its Stage 0
+  // type filter prunes schema-disjoint pairs before any automata work
+  // (unless the block sets "pruning": false — the ablation switch).
+  auto symbols = std::make_shared<SymbolTable>();
+  Result<EngineOptions> options = driver::EngineOptionsForSpec(spec, symbols);
+  if (!options.ok()) {
+    std::cerr << spec_path << ": " << options.status() << "\n";
+    return 1;
+  }
+  Engine engine(symbols, *std::move(options));
   driver::Driver workload_driver(&engine, spec);
   Result<driver::DriverReport> report = workload_driver.Run();
   if (!report.ok()) {

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validates the BENCH_<name>.json stats dumps for the CI bench-smoke job.
 
-Usage: check_bench_json.py <batch|intern|incremental|lint> [--min-speedup X]
+Usage: check_bench_json.py <bench name, see CHECKS below> [--min-speedup X]
 
 Two failure classes with distinct exit codes, so the workflow can retry
 the right one:
@@ -201,6 +201,49 @@ def check_detect_hot(stats, args):
           f"pairs; product cache {hits}/{lookups} hits")
 
 
+def check_prune(stats, args):
+    require(stats, "prune",
+            ["bench", "obs_enabled", "prune", "metrics", "trace"])
+    ablation = require(
+        stats, "prune",
+        ["pairs", "warm_us", "pruned_us", "speedup", "pruned_fraction",
+         "verdicts_identical"],
+        sub="prune")
+    counters = require(
+        stats["metrics"], "prune",
+        ["store.types.hits", "store.types.misses", "store.types.bytes",
+         "detector.method.type_pruned", "detector.calls", "detector.errors"],
+        sub="counters")
+    if ablation["pairs"] == 0:
+        structural("no pairs measured: workload is dead")
+    # Soundness gate: Stage 0 may change a pair's method, never its verdict.
+    if not ablation["verdicts_identical"]:
+        structural("pruned verdicts diverged from the unpruned warm path")
+    if counters["store.types.misses"] == 0 or counters["store.types.bytes"] == 0:
+        structural("no type summaries recorded: store summary cache is dead")
+    if counters["store.types.hits"] <= counters["store.types.misses"]:
+        structural("expected per-pair probes to be hit-dominated: "
+                   f"{counters}")
+    if counters["detector.method.type_pruned"] == 0:
+        structural("no pair resolved via kTypePruned: Stage 0 is dead")
+    if counters["detector.errors"] != 0:
+        structural(f"{counters['detector.errors']} detector errors during "
+                   "the bench: the workload should be error-free")
+    # The typed workload is built so most pairs are schema-disjoint; a low
+    # fraction means the footprint computation lost precision.
+    if ablation["pruned_fraction"] <= 0.5:
+        structural(f"pruned_fraction {ablation['pruned_fraction']} <= 0.5: "
+                   "Stage 0 pruned too few pairs")
+    if ablation["speedup"] < args.min_speedup:
+        performance(f"prune speedup {ablation['speedup']} "
+                    f"< {args.min_speedup}x")
+    print(f"ok: prune speedup {ablation['speedup']}x over "
+          f"{ablation['pairs']} pairs, "
+          f"{ablation['pruned_fraction']:.1%} type-pruned; "
+          f"summaries {counters['store.types.hits']} hits / "
+          f"{counters['store.types.misses']} misses")
+
+
 def check_workload(stats, args):
     require(stats, "workload",
             ["bench", "obs_enabled", "workload", "metrics", "trace"])
@@ -262,6 +305,7 @@ CHECKS = {
     "incremental": check_incremental,
     "lint": check_lint,
     "detect_hot": check_detect_hot,
+    "prune": check_prune,
     "workload": check_workload,
 }
 

@@ -253,6 +253,14 @@ Linter::Linter(LintOptions options)
         // to rewrite content *below* a read's result nodes. Forced here,
         // whatever the caller put in options.batch.detector.semantics.
         options.batch.detector.semantics = ConflictSemantics::kTree;
+        // A linter given a schema treats documents as conformant to it:
+        // the same Dtd that drives the dtd-violation pass also feeds the
+        // detector's Stage 0 type filter, so schema-disjoint statement
+        // pairs prune before any automata work (callers that pre-set
+        // detector.dtd — the Engine facade — keep their wiring).
+        if (options.dtd != nullptr && options.batch.detector.dtd == nullptr) {
+          options.batch.detector.dtd = options.dtd;
+        }
         return options;
       }()),
       batch_(options_.batch) {}

@@ -18,6 +18,7 @@ struct BatchMetrics {
   obs::Counter& cache_hits;
   obs::Counter& cache_misses;
   obs::Counter& cache_evictions;
+  obs::Counter& type_pruned;
   obs::Histogram& solve_pair_us;
 
   static const BatchMetrics& Get() {
@@ -28,6 +29,7 @@ struct BatchMetrics {
           reg.GetCounter("batch.cache_hits"),
           reg.GetCounter("batch.cache_misses"),
           reg.GetCounter("batch.cache_evictions"),
+          reg.GetCounter("batch.type_pruned"),
           reg.GetHistogram("batch.solve_pair_us"),
       };
     }();
@@ -188,10 +190,35 @@ std::vector<SharedConflictResult> BatchConflictDetector::DetectPairs(
   constexpr size_t kNone = static_cast<size_t>(-1);
   std::vector<size_t> pending(pairs.size(), kNone);
   uint64_t hits_this_call = 0;
+  uint64_t pruned_this_call = 0;
+  // Stage 0 (type pruning) sits in front of the cache: a pruned pair never
+  // becomes a job, so it can never have been published to the cache either
+  // — probing first would always miss. All pruned pairs of a call share
+  // one lazily-minted report object (the report's fields are fixed).
+  const bool type_pruning = options_.detector.dtd != nullptr &&
+                            options_.detector.enable_type_pruning;
+  SharedConflictResult pruned_shared;
   for (size_t k = 0; k < pairs.size(); ++k) {
     const size_t i = pairs[k].read_index;
     const size_t j = pairs[k].update_index;
     XMLUP_CHECK(i < n_reads && j < n_updates);
+    if (type_pruning) {
+      const UpdateOp& update = updates[j];
+      const Tree* content = update.kind() == UpdateOp::Kind::kInsert
+                                ? &update.content()
+                                : nullptr;
+      if (std::optional<ConflictReport> pruned =
+              TypePruneStage(*store_, reads[i], update.kind(), update_refs[j],
+                             content, options_.detector)) {
+        if (pruned_shared == nullptr) {
+          pruned_shared = std::make_shared<const Result<ConflictReport>>(
+              std::move(*pruned));
+        }
+        out[k] = pruned_shared;
+        ++pruned_this_call;
+        continue;
+      }
+    }
     const BatchPairKey key{reads[i].id(), update_refs[j].id(), content_ids[j],
                            static_cast<uint8_t>(updates[j].kind())};
     if (options_.enable_cache) {
@@ -217,12 +244,17 @@ std::vector<SharedConflictResult> BatchConflictDetector::DetectPairs(
   stats_.cache_hits += hits_this_call;
   stats_.cache_misses += jobs.size();
   stats_.unique_pairs_solved += jobs.size();
+  stats_.type_pruned += pruned_this_call;
   metrics.cache_hits.Increment(hits_this_call);
   metrics.cache_misses.Increment(jobs.size());
-  // Accounting invariant: every requested pair was either served by the
-  // cache (or deduped onto an in-flight job) or became a job of its own.
-  XMLUP_CHECK(hits_this_call + jobs.size() == pairs.size());
-  XMLUP_CHECK(stats_.cache_hits + stats_.cache_misses == stats_.pairs_total);
+  metrics.type_pruned.Increment(pruned_this_call);
+  // Accounting invariant: every requested pair was answered by Stage 0,
+  // served by the cache (or deduped onto an in-flight job), or became a
+  // job of its own.
+  XMLUP_CHECK(hits_this_call + pruned_this_call + jobs.size() ==
+              pairs.size());
+  XMLUP_CHECK(stats_.cache_hits + stats_.cache_misses + stats_.type_pruned ==
+              stats_.pairs_total);
 
   // Phase 3 — solve every job on the pool against the store's
   // pre-minimized forms. Each job writes only its own slot, so the result

@@ -40,6 +40,11 @@ namespace xmlup {
 /// and the cache persist across Detect* calls (ClearCache() drops only the
 /// result cache; interned patterns are kept — they are immutable facts).
 struct BatchDetectorOptions {
+  /// Per-pair detector configuration. When `detector.dtd` is set (and
+  /// `detector.enable_type_pruning` left on), the engine runs the Stage 0
+  /// schema-type filter itself, *before* the memo cache: pruned pairs are
+  /// answered from one shared kTypePruned report and never consume a cache
+  /// entry or a detector call — see BatchStats::type_pruned.
   DetectorOptions detector;
   /// Worker threads; 0 means ThreadPool::DefaultThreadCount(). 1 runs
   /// inline on the calling thread (no spawning).
@@ -73,8 +78,13 @@ struct BatchStats {
   /// duplicate another pair of the same call).
   uint64_t cache_hits = 0;
   /// Pairs not served by the cache — each one became a detector job.
-  /// Invariant (checked by the engine): hits + misses == pairs_total.
+  /// Invariant (checked by the engine):
+  ///   hits + misses + type_pruned == pairs_total.
   uint64_t cache_misses = 0;
+  /// Pairs answered by the Stage 0 schema-type filter (detector.dtd set).
+  /// Pruned pairs cost no cache entries and no detector calls — all of
+  /// them in one call share a single kTypePruned report object.
+  uint64_t type_pruned = 0;
   /// Detector invocations (distinct canonical pairs actually solved).
   /// Equal to cache_misses: every miss is solved exactly once.
   uint64_t unique_pairs_solved = 0;

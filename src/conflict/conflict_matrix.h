@@ -39,7 +39,11 @@ struct DeltaStats {
 ///
 /// so a single edit costs at most max(N, M) detector jobs — and usually
 /// far fewer, because requests flow through the engine's BatchPairKey memo
-/// cache and edits that reintroduce known patterns are pure hits.
+/// cache and edits that reintroduce known patterns are pure hits. When the
+/// engine's detector carries a Dtd, its Stage 0 type filter answers
+/// schema-disjoint cells (method kTypePruned) before the cache — such
+/// cells cost neither memo entries nor detector jobs (BatchStats::
+/// type_pruned), and the maintained matrix inherits that for free.
 ///
 /// Determinism: cells carry the batch engine's guarantee (verdict, method,
 /// trees_checked independent of thread count and scheduling), and the

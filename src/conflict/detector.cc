@@ -1,8 +1,10 @@
 #include "conflict/detector.h"
 
+#include "common/check.h"
 #include "conflict/read_delete.h"
 #include "conflict/read_insert.h"
 #include "conflict/witness_build.h"
+#include "dtd/type_summary.h"
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
 #include "obs/trace.h"
@@ -27,6 +29,7 @@ struct DetectorMetrics {
   obs::Counter& method_linear;
   obs::Counter& method_mainline;
   obs::Counter& method_bounded;
+  obs::Counter& method_type_pruned;
   obs::Histogram& latency_us;
 
   static const DetectorMetrics& Get() {
@@ -43,6 +46,7 @@ struct DetectorMetrics {
           reg.GetCounter("detector.method.linear_ptime"),
           reg.GetCounter("detector.method.mainline_heuristic"),
           reg.GetCounter("detector.method.bounded_search"),
+          reg.GetCounter("detector.method.type_pruned"),
           reg.GetHistogram("detector.latency_us"),
       };
     }();
@@ -78,6 +82,9 @@ void CountReport(const DetectorMetrics& metrics, const ConflictReport& report) {
     case DetectorMethod::kBoundedSearch:
       metrics.method_bounded.Increment();
       break;
+    case DetectorMethod::kTypePruned:
+      metrics.method_type_pruned.Increment();
+      break;
   }
 }
 
@@ -88,6 +95,29 @@ void CountOutcome(const DetectorMetrics& metrics,
   } else {
     metrics.errors.Increment();
   }
+}
+
+/// Stage 0 for the value path: type summaries computed directly from the
+/// patterns (no store to cache them in). Returns the pruned report, or
+/// nullopt when Stage 0 is disabled or cannot prove independence.
+std::optional<ConflictReport> TypePruneValue(const Pattern& read,
+                                             const Pattern& update_pattern,
+                                             const Tree* insert_content,
+                                             const DetectorOptions& options) {
+  if (options.dtd == nullptr || !options.enable_type_pruning) {
+    return std::nullopt;
+  }
+  const TypeSummary read_summary = ComputeTypeSummary(read, *options.dtd);
+  const TypeSummary update_summary =
+      ComputeTypeSummary(update_pattern, *options.dtd);
+  const bool pruned =
+      insert_content != nullptr
+          ? TypePrunesReadInsert(read_summary, update_summary, *insert_content,
+                                 options.semantics)
+          : TypePrunesReadDelete(read_summary, update_summary,
+                                 options.semantics);
+  if (!pruned) return std::nullopt;
+  return TypePrunedReport();
 }
 
 /// Heuristic fast path for branching reads: run the complete linear
@@ -147,6 +177,10 @@ Result<ConflictReport> DetectInsertImpl(const Pattern& read,
                                         const Pattern& insert_pattern,
                                         const Tree& inserted,
                                         const DetectorOptions& options) {
+  if (std::optional<ConflictReport> pruned =
+          TypePruneValue(read, insert_pattern, &inserted, options)) {
+    return std::move(*pruned);
+  }
   const DetectorMetrics& metrics = DetectorMetrics::Get();
   if (read.IsLinear()) {
     metrics.dispatch_linear.Increment();
@@ -187,6 +221,10 @@ Result<ConflictReport> DetectDeleteImpl(const Pattern& read,
                                         const Pattern& delete_pattern,
                                         const DetectorOptions& options) {
   XMLUP_RETURN_NOT_OK(ValidateDeletePattern(delete_pattern));
+  if (std::optional<ConflictReport> pruned = TypePruneValue(
+          read, delete_pattern, /*insert_content=*/nullptr, options)) {
+    return std::move(*pruned);
+  }
   const DetectorMetrics& metrics = DetectorMetrics::Get();
   if (read.IsLinear()) {
     metrics.dispatch_linear.Increment();
@@ -229,6 +267,11 @@ Result<ConflictReport> DetectInsertCachedImpl(const PatternStore& store,
                                               PatternRef insert_ref,
                                               const Tree& inserted,
                                               const DetectorOptions& options) {
+  if (std::optional<ConflictReport> pruned =
+          TypePruneStage(store, read, UpdateOp::Kind::kInsert, insert_ref,
+                         &inserted, options)) {
+    return std::move(*pruned);
+  }
   const DetectorMetrics& metrics = DetectorMetrics::Get();
   const CompiledPattern& read_compiled = store.compiled(read);
   const CompiledPattern& insert_compiled = store.compiled(insert_ref);
@@ -266,6 +309,11 @@ Result<ConflictReport> DetectDeleteCachedImpl(const PatternStore& store,
                                               PatternRef delete_ref,
                                               const DetectorOptions& options) {
   XMLUP_RETURN_NOT_OK(ValidateDeletePattern(delete_pattern));
+  if (std::optional<ConflictReport> pruned =
+          TypePruneStage(store, read, UpdateOp::Kind::kDelete, delete_ref,
+                         /*insert_content=*/nullptr, options)) {
+    return std::move(*pruned);
+  }
   const DetectorMetrics& metrics = DetectorMetrics::Get();
   const CompiledPattern& read_compiled = store.compiled(read);
   const CompiledPattern& delete_compiled = store.compiled(delete_ref);
@@ -297,6 +345,32 @@ Result<ConflictReport> DetectDeleteCachedImpl(const PatternStore& store,
 }
 
 }  // namespace
+
+std::optional<ConflictReport> TypePruneStage(const PatternStore& store,
+                                             PatternRef read,
+                                             UpdateOp::Kind kind,
+                                             PatternRef update_pattern,
+                                             const Tree* insert_content,
+                                             const DetectorOptions& options) {
+  if (options.dtd == nullptr || !options.enable_type_pruning) {
+    return std::nullopt;
+  }
+  const Dtd& dtd = *options.dtd;
+  const TypeSummary& read_summary = store.type_summary(read, dtd);
+  const TypeSummary& update_summary = store.type_summary(update_pattern, dtd);
+  bool pruned;
+  if (kind == UpdateOp::Kind::kInsert) {
+    XMLUP_CHECK_STREAM(insert_content != nullptr)
+        << "TypePruneStage: insert update without content tree";
+    pruned = TypePrunesReadInsert(read_summary, update_summary,
+                                  *insert_content, options.semantics);
+  } else {
+    pruned = TypePrunesReadDelete(read_summary, update_summary,
+                                  options.semantics);
+  }
+  if (!pruned) return std::nullopt;
+  return TypePrunedReport();
+}
 
 Result<ConflictReport> Detect(const Pattern& read, const UpdateOp& update,
                               const DetectorOptions& options) {

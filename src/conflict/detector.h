@@ -1,6 +1,8 @@
 #ifndef XMLUP_CONFLICT_DETECTOR_H_
 #define XMLUP_CONFLICT_DETECTOR_H_
 
+#include <optional>
+
 #include "common/result.h"
 #include "conflict/bounded_search.h"
 #include "conflict/report.h"
@@ -12,6 +14,8 @@
 #include "xml/tree.h"
 
 namespace xmlup {
+
+class Dtd;
 
 struct DetectorOptions {
   ConflictSemantics semantics = ConflictSemantics::kNode;
@@ -26,16 +30,51 @@ struct DetectorOptions {
   /// internally still builds the mainline witness it extends (its
   /// soundness proof needs the verified tree).
   bool build_witness = true;
+  /// Schema for the Stage 0 type-pruning filter (dtd/type_summary.h).
+  /// When set, detection is *conservative under the schema*: Stage 0 may
+  /// answer kNoConflict (method kTypePruned) for pairs that cannot
+  /// conflict on any DTD-conformant document, while Stages 1-2 keep the
+  /// unrestricted-document semantics of the paper. Setting a schema can
+  /// only refine kConflict/kUnknown answers into schema-sound kNoConflict
+  /// ones — it never flips a no-conflict verdict. Must share the caller's
+  /// SymbolTable and outlive every Detect call (the PatternStore caches
+  /// summaries keyed by its address). Null disables Stage 0 entirely.
+  const Dtd* dtd = nullptr;
+  /// Ablation toggle for Stage 0; meaningful only with `dtd` set. With
+  /// pruning off (or no schema) the pipeline is byte-identical to the
+  /// pre-Stage-0 detector.
+  bool enable_type_pruning = true;
 };
 
+/// Stage 0 of the staged verdict pipeline, exposed for batch callers that
+/// want to prune a pair *before* spending a memo-cache slot on it: when a
+/// schema is configured and the pair's type footprints are disjoint,
+/// returns the (fixed-field) kTypePruned / kNoConflict report; otherwise
+/// nullopt, and the pair belongs in Stages 1-2 (a full Detect call).
+/// Summaries are served from the store's per-entry cache
+/// (PatternStore::type_summary). `insert_content` is required for insert
+/// updates and ignored for deletes. Does not touch the detector.* counters
+/// — Detect's own Stage 0 does its accounting inside the facade.
+std::optional<ConflictReport> TypePruneStage(const PatternStore& store,
+                                             PatternRef read,
+                                             UpdateOp::Kind kind,
+                                             PatternRef update_pattern,
+                                             const Tree* insert_content,
+                                             const DetectorOptions& options);
+
 /// Unified read-update conflict detection — the one entry point of the
-/// detector stack. Dispatches on the update's kind and the read's shape:
-///   - linear read: the complete polynomial algorithms (Theorems 1-2,
-///     Corollaries 1-2) — method kLinearPtime, definitive verdict;
-///   - branching read: the sound mainline heuristic first (method
-///     kMainlineHeuristic on success), then bounded witness search
-///     (method kBoundedSearch), which may answer kUnknown when the budget
-///     does not cover the paper's witness bound.
+/// detector stack, a staged verdict pipeline where each stage either
+/// returns a final report or hands the pair down:
+///   - Stage 0 (only with options.dtd set): the schema-type disjointness
+///     filter — method kTypePruned, always kNoConflict, no automata work;
+///   - Stage 1: dispatch on the update's kind and the read's shape —
+///     linear read: the complete polynomial algorithms (Theorems 1-2,
+///     Corollaries 1-2), method kLinearPtime, definitive verdict;
+///     branching read: the sound mainline heuristic (method
+///     kMainlineHeuristic on success);
+///   - Stage 2: bounded witness search (method kBoundedSearch), which may
+///     answer kUnknown when the budget does not cover the paper's witness
+///     bound.
 ///
 /// Per-call verdict/method counters and a latency histogram are reported
 /// into obs::MetricsRegistry::Default(); a "Detect" span is recorded when

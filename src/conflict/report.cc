@@ -22,6 +22,8 @@ std::string_view DetectorMethodName(DetectorMethod method) {
       return "mainline-heuristic";
     case DetectorMethod::kBoundedSearch:
       return "bounded-search";
+    case DetectorMethod::kTypePruned:
+      return "type-pruned";
   }
   return "?";
 }

@@ -32,6 +32,10 @@ enum class DetectorMethod {
   kMainlineHeuristic,
   /// Exhaustive bounded witness search (§5 NP path).
   kBoundedSearch,
+  /// Stage 0 of the staged pipeline: the schema-type disjointness filter
+  /// (dtd/type_summary.h) proved the pair independent over DTD-conformant
+  /// documents before any automata work. Always kNoConflict.
+  kTypePruned,
 };
 
 std::string_view DetectorMethodName(DetectorMethod method);

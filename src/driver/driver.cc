@@ -284,6 +284,27 @@ EditOp DrawEdit(const PhaseMix& mix, const RandomPatternGenerator& patterns,
 
 }  // namespace
 
+Result<EngineOptions> EngineOptionsForSpec(
+    const WorkloadSpec& spec, const std::shared_ptr<SymbolTable>& symbols,
+    EngineOptions base) {
+  if (!spec.dtd.enabled()) return base;
+  // The declaration syntax is line-oriented, so the JSON array of
+  // declaration strings is just the schema file split into lines.
+  std::string text;
+  for (const std::string& line : spec.dtd.declarations) {
+    text += line;
+    text += '\n';
+  }
+  Result<Dtd> dtd = Dtd::Parse(text, symbols);
+  if (!dtd.ok()) {
+    return Status::InvalidArgument("workload spec \"dtd\" block: " +
+                                   std::string(dtd.status().message()));
+  }
+  base.dtd = std::make_shared<const Dtd>(*std::move(dtd));
+  base.batch.detector.enable_type_pruning = spec.dtd.pruning;
+  return base;
+}
+
 VerdictTally& VerdictTally::operator+=(const VerdictTally& other) {
   no_conflict += other.no_conflict;
   conflict += other.conflict;

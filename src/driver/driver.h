@@ -148,6 +148,26 @@ struct WorkloadPlan {
   std::vector<PhasePlan> phases;
 };
 
+/// Engine configuration implied by a spec's "dtd" block: parses the
+/// block's declarations against `symbols` (the table the Engine will be
+/// built over — labels must match the generator's a0..aN-1 names), sets
+/// `base.dtd` to the parsed schema (kept alive by the returned options /
+/// the Engine that consumes them) and `base.batch.detector.
+/// enable_type_pruning` to the block's `pruning` toggle. A spec without a
+/// "dtd" block returns `base` unchanged, so callers can pass every spec
+/// through unconditionally:
+///
+///   auto symbols = std::make_shared<SymbolTable>();
+///   XMLUP_ASSIGN_OR_RETURN(EngineOptions options,
+///                          EngineOptionsForSpec(spec, symbols));
+///   Engine engine(symbols, std::move(options));
+///
+/// Fails with the offending declaration's parse error on a malformed
+/// schema.
+Result<EngineOptions> EngineOptionsForSpec(
+    const WorkloadSpec& spec, const std::shared_ptr<SymbolTable>& symbols,
+    EngineOptions base = {});
+
 /// Drives an Engine through a WorkloadSpec and reports per-phase sustained
 /// throughput, latency percentiles, and verdict tallies.
 ///

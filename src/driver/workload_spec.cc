@@ -84,6 +84,41 @@ Status ReadPhase(const JsonValue& json, const std::string& context,
   return reader.Finish();
 }
 
+JsonValue DtdJson(const DtdSpec& dtd) {
+  JsonValue json = JsonValue::MakeObject();
+  JsonValue declarations = JsonValue::MakeArray();
+  for (const std::string& line : dtd.declarations) declarations.Append(line);
+  json.Set("declarations", std::move(declarations));
+  json.Set("pruning", dtd.pruning);
+  return json;
+}
+
+Status ReadDtd(const JsonValue& json, DtdSpec* dtd) {
+  JsonObjectReader reader(json, "dtd");
+  reader.Bool("pruning", &dtd->pruning);
+  const JsonValue* declarations = reader.Child("declarations");
+  if (declarations == nullptr) {
+    reader.RecordError("missing required key \"declarations\"");
+  } else if (!declarations->is_array()) {
+    reader.RecordError("\"declarations\" must be an array of strings");
+  } else if (declarations->AsArray().empty()) {
+    reader.RecordError(
+        "\"declarations\" must be non-empty (omit the \"dtd\" block to run "
+        "without a schema)");
+  } else {
+    for (size_t i = 0; i < declarations->AsArray().size(); ++i) {
+      const JsonValue& line = declarations->AsArray()[i];
+      if (!line.is_string()) {
+        reader.RecordError("declarations[" + std::to_string(i) +
+                           "] must be a string");
+        continue;
+      }
+      dtd->declarations.push_back(line.AsString());
+    }
+  }
+  return reader.Finish();
+}
+
 Status ReadSessions(const JsonValue& json, SessionSetup* sessions) {
   JsonObjectReader reader(json, "sessions");
   reader.Size("count", &sessions->count);
@@ -109,6 +144,9 @@ Result<WorkloadSpec> WorkloadSpec::FromJson(const JsonValue& json) {
         workload::GeneratorSpec::FromJson(*generator);
     if (!parsed.ok()) return parsed.status();
     spec.generator = *std::move(parsed);
+  }
+  if (const JsonValue* dtd = reader.Child("dtd"); dtd != nullptr) {
+    if (Status s = ReadDtd(*dtd, &spec.dtd); !s.ok()) return s;
   }
   if (const JsonValue* sessions = reader.Child("sessions");
       sessions != nullptr) {
@@ -155,6 +193,7 @@ JsonValue WorkloadSpec::ToJson() const {
   json.Set("name", name);
   json.Set("seed", seed);
   json.Set("generator", generator.ToJson());
+  if (dtd.enabled()) json.Set("dtd", DtdJson(dtd));
   json.Set("sessions", SessionsJson(sessions));
   JsonValue phase_array = JsonValue::MakeArray();
   for (const PhaseSpec& phase : phases) phase_array.Append(PhaseJson(phase));
@@ -171,6 +210,8 @@ bool operator==(const WorkloadSpec& a, const WorkloadSpec& b) {
            x.mix.edit == y.mix.edit;
   };
   if (!(a.name == b.name && a.seed == b.seed && a.generator == b.generator &&
+        a.dtd.declarations == b.dtd.declarations &&
+        a.dtd.pruning == b.dtd.pruning &&
         a.sessions.count == b.sessions.count &&
         a.sessions.initial_reads == b.sessions.initial_reads &&
         a.sessions.initial_updates == b.sessions.initial_updates &&

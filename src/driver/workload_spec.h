@@ -72,13 +72,30 @@ struct SessionSetup {
   size_t initial_updates = 4;
 };
 
+/// Optional schema block of a workload: DTD declarations (the dtd/dtd.h
+/// text syntax, one declaration per array element) parsed against the
+/// run's SymbolTable, plus the Stage 0 ablation toggle. When present the
+/// driver's Engine is built with EngineOptions::dtd, so every detection
+/// the run issues goes through the staged pipeline's type filter (unless
+/// `pruning` is false — the spec-level ablation switch). Note the
+/// generator names labels a0..aN-1; declarations must use those names.
+struct DtdSpec {
+  std::vector<std::string> declarations;
+  bool pruning = true;
+
+  bool enabled() const { return !declarations.empty(); }
+};
+
 /// The declarative description of a whole driver run: which generators
 /// feed it, how many phases, and each phase's load shape. JSON shape
-/// (top-level keys "name", "seed", "generator", "sessions", "phases"):
+/// (top-level keys "name", "seed", "generator", "dtd", "sessions",
+/// "phases"):
 ///
 ///   {"name": "reference",
 ///    "seed": 42,
 ///    "generator": { ... workload::GeneratorSpec ... },
+///    "dtd": {"declarations": ["root a0", "allow a0 : a1 a2"],
+///            "pruning": true},
 ///    "sessions": {"count": 2, "initial_reads": 4, "initial_updates": 4},
 ///    "phases": [
 ///      {"name": "warmup", "mode": "closed", "workers": 1, "ops": 200,
@@ -87,11 +104,16 @@ struct SessionSetup {
 ///       "arrival_rate": 2000, "max_duration_s": 30}]}
 ///
 /// Unknown keys anywhere are errors, "phases" must be non-empty, and
-/// FromJson(ToJson(spec)) == spec for every valid spec.
+/// FromJson(ToJson(spec)) == spec for every valid spec. The "dtd" block is
+/// optional (omitted from ToJson when empty); its "declarations" must be a
+/// non-empty array of strings. Declarations are *not* parsed here — the
+/// spec layer has no SymbolTable; EngineOptionsForSpec (driver.h) parses
+/// and reports errors with source context.
 struct WorkloadSpec {
   std::string name = "workload";
   uint64_t seed = 1;
   workload::GeneratorSpec generator;
+  DtdSpec dtd;
   SessionSetup sessions;
   std::vector<PhaseSpec> phases;
 

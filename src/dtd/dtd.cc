@@ -54,7 +54,25 @@ Result<Dtd> Dtd::Parse(std::string_view text,
       return error("unknown directive '" + directive + "'");
     }
   }
+  XMLUP_RETURN_NOT_OK(dtd.Validate());
   return dtd;
+}
+
+Status Dtd::Validate() const {
+  for (const auto& [parent, children] : required_) {
+    if (sealed_.count(parent) == 0) continue;
+    auto it = allowed_.find(parent);
+    for (Label must : children) {
+      if (it == allowed_.end() || it->second.count(must) == 0) {
+        return Status::InvalidArgument(
+            "DTD is self-contradictory: label '" + symbols_->Name(parent) +
+            "' requires child '" + symbols_->Name(must) +
+            "' which its allow-list forbids — no node of this label can "
+            "conform");
+      }
+    }
+  }
+  return Status();
 }
 
 void Dtd::Seal(Label parent) { sealed_.insert(parent); }
@@ -93,6 +111,12 @@ const std::set<Label>& Dtd::RequiredChildren(Label parent) const {
   static const std::set<Label>* const empty = new std::set<Label>();
   auto it = required_.find(parent);
   return it != required_.end() ? it->second : *empty;
+}
+
+const std::set<Label>& Dtd::AllowedChildren(Label parent) const {
+  static const std::set<Label>* const empty = new std::set<Label>();
+  auto it = allowed_.find(parent);
+  return it != allowed_.end() ? it->second : *empty;
 }
 
 bool Dtd::Conforms(const Tree& tree, std::string* why) const {

@@ -49,6 +49,13 @@ class Dtd {
   /// Restricts the document root's label.
   void SetRootLabel(Label label) { root_label_ = label; }
 
+  /// Rejects self-contradictory schemas: a sealed label whose
+  /// RequiredChildren are not all ChildAllowed can never have a conforming
+  /// node, so every type footprint computed under it silently collapses to
+  /// empty. Parse() validates automatically; programmatic builders (Seal /
+  /// Allow / Require) call this once construction is done.
+  Status Validate() const;
+
   /// True if `tree` conforms; when false and `why` is non-null, a
   /// human-readable reason is stored.
   bool Conforms(const Tree& tree, std::string* why = nullptr) const;
@@ -60,6 +67,18 @@ class Dtd {
   /// Child labels every `parent`-labeled node must have (empty set when
   /// unconstrained).
   const std::set<Label>& RequiredChildren(Label parent) const;
+
+  /// True if `parent` has a closed child allow-list (Seal/Allow called).
+  /// Unsealed labels accept any children — the type-summary layer widens
+  /// their child footprint to ⊤.
+  bool IsSealed(Label parent) const { return sealed_.count(parent) > 0; }
+
+  /// The allow-list of a sealed parent (empty set for a sealed leaf or an
+  /// unsealed label — check IsSealed to distinguish).
+  const std::set<Label>& AllowedChildren(Label parent) const;
+
+  /// The root-label restriction, when one was declared.
+  const std::optional<Label>& root_label() const { return root_label_; }
 
   const std::shared_ptr<SymbolTable>& symbols() const { return symbols_; }
 

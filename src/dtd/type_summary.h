@@ -1,0 +1,201 @@
+#ifndef XMLUP_DTD_TYPE_SUMMARY_H_
+#define XMLUP_DTD_TYPE_SUMMARY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <iterator>
+#include <vector>
+
+#include "conflict/report.h"
+#include "conflict/witness_check.h"
+#include "dtd/dtd.h"
+#include "pattern/pattern.h"
+#include "xml/tree.h"
+
+namespace xmlup {
+
+/// Stage 0 of the staged verdict pipeline: schema-type disjointness, in
+/// the spirit of the type-based query-update independence test ("Type-Based
+/// Detection of XML Query-Update Independence", PAPERS.md). Per pattern we
+/// compute, from the Dtd, an over-approximation of the schema types its
+/// matches can touch; per update, the types its effect can create or
+/// remove. Disjoint footprints prove independence *over DTD-conformant
+/// documents* in O(footprint size), before any NFA or product work.
+///
+/// Soundness contract (proven against the conformant-tree oracles in
+/// dtd/dtd_conflict.h): when TypePrunesReadDelete / TypePrunesReadInsert
+/// answers true, no DTD-conformant tree witnesses a conflict for the pair
+/// under the given semantics. The converse does not hold — the summaries
+/// are over-approximations (`require` constraints are ignored, unsealed
+/// labels widen child sets to ⊤), so a false answer just means "cannot
+/// prune", and the pair falls through to the complete Stage 1/2 machinery.
+///
+/// Two deliberate asymmetries keep the rules sound:
+///  - DELETE pruning reasons over the schema on both sides: matches of a
+///    dead read never exist, deletes never create matches (matching is
+///    monotone under node removal), and a surviving match changes only if
+///    the deleted subtree reaches into the read's touched/subtree region.
+///  - INSERT pruning must NOT use the read's schema reachability: the
+///    post-insert tree can escape the schema (insert `<c/>` under `a` when
+///    the DTD forbids `c` there), so a schema-dead read can still gain a
+///    match. Insert pruning therefore uses the DTD-free insert-sensitivity
+///    set: a new embedding must map some pattern node to an inserted node,
+///    and inserted nodes only ever sit strictly below old nodes, so only
+///    the output's label class and the classes of non-ancestor nodes
+///    matter.
+
+/// A set of schema types (labels) with a distinguished ⊤ ("every label")
+/// element, the lattice the footprints live in. ⊤ absorbs unions and is
+/// the identity of intersections; it arises from wildcards and from
+/// unsealed labels (whose children are unconstrained). Backed by a sorted
+/// vector: footprints are tiny and queried per pair on the Stage 0 hot
+/// path, where contiguous two-pointer intersection beats node-based sets.
+class TypeSet {
+ public:
+  static TypeSet Empty() { return TypeSet(); }
+  static TypeSet Top() {
+    TypeSet s;
+    s.top_ = true;
+    return s;
+  }
+  static TypeSet Of(Label label) {
+    TypeSet s;
+    s.labels_.push_back(label);
+    return s;
+  }
+
+  bool top() const { return top_; }
+  bool empty() const { return !top_ && labels_.empty(); }
+  bool Contains(Label label) const {
+    return top_ || std::binary_search(labels_.begin(), labels_.end(), label);
+  }
+  /// Sorted, duplicate-free; meaningful only when !top().
+  const std::vector<Label>& labels() const { return labels_; }
+
+  void Insert(Label label) {
+    if (top_) return;
+    auto it = std::lower_bound(labels_.begin(), labels_.end(), label);
+    if (it == labels_.end() || *it != label) labels_.insert(it, label);
+  }
+  void UnionWith(const TypeSet& other) {
+    if (top_) return;
+    if (other.top_) {
+      top_ = true;
+      labels_.clear();
+      return;
+    }
+    std::vector<Label> merged;
+    merged.reserve(labels_.size() + other.labels_.size());
+    std::set_union(labels_.begin(), labels_.end(), other.labels_.begin(),
+                   other.labels_.end(), std::back_inserter(merged));
+    labels_ = std::move(merged);
+  }
+
+  static bool Intersects(const TypeSet& a, const TypeSet& b) {
+    if (a.empty() || b.empty()) return false;
+    if (a.top_ || b.top_) return true;
+    auto i = a.labels_.begin();
+    auto j = b.labels_.begin();
+    while (i != a.labels_.end() && j != b.labels_.end()) {
+      if (*i == *j) return true;
+      if (*i < *j) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    return false;
+  }
+  static TypeSet Intersect(const TypeSet& a, const TypeSet& b) {
+    if (a.top_) return b;
+    if (b.top_) return a;
+    TypeSet out;
+    std::set_intersection(a.labels_.begin(), a.labels_.end(),
+                          b.labels_.begin(), b.labels_.end(),
+                          std::back_inserter(out.labels_));
+    return out;
+  }
+
+  friend bool operator==(const TypeSet& a, const TypeSet& b) {
+    return a.top_ == b.top_ && a.labels_ == b.labels_;
+  }
+
+  /// Retained-storage estimate (the store.types.bytes leg).
+  uint64_t bytes() const {
+    return sizeof(TypeSet) + labels_.capacity() * sizeof(Label);
+  }
+
+ private:
+  bool top_ = false;
+  std::vector<Label> labels_;
+};
+
+/// Child types reachable from `from` in one step of the DTD's allow-graph:
+/// the union of the sealed members' allow-lists, widening to ⊤ as soon as
+/// any member is unsealed (unsealed labels accept any children).
+TypeSet ChildTypes(const Dtd& dtd, const TypeSet& from);
+
+/// Transitive closure of ChildTypes: types reachable in >= 1 steps.
+TypeSet ReachPlus(const Dtd& dtd, const TypeSet& from);
+
+/// `from` plus ReachPlus: types at or below a node typed in `from`.
+TypeSet ReachStar(const Dtd& dtd, const TypeSet& from);
+
+/// The schema-type footprints of one pattern under one Dtd. Cached per
+/// interned pattern in PatternStore (store.types.* counters); cheap to
+/// compute directly for un-interned value-path patterns.
+struct TypeSummary {
+  /// True when no DTD-conformant document has any match: some pattern node
+  /// has an empty possible-type set. (A dead read cannot be affected by
+  /// deletes; a dead update pattern never fires at all.)
+  bool dead = false;
+  /// Types a match embedding can touch: images of every pattern node plus
+  /// the gap-path types of descendant edges.
+  TypeSet touched;
+  /// Types the output node's image can take.
+  TypeSet output_types;
+  /// ReachStar(output_types): types at or below an output match — the
+  /// result-subtree region kValue/kTree semantics additionally protect.
+  TypeSet subtree;
+  /// DTD-free insert sensitivity: the output's label class united with the
+  /// label classes of every node that is not an ancestor-of-or-self of the
+  /// output. An insert creates a new match only if its content supplies one
+  /// of these labels (inserted subtrees are fresh copies grafted below old
+  /// nodes, so ancestor positions of an old output stay old). Deliberately
+  /// independent of the Dtd — see the header comment.
+  TypeSet insert_sensitive;
+
+  /// Retained-storage estimate for the store.types.bytes counter.
+  uint64_t bytes() const {
+    return sizeof(TypeSummary) + touched.bytes() + output_types.bytes() +
+           subtree.bytes() + insert_sensitive.bytes();
+  }
+};
+
+/// Computes the summary of `pattern` under `dtd`. Pure and deterministic;
+/// O(|pattern| * |schema labels|^2) worst case, microseconds in practice.
+TypeSummary ComputeTypeSummary(const Pattern& pattern, const Dtd& dtd);
+
+/// The labels an insert's content tree supplies (exact, no ⊤).
+TypeSet ContentLabels(const Tree& content);
+
+/// True iff DELETE_{update} cannot conflict with `read` on any conformant
+/// document under `semantics`. `update` must summarize the delete pattern.
+bool TypePrunesReadDelete(const TypeSummary& read, const TypeSummary& update,
+                          ConflictSemantics semantics);
+
+/// True iff INSERT_{update, content} cannot conflict with `read` on any
+/// conformant document under `semantics`. Walks `content` directly (no
+/// label-set materialization — this runs per pair on the Stage 0 hot
+/// path); equivalent to testing ContentLabels(content) for intersection.
+bool TypePrunesReadInsert(const TypeSummary& read, const TypeSummary& update,
+                          const Tree& content, ConflictSemantics semantics);
+
+/// The one report every pruned pair receives — fixed fields, so the batch
+/// engine can share a single result object across all pruned pairs and the
+/// facade's Stage 0 emits byte-identical reports.
+ConflictReport TypePrunedReport();
+
+}  // namespace xmlup
+
+#endif  // XMLUP_DTD_TYPE_SUMMARY_H_

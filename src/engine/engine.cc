@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/check.h"
 #include "pattern/xpath_parser.h"
 
 namespace xmlup {
@@ -23,6 +24,16 @@ Engine::Engine(std::shared_ptr<SymbolTable> symbols, EngineOptions options)
   store_options.minimize = options_.batch.minimize_patterns;
   store_ = std::make_shared<PatternStore>(symbols_, store_options);
   options_.batch.store = store_;
+  if (options_.dtd != nullptr) {
+    XMLUP_CHECK_STREAM(SameSymbolTable(symbols_, options_.dtd->symbols()))
+        << "EngineOptions::dtd was parsed against a different SymbolTable "
+           "than this engine's. Labels are only comparable within one "
+           "table; parse the DTD with the engine's table.";
+    // The engine owns the shared_ptr, so the raw pointer every layer below
+    // holds stays valid for the engine's lifetime (the store caches type
+    // summaries keyed by this address).
+    options_.batch.detector.dtd = options_.dtd.get();
+  }
   batch_ = std::make_shared<BatchConflictDetector>(options_.batch);
 }
 
@@ -94,7 +105,9 @@ LintResult Engine::Lint(const Program& program, const LintRunOptions& run) {
   LintOptions lint_options;
   lint_options.batch = options_.batch;
   lint_options.batch.store = store_;
-  lint_options.dtd = run.dtd;
+  // Per-call schema wins; otherwise the engine's configured schema drives
+  // the lint dtd-violation pass too (one engine = one schema).
+  lint_options.dtd = run.dtd != nullptr ? run.dtd : options_.dtd.get();
   lint_options.partition = run.partition;
   std::lock_guard<std::mutex> lock(batch_mu_);
   // A fresh Linter per call: its memo cache is cold, but the shared store

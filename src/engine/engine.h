@@ -30,8 +30,18 @@ namespace xmlup {
 struct EngineOptions {
   /// Detector semantics/budget, worker threads, memoization and cache
   /// bound for the matrix engine. `batch.store` is ignored — the Engine
-  /// owns the store wiring.
+  /// owns the store wiring. `batch.detector.dtd` is overridden by `dtd`
+  /// below when that is set.
   BatchDetectorOptions batch;
+  /// Schema for the Stage 0 type-pruning filter. When set, the engine
+  /// keeps it alive and wires it into every layer it owns — single-pair
+  /// Detect, the matrix engine, sessions, dependence analysis, and Lint's
+  /// dtd-violation pass (unless a LintRunOptions::dtd overrides per call).
+  /// Must share the engine's SymbolTable (CHECK-failed at construction).
+  /// Detection then becomes conservative under the schema: pairs with
+  /// disjoint type footprints resolve to kNoConflict (method kTypePruned)
+  /// before any automata work — see DetectorOptions::dtd.
+  std::shared_ptr<const Dtd> dtd;
 };
 
 /// The front door of the library: one object owning the shared state every
@@ -160,7 +170,8 @@ class Engine {
 
   struct LintRunOptions {
     /// Enables the dtd-violation pass; must share the engine's
-    /// SymbolTable and outlive the call.
+    /// SymbolTable and outlive the call. Null defaults to the engine's
+    /// configured EngineOptions::dtd (if any).
     const Dtd* dtd = nullptr;
     /// Run the parallel-safety partitioner.
     bool partition = true;

@@ -1,5 +1,7 @@
 #include "pattern/pattern_store.h"
 
+#include <bit>
+#include <new>
 #include <utility>
 
 #include "common/check.h"
@@ -7,6 +9,11 @@
 // the one place the pattern module reaches upward, so every layer above gets
 // pre-minimized forms for free.
 #include "conflict/minimize.h"
+// Type summaries (the Stage 0 footprints) are cached per entry the same way
+// compiled automata are; like the minimizer include above, this is the
+// pattern module reaching upward so every consumer of the store shares one
+// summary per (pattern, schema).
+#include "dtd/type_summary.h"
 #include "obs/metrics.h"
 #include "pattern/pattern_ops.h"
 #include "xml/isomorphism.h"
@@ -56,6 +63,28 @@ struct NfaMetrics {
   }
 };
 
+/// Type-summary cache observability (the Stage 0 footprints), aggregated
+/// across stores like NfaMetrics. misses counts summaries built (at most
+/// one per (entry, dtd)); hits counts requests served by a retained
+/// summary.
+struct TypesMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& bytes;
+
+  static const TypesMetrics& Get() {
+    static const TypesMetrics* const metrics = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+      return new TypesMetrics{
+          reg.GetCounter("store.types.hits"),
+          reg.GetCounter("store.types.misses"),
+          reg.GetCounter("store.types.bytes"),
+      };
+    }();
+    return *metrics;
+  }
+};
+
 /// Retained-storage estimate for the bytes counter: the pattern's node
 /// array plus the canonical code and map-key strings.
 uint64_t EntryBytes(const Pattern& stored, const std::string& code) {
@@ -65,9 +94,64 @@ uint64_t EntryBytes(const Pattern& stored, const std::string& code) {
 
 }  // namespace
 
+/// Latch + lazily-built type summary, CompiledSlot's sibling. The entry
+/// latches the first Dtd it is asked about (the one-engine-one-schema
+/// steady state); other Dtds go to the store-level secondary map.
+struct PatternStore::TypesSlot {
+  std::once_flag once;
+  const Dtd* dtd = nullptr;
+  std::unique_ptr<const TypeSummary> value;
+};
+
+/// Chunk index for the geometric layout: chunk c starts at entry id
+/// kFirstChunkSize * (2^c - 1), so id + kFirstChunkSize lands in
+/// [kFirstChunkSize << c, kFirstChunkSize << (c + 1)).
+static constexpr size_t ChunkOf(size_t adjusted, size_t first_chunk_size) {
+  return static_cast<size_t>(std::bit_width(adjusted)) -
+         static_cast<size_t>(std::bit_width(first_chunk_size));
+}
+
+PatternStore::EntryTable::~EntryTable() {
+  const size_t n = size_.load(std::memory_order_relaxed);
+  for (size_t id = 0; id < n; ++id) at(id).~Entry();
+  for (std::atomic<Entry*>& slot : chunks_) {
+    Entry* chunk = slot.load(std::memory_order_relaxed);
+    if (chunk != nullptr) ::operator delete(static_cast<void*>(chunk));
+  }
+}
+
+PatternStore::Entry& PatternStore::EntryTable::at(size_t id) const {
+  const size_t adjusted = id + kFirstChunkSize;
+  const size_t c = ChunkOf(adjusted, kFirstChunkSize);
+  // Relaxed is enough: the caller observed a size() covering `id`, and
+  // that acquire synchronizes with the writer's release publication of
+  // both the chunk pointer and the entry contents.
+  Entry* chunk = chunks_[c].load(std::memory_order_relaxed);
+  return chunk[adjusted - (kFirstChunkSize << c)];
+}
+
+PatternStore::Entry& PatternStore::EntryTable::Append(Entry entry) {
+  const size_t id = size_.load(std::memory_order_relaxed);
+  const size_t adjusted = id + kFirstChunkSize;
+  const size_t c = ChunkOf(adjusted, kFirstChunkSize);
+  XMLUP_CHECK_STREAM(c < kNumChunks) << "PatternStore entry table is full";
+  Entry* chunk = chunks_[c].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = static_cast<Entry*>(
+        ::operator new((kFirstChunkSize << c) * sizeof(Entry)));
+    chunks_[c].store(chunk, std::memory_order_release);
+  }
+  Entry* slot =
+      new (&chunk[adjusted - (kFirstChunkSize << c)]) Entry(std::move(entry));
+  size_.store(id + 1, std::memory_order_release);
+  return *slot;
+}
+
 PatternStore::PatternStore(std::shared_ptr<SymbolTable> symbols,
                            PatternStoreOptions options)
     : options_(options), symbols_(std::move(symbols)) {}
+
+PatternStore::~PatternStore() = default;
 
 PatternRef PatternStore::Intern(const Pattern& p) {
   XMLUP_CHECK_STREAM(p.has_root()) << "PatternStore::Intern: empty pattern";
@@ -112,19 +196,21 @@ PatternRef PatternStore::Intern(const Pattern& p) {
     id = static_cast<uint32_t>(entries_.size());
     const bool is_linear = stored.IsLinear();
     metrics.bytes.Increment(EntryBytes(stored, stored_code));
-    entries_.push_back(Entry{std::move(stored), stored_code, is_linear,
-                             std::make_unique<CompiledSlot>()});
+    entries_.Append(Entry{std::move(stored), stored_code, is_linear,
+                          std::make_unique<CompiledSlot>(),
+                          std::make_unique<TypesSlot>()});
     by_code_.emplace(std::move(stored_code), id);
   }
-  if (code != entries_[id].code) by_code_.emplace(std::move(code), id);
+  if (code != entries_.at(id).code) by_code_.emplace(std::move(code), id);
   return PatternRef(id);
 }
 
 const PatternStore::Entry& PatternStore::entry(PatternRef ref) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Lock-free: the table's acquire-published size covers every resolvable
+  // ref, and entry addresses never move.
   XMLUP_CHECK_STREAM(ref.valid() && ref.id() < entries_.size())
       << "PatternRef does not belong to this store";
-  return entries_[ref.id()];
+  return entries_.at(ref.id());
 }
 
 const Pattern& PatternStore::pattern(PatternRef ref) const {
@@ -157,6 +243,46 @@ const CompiledPattern& PatternStore::compiled(PatternRef ref) const {
   return *slot.value;
 }
 
+const TypeSummary& PatternStore::type_summary(PatternRef ref,
+                                              const Dtd& dtd) const {
+  const Entry& e = entry(ref);
+  TypesSlot& slot = *e.types_slot;
+  const TypesMetrics& metrics = TypesMetrics::Get();
+  bool built = false;
+  std::call_once(slot.once, [&] {
+    // Latch the first schema this entry is summarized under; construction
+    // runs outside the store mutex, so distinct entries summarize in
+    // parallel (same discipline as compiled()).
+    slot.dtd = &dtd;
+    slot.value =
+        std::make_unique<const TypeSummary>(ComputeTypeSummary(e.stored, dtd));
+    metrics.bytes.Increment(slot.value->bytes());
+    built = true;
+  });
+  // call_once synchronizes-with the winning build, so slot.dtd is safe to
+  // read here even when another thread latched it.
+  if (slot.dtd == &dtd) {
+    (built ? metrics.misses : metrics.hits).Increment();
+    return *slot.value;
+  }
+  // A schema other than the latched one (several Dtds over one store —
+  // rare): serve from the mutex-guarded secondary map. Building under mu_
+  // is acceptable off the designed one-schema path.
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto key = std::make_pair(ref.id(), &dtd);
+  auto it = extra_type_summaries_.find(key);
+  if (it == extra_type_summaries_.end()) {
+    auto summary =
+        std::make_unique<const TypeSummary>(ComputeTypeSummary(e.stored, dtd));
+    metrics.misses.Increment();
+    metrics.bytes.Increment(summary->bytes());
+    it = extra_type_summaries_.emplace(key, std::move(summary)).first;
+  } else {
+    metrics.hits.Increment();
+  }
+  return *it->second;
+}
+
 uint32_t PatternStore::InternContentCode(const Tree& content) {
   const StoreMetrics& metrics = StoreMetrics::Get();
   std::string code = CanonicalCode(content);
@@ -173,10 +299,7 @@ uint32_t PatternStore::InternContentCode(const Tree& content) {
   return it->second;
 }
 
-size_t PatternStore::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return entries_.size();
-}
+size_t PatternStore::size() const { return entries_.size(); }
 
 std::shared_ptr<SymbolTable> PatternStore::symbols() const {
   std::lock_guard<std::mutex> lock(mu_);

@@ -1,13 +1,16 @@
 #ifndef XMLUP_PATTERN_PATTERN_STORE_H_
 #define XMLUP_PATTERN_PATTERN_STORE_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "pattern/compiled_pattern.h"
 #include "pattern/pattern.h"
@@ -15,6 +18,8 @@
 namespace xmlup {
 
 class Tree;
+class Dtd;
+struct TypeSummary;
 
 /// A handle to a pattern interned in a PatternStore: a trivially-copyable
 /// 32-bit id. Two refs from the same store are equal iff the interned
@@ -84,8 +89,11 @@ struct PatternStoreOptions {
 /// engine interns phase-1 inputs on its pool). Minimization of distinct
 /// patterns proceeds in parallel; a race interning the *same* pattern twice
 /// resolves to one entry. References returned by pattern() /
-/// canonical_code() stay valid for the store's lifetime (entries live in a
-/// deque and are never erased).
+/// canonical_code() stay valid for the store's lifetime (entries live in
+/// chunked, address-stable storage and are never erased). Resolving a ref
+/// — pattern(), linear(), compiled(), type_summary(), size() — never takes
+/// the store mutex: entries are published with release/acquire ordering,
+/// so the per-pair detection hot path stays lock-free.
 ///
 /// Observability: every store reports `pattern_store.hits`,
 /// `pattern_store.misses` (== distinct patterns interned) and
@@ -96,6 +104,9 @@ class PatternStore {
   /// `symbols` may be null: the table then binds on the first Intern.
   explicit PatternStore(std::shared_ptr<SymbolTable> symbols = nullptr,
                         PatternStoreOptions options = {});
+  /// Out-of-line: Entry holds a unique_ptr to the header-incomplete
+  /// TypesSlot.
+  ~PatternStore();
 
   PatternStore(const PatternStore&) = delete;
   PatternStore& operator=(const PatternStore&) = delete;
@@ -130,6 +141,21 @@ class PatternStore {
   /// (retained automata estimate) into obs::MetricsRegistry::Default().
   const CompiledPattern& compiled(PatternRef ref) const;
 
+  /// The schema-type summary of the stored pattern under `dtd` (the Stage 0
+  /// footprints — see dtd/type_summary.h), built lazily on first request
+  /// and retained for the store's lifetime, with the same once-per-entry
+  /// latch discipline as compiled(): the first (entry, dtd) build runs
+  /// outside the store mutex, so distinct entries summarize in parallel.
+  /// Reports `store.types.hits` / `store.types.misses` (== summaries built)
+  /// / `store.types.bytes` into obs::MetricsRegistry::Default().
+  ///
+  /// Summaries are keyed by the Dtd's address: `dtd` must outlive the store
+  /// (or at least every type_summary call), and callers running several
+  /// schemas must keep each alive — entries latch the first Dtd they see
+  /// and serve other schemas from a mutex-guarded secondary map (correct,
+  /// just not latch-free; one engine = one schema is the designed shape).
+  const TypeSummary& type_summary(PatternRef ref, const Dtd& dtd) const;
+
   /// Interns the canonical code of a content tree (insert payloads),
   /// returning a dense integer id with the same exact-equality guarantee —
   /// the content leg of the batch engine's integer memo key. Ids share the
@@ -159,11 +185,52 @@ class PatternStore {
     std::unique_ptr<const CompiledPattern> value;
   };
 
+  /// Latch + lazily-built type summary for the first Dtd this entry saw
+  /// (defined in the .cc — TypeSummary is incomplete here to keep the
+  /// pattern layer's headers from including the dtd layer's).
+  struct TypesSlot;
+
   struct Entry {
     Pattern stored;
     std::string code;
     bool is_linear = false;
     std::unique_ptr<CompiledSlot> compiled_slot;
+    std::unique_ptr<TypesSlot> types_slot;
+  };
+
+  /// Append-only entry storage readable without locks: a fixed top-level
+  /// array of atomically-published chunks of geometrically doubling size,
+  /// so entry addresses never move. Writers (serialized by the store
+  /// mutex) placement-construct the next entry and release-publish the new
+  /// count; readers acquire-load the count and reach any published entry
+  /// with pure arithmetic — this keeps entry resolution off the mutex on
+  /// the per-pair detection hot path (Stage 0 summary probes, compiled-
+  /// automata fetches).
+  class EntryTable {
+   public:
+    /// Power of two; chunk c holds (kFirstChunkSize << c) entries, so 26
+    /// chunks cover ~8.6e9 entries — effectively unbounded.
+    static constexpr size_t kFirstChunkSize = 256;
+    static constexpr size_t kNumChunks = 26;
+
+    EntryTable() = default;
+    ~EntryTable();
+    EntryTable(const EntryTable&) = delete;
+    EntryTable& operator=(const EntryTable&) = delete;
+
+    /// Published entry count. Acquire: every entry below the returned
+    /// count is fully constructed and visible to this thread.
+    size_t size() const { return size_.load(std::memory_order_acquire); }
+
+    /// `id` must be below a size() this thread has observed.
+    Entry& at(size_t id) const;
+
+    /// Writer side; callers serialize through the store mutex.
+    Entry& Append(Entry entry);
+
+   private:
+    std::atomic<size_t> size_{0};
+    std::array<std::atomic<Entry*>, kNumChunks> chunks_{};
   };
 
   const Entry& entry(PatternRef ref) const;
@@ -171,14 +238,17 @@ class PatternStore {
   const PatternStoreOptions options_;
   mutable std::mutex mu_;
   std::shared_ptr<SymbolTable> symbols_;
-  /// Deque: growth never relocates entries, so pattern() references stay
-  /// valid without holding the lock.
-  std::deque<Entry> entries_;
+  EntryTable entries_;
   /// Canonical input code → entry id. Contains every *input* code seen
   /// (aliases) plus every stored code, so equivalent inputs that minimize
   /// to one entry each pay minimization only once.
   std::unordered_map<std::string, uint32_t> by_code_;
   std::unordered_map<std::string, uint32_t> content_ids_;
+  /// Overflow path of type_summary(): summaries for Dtds other than the
+  /// one an entry latched first. Rare by design; guarded by mu_.
+  mutable std::map<std::pair<uint32_t, const Dtd*>,
+                   std::unique_ptr<const TypeSummary>>
+      extra_type_summaries_;
 };
 
 }  // namespace xmlup

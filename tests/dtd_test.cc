@@ -95,6 +95,49 @@ TEST_F(DtdTest, ParseRejectsMalformedInput) {
   EXPECT_TRUE(Dtd::Parse("# nothing\n\n", symbols_).ok());
 }
 
+TEST_F(DtdTest, ValidateRejectsSealedLabelWithForbiddenRequiredChild) {
+  // Sealed leaf that requires a child: no node of this label can conform,
+  // and every type footprint computed under the schema would silently be
+  // empty — Validate must surface the contradiction instead.
+  Dtd dtd(symbols_);
+  dtd.SetRootLabel(L("r"));
+  dtd.Seal(L("t"));
+  dtd.Require(L("t"), L("c"));
+  const Status status = dtd.Validate();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("self-contradictory"), std::string::npos);
+
+  // Allow-listing the required child resolves it.
+  dtd.Allow(L("t"), L("c"));
+  EXPECT_TRUE(dtd.Validate().ok());
+}
+
+TEST_F(DtdTest, ValidateAcceptsUnsealedRequire) {
+  // An unsealed parent accepts any children, so a require alone is
+  // satisfiable.
+  Dtd dtd(symbols_);
+  dtd.Require(L("book"), L("title"));
+  EXPECT_TRUE(dtd.Validate().ok());
+}
+
+TEST_F(DtdTest, ParseValidatesAutomatically) {
+  EXPECT_FALSE(Dtd::Parse(
+                   "root r\n"
+                   "allow r : t\n"
+                   "seal t\n"
+                   "require t : c\n",
+                   symbols_)
+                   .ok());
+  // Same shape with the child allowed parses fine.
+  EXPECT_TRUE(Dtd::Parse(
+                  "root r\n"
+                  "allow r : t\n"
+                  "allow t : c\n"
+                  "require t : c\n",
+                  symbols_)
+                  .ok());
+}
+
 TEST_F(DtdTest, MentionedLabels) {
   Dtd dtd(symbols_);
   dtd.SetRootLabel(L("r"));
