@@ -63,6 +63,17 @@ void PrintPhase(const driver::PhaseReport& phase) {
       static_cast<unsigned long long>(phase.verdicts.no_conflict),
       static_cast<unsigned long long>(phase.verdicts.unknown),
       static_cast<unsigned long long>(phase.verdicts.errors));
+  if (phase.merge.merges > 0 || phase.merge.errors > 0) {
+    std::printf(
+        "             merges: %llu (%llu ops: %llu accepted, %llu "
+        "serialized, %llu rejected; %llu errors)\n",
+        static_cast<unsigned long long>(phase.merge.merges),
+        static_cast<unsigned long long>(phase.merge.ops_total),
+        static_cast<unsigned long long>(phase.merge.accepted),
+        static_cast<unsigned long long>(phase.merge.serialized),
+        static_cast<unsigned long long>(phase.merge.rejected),
+        static_cast<unsigned long long>(phase.merge.errors));
+  }
 }
 
 /// Same envelope as bench/bench_util.h DumpObs, with the driver report

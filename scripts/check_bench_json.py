@@ -299,6 +299,51 @@ def check_workload(stats, args):
                     for p in phases))
 
 
+def check_merge(stats, args):
+    require(stats, "merge", ["bench", "obs_enabled", "merge", "metrics",
+                             "trace"])
+    sweep = require(stats, "merge", ["configs"], sub="merge")
+    counters = require(
+        stats["metrics"], "merge",
+        ["merge.merges", "merge.ops", "merge.pairs_checked"],
+        sub="counters")
+    if counters["merge.merges"] == 0:
+        structural("no merges recorded: instrumentation is dead")
+    configs = sweep["configs"]
+    if not configs:
+        structural("merge sweep measured no configs")
+    for config in configs:
+        label = (f"sessions={config.get('sessions', '?')} "
+                 f"conflict={config.get('conflict', '?')}")
+        missing = [k for k in
+                   ["sessions", "conflict", "ops_total", "accepted",
+                    "serialized", "rejected", "levels", "merge_us",
+                    "throughput_ops_per_s", "oracle_identical"]
+                   if k not in config]
+        if missing:
+            structural(f"config {label} missing keys: {missing}")
+        # Correctness gate: the merged document must equal the sequential
+        # reference on every unit of every config.
+        if not config["oracle_identical"]:
+            structural(f"config {label} diverged from the serial oracle")
+        # Per-op accounting: every op is accepted, serialized or rejected.
+        accounted = (config["accepted"] + config["serialized"]
+                     + config["rejected"])
+        if accounted != config["ops_total"]:
+            structural(f"config {label} accounts for {accounted} of "
+                       f"{config['ops_total']} ops")
+        if config["ops_total"] == 0:
+            structural(f"config {label} merged zero ops")
+        if config["throughput_ops_per_s"] <= 0:
+            structural(f"config {label} throughput "
+                       f"{config['throughput_ops_per_s']} not > 0")
+    print(f"ok: {len(configs)} configs; " +
+          ", ".join(f"s{c['sessions']}/{c['conflict']} "
+                    f"{c['throughput_ops_per_s']:.0f} ops/s "
+                    f"({c['accepted']}/{c['ops_total']} accepted)"
+                    for c in configs))
+
+
 CHECKS = {
     "batch": check_batch,
     "intern": check_intern,
@@ -307,6 +352,7 @@ CHECKS = {
     "detect_hot": check_detect_hot,
     "prune": check_prune,
     "workload": check_workload,
+    "merge": check_merge,
 }
 
 

@@ -44,6 +44,12 @@ struct DetectorOptions {
   /// pruning off (or no schema) the pipeline is byte-identical to the
   /// pre-Stage-0 detector.
   bool enable_type_pruning = true;
+  /// Multi-pair scans (conflict/transactions.h): record *every*
+  /// uncertified pair in deterministic order instead of stopping at the
+  /// first — what a scheduler needs to distinguish one bad pair from a
+  /// dense conflict. The default keeps the cheap early exit. Single-pair
+  /// Detect/Certify calls ignore this.
+  bool exhaustive = false;
 };
 
 /// Stage 0 of the staged verdict pipeline, exposed for batch callers that

@@ -1,6 +1,7 @@
 #include "conflict/transactions.h"
 
 #include <memory>
+#include <utility>
 
 #include "pattern/pattern_store.h"
 
@@ -25,17 +26,18 @@ Result<TransactionReport> CertifyTransactionsCommute(
       ++report.pairs_checked;
       XMLUP_ASSIGN_OR_RETURN(IndependenceReport pair,
                              CertifyUpdatesCommute(b1[i], b2[j], options));
-      if (pair.certificate != CommutativityCertificate::kCertified) {
-        report.certified = false;
+      if (pair.certificate == CommutativityCertificate::kCertified) continue;
+      if (report.uncertified.empty()) {
         report.t1_index = i;
         report.t2_index = j;
         report.detail = std::move(pair.detail);
-        return report;
       }
+      report.uncertified.emplace_back(i, j);
+      if (!options.exhaustive) return report;
     }
   }
-  report.certified = true;
-  report.detail = "all cross pairs certified";
+  report.certified = report.uncertified.empty();
+  if (report.certified) report.detail = "all cross pairs certified";
   return report;
 }
 

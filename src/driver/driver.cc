@@ -12,9 +12,11 @@
 #include "common/random.h"
 #include "conflict/conflict_matrix.h"
 #include "conflict/report.h"
+#include "merge/merge_executor.h"
 #include "workload/pattern_generator.h"
 #include "workload/tree_generator.h"
 #include "xml/tree.h"
+#include "xml/tree_algos.h"
 
 namespace xmlup {
 namespace driver {
@@ -36,6 +38,7 @@ uint64_t ElapsedMicros(Clock::time_point from, Clock::time_point to) {
 /// they work identically under -DXMLUP_OBS_DISABLED and never mix phases.
 struct WorkerTally {
   VerdictTally verdicts;
+  MergeTally merge;
   std::array<uint64_t, obs::Histogram::kNumBuckets> latency_buckets{};
   uint64_t latency_count = 0;
   uint64_t latency_sum = 0;
@@ -100,33 +103,42 @@ struct PhaseRun {
   }
 
   /// Waits for the op's scheduled arrival (open loop), then checks the
-  /// deadline. Returns false when the phase is out of time — the caller
-  /// stops issuing and the phase reports truncated.
-  bool PaceAndCheck(size_t op_index) {
+  /// deadline. Returns the op's latency anchor — the scheduled arrival in
+  /// open phases, issue time in closed ones — or nullopt when the phase is
+  /// out of time (the caller stops issuing and the phase reports
+  /// truncated).
+  ///
+  /// Overload audit: arrivals stay anchored to the fixed schedule
+  /// (start + i/rate) no matter how far behind a worker falls — Arrival()
+  /// never reads a completion time, so a slow op cannot drift later
+  /// arrivals, and the sleep is guarded (skipped entirely for past
+  /// arrivals) so there is no negative-wait accumulation. Latency measured
+  /// from the returned anchor therefore charges queueing delay under
+  /// overload to the ops that suffered it — the coordinated-omission-safe
+  /// measurement. driver_test's OpenLoopOverloadStaysAnchored pins this.
+  std::optional<Clock::time_point> PaceAndCheck(size_t op_index) {
     if (spec.mode == PhaseMode::kOpen) {
       const Clock::time_point arrival = Arrival(op_index);
       if (Clock::now() < arrival) std::this_thread::sleep_until(arrival);
     }
     if (Clock::now() > deadline) {
       truncated.store(true, std::memory_order_relaxed);
-      return false;
+      return std::nullopt;
     }
-    return true;
+    return spec.mode == PhaseMode::kOpen ? Arrival(op_index) : Clock::now();
   }
 };
 
 void RunDetectUnit(const Engine& engine, PhaseRun& run, size_t unit,
                    WorkerTally& tally) {
   const size_t op_index = run.plan.detect_op_indices[unit];
-  if (!run.PaceAndCheck(op_index)) return;
+  // Latency is measured from the anchor PaceAndCheck returns: the
+  // scheduled arrival in open phases (so queueing behind a saturated
+  // engine is charged, not omitted), issue time in closed ones.
+  const std::optional<Clock::time_point> anchor = run.PaceAndCheck(op_index);
+  if (!anchor.has_value()) return;
   const DetectUnit& detect = run.plan.detects[unit];
-  // Latency is measured from the scheduled arrival in open phases (so
-  // queueing behind a saturated engine is charged, not omitted) and from
-  // issue time in closed ones.
-  const Clock::time_point issue = Clock::now();
-  const Clock::time_point from = run.spec.mode == PhaseMode::kOpen
-                                     ? run.Arrival(op_index)
-                                     : issue;
+  const Clock::time_point from = *anchor;
   Result<ConflictReport> result = engine.Detect(detect.read, detect.update);
   tally.RecordVerdict(result);
   tally.RecordLatency(ElapsedMicros(from, Clock::now()));
@@ -140,12 +152,10 @@ void RunSessionStream(PhaseRun& run, size_t session_index,
       run.sessions[session_index]->matrix();
   for (size_t k = 0; k < script.edits.size(); ++k) {
     const size_t op_index = script.op_indices[k];
-    if (!run.PaceAndCheck(op_index)) return;
+    const std::optional<Clock::time_point> anchor = run.PaceAndCheck(op_index);
+    if (!anchor.has_value()) return;
     const EditOp& edit = script.edits[k];
-    const Clock::time_point issue = Clock::now();
-    const Clock::time_point from = run.spec.mode == PhaseMode::kOpen
-                                       ? run.Arrival(op_index)
-                                       : issue;
+    const Clock::time_point from = *anchor;
     switch (edit.kind) {
       case EditOp::Kind::kAddRead:
         tally.RecordSlice(matrix.row(matrix.AddRead(*edit.pattern)));
@@ -171,6 +181,34 @@ void RunSessionStream(PhaseRun& run, size_t session_index,
     tally.RecordLatency(ElapsedMicros(from, Clock::now()));
     ++tally.ops;
   }
+}
+
+void RunMergeUnit(Engine* engine, PhaseRun& run, size_t unit_index,
+                  WorkerTally& tally) {
+  const size_t op_index = run.plan.merge_op_indices[unit_index];
+  const std::optional<Clock::time_point> anchor = run.PaceAndCheck(op_index);
+  if (!anchor.has_value()) return;
+  const MergeUnit& unit = run.plan.merges[unit_index];
+  MergeOptions options;
+  options.num_threads = run.spec.merge.threads;
+  options.policy = run.spec.merge.reject ? ConflictPolicy::kReject
+                                         : ConflictPolicy::kSerialize;
+  const MergeExecutor executor(engine, options);
+  // The plan stays immutable (re-runnable): each execution merges into a
+  // private copy of the unit's seed tree.
+  Tree working = CopyTree(unit.seed);
+  const Result<MergeReport> report = executor.Merge(&working, unit.streams);
+  if (!report.ok()) {
+    ++tally.merge.errors;
+  } else {
+    ++tally.merge.merges;
+    tally.merge.ops_total += report->ops_total;
+    tally.merge.accepted += report->accepted;
+    tally.merge.serialized += report->serialized;
+    tally.merge.rejected += report->rejected;
+  }
+  tally.RecordLatency(ElapsedMicros(*anchor, Clock::now()));
+  ++tally.ops;
 }
 
 LatencySummary SummarizeLatency(const std::vector<WorkerTally>& tallies) {
@@ -313,6 +351,27 @@ VerdictTally& VerdictTally::operator+=(const VerdictTally& other) {
   return *this;
 }
 
+MergeTally& MergeTally::operator+=(const MergeTally& other) {
+  merges += other.merges;
+  ops_total += other.ops_total;
+  accepted += other.accepted;
+  serialized += other.serialized;
+  rejected += other.rejected;
+  errors += other.errors;
+  return *this;
+}
+
+JsonValue MergeTally::ToJson() const {
+  JsonValue json = JsonValue::MakeObject();
+  json.Set("merges", merges);
+  json.Set("ops_total", ops_total);
+  json.Set("accepted", accepted);
+  json.Set("serialized", serialized);
+  json.Set("rejected", rejected);
+  json.Set("errors", errors);
+  return json;
+}
+
 JsonValue VerdictTally::ToJson() const {
   JsonValue json = JsonValue::MakeObject();
   json.Set("no_conflict", no_conflict);
@@ -345,6 +404,9 @@ JsonValue PhaseReport::ToJson() const {
   json.Set("throughput_ops_per_s", throughput_ops_per_s);
   json.Set("latency", latency.ToJson());
   json.Set("verdicts", verdicts.ToJson());
+  if (merge.merges > 0 || merge.errors > 0) {
+    json.Set("merge", merge.ToJson());
+  }
   JsonValue counters = JsonValue::MakeObject();
   for (const auto& [counter_name, value] : metrics_delta.counters) {
     if (value > 0) counters.Set(counter_name, value);
@@ -382,6 +444,26 @@ Result<WorkloadPlan> Driver::BuildPlan(const WorkloadSpec& spec,
   plan.phases.reserve(spec.phases.size());
   for (const PhaseSpec& phase : spec.phases) {
     PhasePlan phase_plan;
+    if (phase.kind == PhaseKind::kMerge) {
+      // Each op slot is one whole merge unit: a private seed tree plus
+      // per-session update streams. Ops are bound here so the executors
+      // certify on interned refs (and the store is production-warm).
+      for (size_t i = 0; i < phase.ops; ++i) {
+        MergeUnit unit{trees.Generate(&rng), {}};
+        unit.streams.resize(phase.merge.sessions);
+        for (auto& stream : unit.streams) {
+          stream.reserve(phase.merge.ops_per_session);
+          for (size_t k = 0; k < phase.merge.ops_per_session; ++k) {
+            stream.push_back(
+                engine->Bind(DrawUpdate(phase.mix, patterns, trees, &rng)));
+          }
+        }
+        phase_plan.merges.push_back(std::move(unit));
+        phase_plan.merge_op_indices.push_back(i);
+      }
+      plan.phases.push_back(std::move(phase_plan));
+      continue;
+    }
     const bool has_edits = phase.mix.edit > 0 && spec.sessions.count > 0;
     const size_t session_count = has_edits ? spec.sessions.count : 0;
     phase_plan.sessions.resize(session_count);
@@ -472,8 +554,9 @@ Result<DriverReport> Driver::Run() {
                               phase.max_duration_s * 1e6))
             : Clock::time_point::max();
 
-    const size_t num_units =
-        phase_plan.detects.size() + phase_plan.sessions.size();
+    const size_t num_units = phase_plan.detects.size() +
+                             phase_plan.sessions.size() +
+                             phase_plan.merges.size();
     std::vector<WorkerTally> tallies(phase.workers);
     {
       std::vector<std::thread> workers;
@@ -485,10 +568,14 @@ Result<DriverReport> Driver::Run() {
             const size_t unit =
                 run.next_unit.fetch_add(1, std::memory_order_relaxed);
             if (unit >= num_units) break;
+            const size_t sessions_end =
+                run.plan.detects.size() + run.plan.sessions.size();
             if (unit < run.plan.detects.size()) {
               RunDetectUnit(*engine_, run, unit, tally);
-            } else {
+            } else if (unit < sessions_end) {
               RunSessionStream(run, unit - run.plan.detects.size(), tally);
+            } else {
+              RunMergeUnit(engine_, run, unit - sessions_end, tally);
             }
           }
         });
@@ -506,6 +593,7 @@ Result<DriverReport> Driver::Run() {
     for (const WorkerTally& tally : tallies) {
       phase_report.ops_completed += tally.ops;
       phase_report.verdicts += tally.verdicts;
+      phase_report.merge += tally.merge;
     }
     phase_report.wall_seconds =
         static_cast<double>(ElapsedMicros(run.start, end)) / 1e6;

@@ -38,6 +38,28 @@ struct VerdictTally {
   JsonValue ToJson() const;
 };
 
+/// Merge-unit accounting of a kMerge phase, summed over workers (like
+/// VerdictTally, deterministic for a fixed spec + seed at any worker
+/// count). `accepted + serialized + rejected == ops_total` whenever
+/// `errors == 0`.
+struct MergeTally {
+  uint64_t merges = 0;
+  uint64_t ops_total = 0;
+  uint64_t accepted = 0;
+  uint64_t serialized = 0;
+  uint64_t rejected = 0;
+  /// Merge units that failed outright (no per-op accounting).
+  uint64_t errors = 0;
+
+  MergeTally& operator+=(const MergeTally& other);
+  friend bool operator==(const MergeTally& a, const MergeTally& b) {
+    return a.merges == b.merges && a.ops_total == b.ops_total &&
+           a.accepted == b.accepted && a.serialized == b.serialized &&
+           a.rejected == b.rejected && a.errors == b.errors;
+  }
+  JsonValue ToJson() const;
+};
+
 /// Interpolated percentiles over the driver's power-of-two latency buckets
 /// plus the exact observed maximum (buckets only bound it).
 struct LatencySummary {
@@ -66,6 +88,9 @@ struct PhaseReport {
   double throughput_ops_per_s = 0;
   LatencySummary latency;
   VerdictTally verdicts;
+  /// Merge-unit accounting; all-zero for kOps phases (its JSON object is
+  /// emitted only when the phase ran merges or merge errors).
+  MergeTally merge;
   /// Engine activity attributed to this phase: the process-wide metrics
   /// registry snapshotted before and after, diffed (obs::MetricsSnapshot::
   /// DiffSince).
@@ -135,6 +160,14 @@ struct SessionScript {
   std::vector<size_t> op_indices;
 };
 
+/// One concurrent-edit merge of a kMerge phase: a private seed tree plus
+/// per-session update streams, executed through a MergeExecutor. Trees are
+/// move-only, so a plan holding merge units is too.
+struct MergeUnit {
+  Tree seed;
+  std::vector<std::vector<UpdateOp>> streams;
+};
+
 struct PhasePlan {
   /// Singleton detect units, each also carrying its arrival-schedule slot.
   std::vector<DetectUnit> detects;
@@ -142,6 +175,10 @@ struct PhasePlan {
   /// One script per spec session (scripts may have empty edit lists when
   /// the phase's edit weight is 0).
   std::vector<SessionScript> sessions;
+  /// Merge units of a kMerge phase (empty otherwise), with their
+  /// arrival-schedule slots.
+  std::vector<MergeUnit> merges;
+  std::vector<size_t> merge_op_indices;
 };
 
 struct WorkloadPlan {

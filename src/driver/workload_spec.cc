@@ -16,15 +16,31 @@ JsonValue MixJson(const PhaseMix& mix) {
   return json;
 }
 
+JsonValue MergeJson(const MergePhaseSpec& merge) {
+  JsonValue json = JsonValue::MakeObject();
+  json.Set("sessions", merge.sessions);
+  json.Set("ops_per_session", merge.ops_per_session);
+  json.Set("threads", merge.threads);
+  json.Set("reject", merge.reject);
+  return json;
+}
+
 JsonValue PhaseJson(const PhaseSpec& phase) {
   JsonValue json = JsonValue::MakeObject();
   json.Set("name", phase.name);
   json.Set("mode", PhaseModeName(phase.mode));
+  if (phase.kind != PhaseKind::kOps) {
+    json.Set("kind", PhaseKindName(phase.kind));
+  }
   json.Set("workers", phase.workers);
   json.Set("ops", phase.ops);
   if (phase.arrival_rate > 0) json.Set("arrival_rate", phase.arrival_rate);
   if (phase.max_duration_s > 0) json.Set("max_duration_s", phase.max_duration_s);
-  json.Set("mix", MixJson(phase.mix));
+  if (phase.kind == PhaseKind::kMerge) {
+    json.Set("merge", MergeJson(phase.merge));
+  } else {
+    json.Set("mix", MixJson(phase.mix));
+  }
   return json;
 }
 
@@ -50,18 +66,59 @@ Status ReadMix(const JsonValue& json, const std::string& context,
   return Status();
 }
 
+Status ReadMerge(const JsonValue& json, const std::string& context,
+                 MergePhaseSpec* merge) {
+  JsonObjectReader reader(json, context);
+  reader.Size("sessions", &merge->sessions);
+  reader.Size("ops_per_session", &merge->ops_per_session);
+  reader.Size("threads", &merge->threads);
+  reader.Bool("reject", &merge->reject);
+  if (Status s = reader.Finish(); !s.ok()) return s;
+  if (merge->sessions == 0) {
+    return Status::InvalidArgument(context + ": sessions must be >= 1");
+  }
+  if (merge->ops_per_session == 0) {
+    return Status::InvalidArgument(context + ": ops_per_session must be >= 1");
+  }
+  return Status();
+}
+
 Status ReadPhase(const JsonValue& json, const std::string& context,
                  PhaseSpec* phase) {
   JsonObjectReader reader(json, context);
   reader.String("name", &phase->name);
   std::string mode = std::string(PhaseModeName(phase->mode));
   reader.String("mode", &mode);
+  std::string kind = std::string(PhaseKindName(phase->kind));
+  reader.String("kind", &kind);
   reader.Size("workers", &phase->workers);
   reader.Size("ops", &phase->ops);
   reader.NonNegative("arrival_rate", &phase->arrival_rate);
   reader.NonNegative("max_duration_s", &phase->max_duration_s);
-  if (const JsonValue* mix = reader.Child("mix"); mix != nullptr) {
-    if (Status s = ReadMix(*mix, context + ".mix", &phase->mix); !s.ok()) {
+  if (kind == "ops") {
+    phase->kind = PhaseKind::kOps;
+  } else if (kind == "merge") {
+    phase->kind = PhaseKind::kMerge;
+  } else {
+    reader.RecordError("unknown kind \"" + kind +
+                       "\" (expected \"ops\" or \"merge\")");
+  }
+  const JsonValue* mix = reader.Child("mix");
+  if (mix != nullptr) {
+    if (phase->kind == PhaseKind::kMerge) {
+      reader.RecordError(
+          "merge phases do not draw from a mix; remove the \"mix\" block");
+    } else if (Status s = ReadMix(*mix, context + ".mix", &phase->mix);
+               !s.ok()) {
+      reader.RecordError(s.message());
+    }
+  }
+  if (const JsonValue* merge = reader.Child("merge"); merge != nullptr) {
+    if (phase->kind != PhaseKind::kMerge) {
+      reader.RecordError(
+          "the \"merge\" block is only valid on phases with kind \"merge\"");
+    } else if (Status s = ReadMerge(*merge, context + ".merge", &phase->merge);
+               !s.ok()) {
       reader.RecordError(s.message());
     }
   }
@@ -133,6 +190,10 @@ std::string_view PhaseModeName(PhaseMode mode) {
   return mode == PhaseMode::kClosed ? "closed" : "open";
 }
 
+std::string_view PhaseKindName(PhaseKind kind) {
+  return kind == PhaseKind::kOps ? "ops" : "merge";
+}
+
 Result<WorkloadSpec> WorkloadSpec::FromJson(const JsonValue& json) {
   WorkloadSpec spec;
   JsonObjectReader reader(json, "");
@@ -169,7 +230,8 @@ Result<WorkloadSpec> WorkloadSpec::FromJson(const JsonValue& json) {
           !s.ok()) {
         return s;
       }
-      any_edits = any_edits || phase.mix.edit > 0;
+      any_edits = any_edits ||
+                  (phase.kind == PhaseKind::kOps && phase.mix.edit > 0);
       spec.phases.push_back(std::move(phase));
     }
     if (any_edits && spec.sessions.count == 0) {
@@ -203,11 +265,16 @@ JsonValue WorkloadSpec::ToJson() const {
 
 bool operator==(const WorkloadSpec& a, const WorkloadSpec& b) {
   auto phase_eq = [](const PhaseSpec& x, const PhaseSpec& y) {
-    return x.name == y.name && x.mode == y.mode && x.workers == y.workers &&
+    return x.name == y.name && x.mode == y.mode && x.kind == y.kind &&
+           x.workers == y.workers &&
            x.ops == y.ops && x.arrival_rate == y.arrival_rate &&
            x.max_duration_s == y.max_duration_s &&
            x.mix.insert == y.mix.insert && x.mix.delete_ == y.mix.delete_ &&
-           x.mix.edit == y.mix.edit;
+           x.mix.edit == y.mix.edit &&
+           x.merge.sessions == y.merge.sessions &&
+           x.merge.ops_per_session == y.merge.ops_per_session &&
+           x.merge.threads == y.merge.threads &&
+           x.merge.reject == y.merge.reject;
   };
   if (!(a.name == b.name && a.seed == b.seed && a.generator == b.generator &&
         a.dtd.declarations == b.dtd.declarations &&

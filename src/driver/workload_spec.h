@@ -29,6 +29,36 @@ enum class PhaseMode {
 
 std::string_view PhaseModeName(PhaseMode mode);
 
+/// What one operation of a phase is.
+enum class PhaseKind {
+  /// The default: each op is one detect/edit drawn from the phase mix.
+  kOps,
+  /// Each op is one whole concurrent-edit merge (merge/merge_executor.h):
+  /// a generated seed tree plus per-session update streams, scheduled by
+  /// commutativity certificates and executed conflict-aware.
+  kMerge
+};
+
+std::string_view PhaseKindName(PhaseKind kind);
+
+/// Shape of the merge units a kMerge phase executes. The generated update
+/// streams draw from the generator block's pattern/tree settings, so
+/// conflict density is steered the same way as everywhere else (alphabet
+/// size, wildcard probability, ...).
+struct MergePhaseSpec {
+  /// Concurrent edit sessions per merge unit.
+  size_t sessions = 4;
+  /// Updates each session submits.
+  size_t ops_per_session = 4;
+  /// MergeOptions::num_threads of each unit's executor. The default (1)
+  /// evaluates inline — right when phase workers already provide the
+  /// parallelism; reports are identical either way.
+  size_t threads = 1;
+  /// ConflictPolicy::kReject (first committer wins) instead of the
+  /// serializing default.
+  bool reject = false;
+};
+
 /// Relative weights of the operation kinds a phase draws from. Weights
 /// need not sum to 1 (they are normalized); at least one must be positive.
 struct PhaseMix {
@@ -44,6 +74,12 @@ struct PhaseMix {
 struct PhaseSpec {
   std::string name;
   PhaseMode mode = PhaseMode::kClosed;
+  /// JSON "kind": "ops" (default) or "merge". Merge phases must not set
+  /// "mix" (they have no per-op draw) and configure the "merge" block
+  /// instead; `ops` then counts merge units and the arrival schedule paces
+  /// whole merges.
+  PhaseKind kind = PhaseKind::kOps;
+  MergePhaseSpec merge;
   /// Worker threads driving this phase. Verdict tallies and op counts are
   /// independent of this (the determinism contract); only timing changes.
   size_t workers = 1;

@@ -1,0 +1,274 @@
+#include "merge/merge_executor.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "eval/evaluator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "xml/symbol_table.h"
+
+namespace xmlup {
+
+namespace {
+
+/// One flattened op in serial order.
+struct Slot {
+  size_t session = 0;
+  size_t index = 0;
+  UpdateOp op;
+};
+
+std::string PartnerDetail(const Slot& partner, const std::string& why) {
+  std::string detail = "uncertified against session " +
+                       std::to_string(partner.session) + " op " +
+                       std::to_string(partner.index);
+  if (!why.empty()) detail += ": " + why;
+  return detail;
+}
+
+void ApplyOp(Tree* tree, const UpdateOp& op, const std::vector<NodeId>& points) {
+  op.Visit(
+      [&](const UpdateOp::InsertDesc& insert) {
+        for (NodeId p : points) {
+          tree->GraftCopy(p, *insert.content, insert.content->root());
+        }
+      },
+      [&](const UpdateOp::DeleteDesc&) {
+        for (NodeId p : points) {
+          // Same guard as UpdateOp::ApplyInPlace: an earlier delete in the
+          // level may have removed a selected subtree containing p.
+          if (tree->alive(p)) tree->DeleteSubtree(p);
+        }
+      });
+}
+
+}  // namespace
+
+std::string_view MergeOutcomeName(MergeOutcome outcome) {
+  switch (outcome) {
+    case MergeOutcome::kAccepted:
+      return "accepted";
+    case MergeOutcome::kSerialized:
+      return "serialized";
+    case MergeOutcome::kRejected:
+      return "rejected";
+  }
+  return "unknown";
+}
+
+JsonValue MergeReport::ToJson() const {
+  JsonValue json = JsonValue::MakeObject();
+  json.Set("ops_total", static_cast<uint64_t>(ops_total));
+  json.Set("accepted", static_cast<uint64_t>(accepted));
+  json.Set("serialized", static_cast<uint64_t>(serialized));
+  json.Set("rejected", static_cast<uint64_t>(rejected));
+  json.Set("levels", static_cast<uint64_t>(levels));
+  json.Set("width", static_cast<uint64_t>(width));
+  json.Set("pairs_checked", static_cast<uint64_t>(pairs_checked));
+  json.Set("pairs_certified", static_cast<uint64_t>(pairs_certified));
+  json.Set("cert_errors", static_cast<uint64_t>(cert_errors));
+  JsonValue op_list = JsonValue::MakeArray();
+  for (const MergeOpReport& op : ops) {
+    JsonValue entry = JsonValue::MakeObject();
+    entry.Set("session", static_cast<uint64_t>(op.session));
+    entry.Set("index", static_cast<uint64_t>(op.index));
+    entry.Set("outcome", MergeOutcomeName(op.outcome));
+    entry.Set("level", static_cast<uint64_t>(op.level));
+    if (!op.detail.empty()) entry.Set("detail", op.detail);
+    op_list.Append(std::move(entry));
+  }
+  json.Set("ops", std::move(op_list));
+  return json;
+}
+
+MergeExecutor::MergeExecutor(Engine* engine, MergeOptions options)
+    : engine_(engine), options_(options) {
+  XMLUP_CHECK(engine_ != nullptr);
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+}
+
+Result<MergeReport> MergeExecutor::Merge(
+    Tree* tree, const std::vector<std::vector<UpdateOp>>& sessions) const {
+  XMLUP_CHECK(tree != nullptr);
+  if (!SameSymbolTable(tree->symbols(), engine_->symbols())) {
+    return Status::InvalidArgument(
+        "merge tree must share the engine's SymbolTable");
+  }
+  obs::TraceSpan span("Merge");
+  auto& registry = obs::MetricsRegistry::Default();
+
+  // Flatten the streams in the serial order (session id, stream index) —
+  // the total order every tie-break below falls back to.
+  std::vector<Slot> slots;
+  for (size_t s = 0; s < sessions.size(); ++s) {
+    for (size_t k = 0; k < sessions[s].size(); ++k) {
+      slots.push_back(Slot{s, k, engine_->Bind(sessions[s][k])});
+    }
+  }
+  const size_t n = slots.size();
+
+  MergeReport report;
+  report.ops_total = n;
+  report.ops.reserve(n);
+  for (const Slot& slot : slots) {
+    MergeOpReport op;
+    op.session = slot.session;
+    op.index = slot.index;
+    report.ops.push_back(std::move(op));
+  }
+
+  // --- Certify all pairs; uncertified pairs become forward edges --------
+  // Edges are built in (i, j) lexicographic order with i < j, so every
+  // edge into a node precedes every edge out of it — the one property the
+  // single forward sweeps below (admission, levels) rely on.
+  std::vector<std::pair<size_t, size_t>> edges;
+  {
+    obs::TraceSpan certify_span("Merge.certify");
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        ++report.pairs_checked;
+        const Result<IndependenceReport> cert =
+            engine_->CertifyCommute(slots[i].op, slots[j].op);
+        std::string why;
+        if (!cert.ok()) {
+          // Soundness: a failed certificate call is never an independence
+          // claim — the pair is ordered like any uncertified one.
+          ++report.cert_errors;
+          why = cert.status().ToString();
+        } else if (cert->certificate == CommutativityCertificate::kCertified) {
+          ++report.pairs_certified;
+          continue;
+        } else {
+          why = cert->detail;
+        }
+        edges.emplace_back(i, j);
+        if (slots[i].session != slots[j].session) {
+          if (report.ops[i].detail.empty()) {
+            report.ops[i].detail = PartnerDetail(slots[j], why);
+          }
+          if (report.ops[j].detail.empty()) {
+            report.ops[j].detail = PartnerDetail(slots[i], why);
+          }
+        }
+      }
+    }
+  }
+
+  // --- Admission (kReject): first committer wins -------------------------
+  // Greedy scan in serial order: an op with an uncertified cross-session
+  // pair against an earlier *admitted* op is dropped. Processing edges in
+  // their (i, j) order is exactly that scan — rejected[i] is final before
+  // any edge out of i is seen.
+  std::vector<char> rejected(n, 0);
+  if (options_.policy == ConflictPolicy::kReject) {
+    for (const auto& [i, j] : edges) {
+      if (slots[i].session == slots[j].session) continue;
+      if (!rejected[i]) rejected[j] = 1;
+    }
+  }
+
+  // --- Wavefront levels (the lint partitioner's construction) ------------
+  // Forward edges in index order settle all longest paths in one sweep;
+  // ops sharing a level have no edge between them, i.e. every pair in a
+  // level is certified to commute.
+  std::vector<size_t> level(n, 0);
+  for (const auto& [i, j] : edges) {
+    if (rejected[i] || rejected[j]) continue;
+    level[j] = std::max(level[j], level[i] + 1);
+  }
+  size_t num_levels = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!rejected[i]) num_levels = std::max(num_levels, level[i] + 1);
+  }
+  std::vector<std::vector<size_t>> batches(num_levels);
+  for (size_t i = 0; i < n; ++i) {
+    if (!rejected[i]) batches[level[i]].push_back(i);
+  }
+
+  // --- Outcomes ----------------------------------------------------------
+  // Serialized = an uncertified cross-session pair between two *executed*
+  // ops (under kReject such a pair cannot survive admission, so every
+  // executed op there is accepted).
+  std::vector<char> serialized(n, 0);
+  for (const auto& [i, j] : edges) {
+    if (slots[i].session == slots[j].session) continue;
+    if (rejected[i] || rejected[j]) continue;
+    serialized[i] = serialized[j] = 1;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    MergeOpReport& op = report.ops[i];
+    if (rejected[i]) {
+      op.outcome = MergeOutcome::kRejected;
+      ++report.rejected;
+      continue;
+    }
+    op.level = level[i];
+    if (serialized[i]) {
+      op.outcome = MergeOutcome::kSerialized;
+      ++report.serialized;
+    } else {
+      op.outcome = MergeOutcome::kAccepted;
+      op.detail.clear();  // a detail recorded against a rejected partner
+      ++report.accepted;
+    }
+  }
+  report.levels = num_levels;
+  for (const auto& batch : batches) {
+    report.width = std::max(report.width, batch.size());
+  }
+
+  // --- Execute ------------------------------------------------------------
+  // Split-phase per level: evaluations of the level's patterns run in
+  // parallel against the pre-level tree (read-only), then mutations apply
+  // serially in serial order. Within a level every pair is certified, so
+  // no mutation in the level changes another member's selected set — the
+  // precomputed points equal the points each op would see at its serial
+  // position. The path is the same for every num_threads, which is what
+  // makes reports and trees bit-identical at 1 vs 8 threads.
+  {
+    obs::TraceSpan execute_span("Merge.execute");
+    std::vector<std::vector<NodeId>> points(n);
+    for (const auto& batch : batches) {
+      obs::TraceSpan level_span("Merge.level");
+      ParallelFor(pool_.get(), batch.size(), [&](size_t k) {
+        const Slot& slot = slots[batch[k]];
+        points[batch[k]] = Evaluate(slot.op.pattern(), *tree);
+      });
+      for (size_t idx : batch) {
+        ApplyOp(tree, slots[idx].op, points[idx]);
+      }
+    }
+  }
+
+  registry.GetCounter("merge.merges").Increment();
+  registry.GetCounter("merge.ops").Increment(report.ops_total);
+  registry.GetCounter("merge.accepted").Increment(report.accepted);
+  registry.GetCounter("merge.serialized").Increment(report.serialized);
+  registry.GetCounter("merge.rejected").Increment(report.rejected);
+  registry.GetCounter("merge.levels").Increment(report.levels);
+  registry.GetCounter("merge.pairs_checked").Increment(report.pairs_checked);
+  registry.GetCounter("merge.pairs_certified")
+      .Increment(report.pairs_certified);
+  registry.GetCounter("merge.cert_errors").Increment(report.cert_errors);
+  registry.GetHistogram("merge.width").Observe(report.width);
+  return report;
+}
+
+void ApplySerialReference(Tree* tree,
+                          const std::vector<std::vector<UpdateOp>>& sessions,
+                          const MergeReport& report) {
+  XMLUP_CHECK(tree != nullptr);
+  for (const MergeOpReport& op : report.ops) {
+    if (op.outcome == MergeOutcome::kRejected) continue;
+    XMLUP_CHECK(op.session < sessions.size() &&
+                op.index < sessions[op.session].size());
+    sessions[op.session][op.index].ApplyInPlace(tree);
+  }
+}
+
+}  // namespace xmlup

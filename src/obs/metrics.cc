@@ -42,8 +42,13 @@ void AppendJsonString(std::string* out, std::string_view s) {
 }  // namespace
 
 double HistogramData::Quantile(double q) const {
-  if (count == 0) return 0.0;
-  if (q < 0.0) q = 0.0;
+  // Defined answers for every input: an empty histogram (or one whose
+  // sparse bucket list is empty — a racy snapshot diff can produce
+  // count > 0 with no buckets) is 0, and q clamps into [0, 1]. The NaN
+  // comparison is written negatively so NaN clamps to 0 instead of
+  // falling through every bucket to the tail bound.
+  if (count == 0 || buckets.empty()) return 0.0;
+  if (!(q >= 0.0)) q = 0.0;
   if (q > 1.0) q = 1.0;
   const double rank = q * static_cast<double>(count);
   uint64_t cumulative = 0;

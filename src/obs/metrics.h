@@ -86,7 +86,10 @@ struct HistogramData {
   /// For data uniform over [1, N] this is exact to within rounding; see
   /// obs_test for the pinned values. Returns 0 for an empty histogram and
   /// the tail bucket's lower bound when the rank lands in the unbounded
-  /// tail.
+  /// tail. Total on every input: q outside [0, 1] (NaN included) clamps
+  /// into the range, and data with no buckets — even with a nonzero
+  /// count, as a racy DiffSince can produce — answers 0 rather than
+  /// reading past the bucket list.
   double Quantile(double q) const;
 
   double Mean() const {

@@ -1,0 +1,158 @@
+// Differential test of the two update-application semantics (paper §3):
+// for randomized (tree, op) pairs, ApplyInPlace on a copy and
+// ApplyFunctional on the original must produce ordered-equal documents,
+// and — because CopyTree is a deterministic preorder copy, so two copies
+// of one tree assign identical NodeIds — the Applied sets (insertion /
+// deletion points, copy roots) must match node-for-node across copies.
+// ApplyFunctional must leave its input untouched, and UpdateOp's
+// ApplyInPlace must agree with the underlying InsertOp/DeleteOp.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "conflict/update_op.h"
+#include "gtest/gtest.h"
+#include "ops/operations.h"
+#include "tests/test_util.h"
+#include "workload/pattern_generator.h"
+#include "workload/tree_generator.h"
+#include "xml/isomorphism.h"
+#include "xml/tree_algos.h"
+
+namespace xmlup {
+namespace {
+
+using testing_util::NewSymbols;
+
+class ApplyDifferentialTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<SymbolTable> symbols_ = NewSymbols();
+};
+
+TEST_F(ApplyDifferentialTest, InsertInPlaceMatchesFunctional) {
+  const std::vector<Label> alphabet =
+      RandomTreeGenerator::MakeAlphabet(symbols_.get(), 4);
+  TreeGenOptions tree_options;
+  tree_options.target_size = 12;
+  tree_options.alphabet = alphabet;
+  TreeGenOptions content_options;
+  content_options.target_size = 4;
+  content_options.alphabet = alphabet;
+  PatternGenOptions pattern_options;
+  pattern_options.size = 3;
+  pattern_options.wildcard_prob = 0.2;
+  pattern_options.descendant_prob = 0.3;
+  pattern_options.alphabet = alphabet;
+  const RandomTreeGenerator trees(symbols_, tree_options);
+  const RandomTreeGenerator content(symbols_, content_options);
+  const RandomPatternGenerator patterns(symbols_, pattern_options);
+
+  Rng rng(7001);
+  for (int trial = 0; trial < 150; ++trial) {
+    SCOPED_TRACE("trial=" + std::to_string(trial));
+    const Tree base = trees.Generate(&rng);
+    const InsertOp op(patterns.GenerateBranching(&rng),
+                      std::make_shared<const Tree>(content.Generate(&rng)));
+
+    // Two deterministic copies share NodeIds, so the Applied sets of an
+    // in-place run on either copy are directly comparable.
+    Tree mutated = CopyTree(base);
+    const InsertOp::Applied applied = op.ApplyInPlace(&mutated);
+
+    const std::string before = CanonicalCode(base);
+    const Tree functional = op.ApplyFunctional(base);
+    EXPECT_EQ(CanonicalCode(base), before);  // input untouched
+
+    EXPECT_TRUE(OrderedEqual(mutated, functional));
+
+    Tree again = CopyTree(base);
+    const InsertOp::Applied replay = op.ApplyInPlace(&again);
+    EXPECT_EQ(applied.insertion_points, replay.insertion_points);
+    EXPECT_EQ(applied.copy_roots, replay.copy_roots);
+    ASSERT_EQ(applied.insertion_points.size(), applied.copy_roots.size());
+  }
+}
+
+TEST_F(ApplyDifferentialTest, DeleteInPlaceMatchesFunctional) {
+  const std::vector<Label> alphabet =
+      RandomTreeGenerator::MakeAlphabet(symbols_.get(), 3);
+  TreeGenOptions tree_options;
+  tree_options.target_size = 12;
+  tree_options.alphabet = alphabet;
+  PatternGenOptions pattern_options;
+  pattern_options.size = 3;
+  pattern_options.wildcard_prob = 0.3;
+  pattern_options.descendant_prob = 0.4;
+  pattern_options.alphabet = alphabet;
+  const RandomTreeGenerator trees(symbols_, tree_options);
+  const RandomPatternGenerator patterns(symbols_, pattern_options);
+
+  Rng rng(7002);
+  for (int trial = 0; trial < 150; ++trial) {
+    SCOPED_TRACE("trial=" + std::to_string(trial));
+    const Tree base = trees.Generate(&rng);
+    Result<DeleteOp> op =
+        DeleteOp::Make(patterns.GenerateBranchingNonRootOutput(&rng));
+    ASSERT_TRUE(op.ok()) << op.status();
+
+    Tree mutated = CopyTree(base);
+    const DeleteOp::Applied applied = op->ApplyInPlace(&mutated);
+
+    const std::string before = CanonicalCode(base);
+    const Tree functional = op->ApplyFunctional(base);
+    EXPECT_EQ(CanonicalCode(base), before);
+
+    EXPECT_TRUE(OrderedEqual(mutated, functional));
+
+    Tree again = CopyTree(base);
+    const DeleteOp::Applied replay = op->ApplyInPlace(&again);
+    EXPECT_EQ(applied.deletion_points, replay.deletion_points);
+  }
+}
+
+TEST_F(ApplyDifferentialTest, UpdateOpAgreesWithUnderlyingOps) {
+  // UpdateOp::ApplyInPlace is the merge executor's serial-oracle primitive;
+  // it must match the ops-layer semantics exactly.
+  const std::vector<Label> alphabet =
+      RandomTreeGenerator::MakeAlphabet(symbols_.get(), 4);
+  TreeGenOptions tree_options;
+  tree_options.target_size = 10;
+  tree_options.alphabet = alphabet;
+  TreeGenOptions content_options;
+  content_options.target_size = 3;
+  content_options.alphabet = alphabet;
+  PatternGenOptions pattern_options;
+  pattern_options.size = 3;
+  pattern_options.wildcard_prob = 0.2;
+  pattern_options.descendant_prob = 0.3;
+  pattern_options.alphabet = alphabet;
+  const RandomTreeGenerator trees(symbols_, tree_options);
+  const RandomTreeGenerator content(symbols_, content_options);
+  const RandomPatternGenerator patterns(symbols_, pattern_options);
+
+  Rng rng(7003);
+  for (int trial = 0; trial < 100; ++trial) {
+    SCOPED_TRACE("trial=" + std::to_string(trial));
+    const Tree base = trees.Generate(&rng);
+    Tree via_update = CopyTree(base);
+    Tree via_ops = CopyTree(base);
+    if (rng.NextBool(0.5)) {
+      const Pattern pattern = patterns.GenerateBranching(&rng);
+      const auto x = std::make_shared<const Tree>(content.Generate(&rng));
+      UpdateOp::MakeInsert(pattern, x).ApplyInPlace(&via_update);
+      InsertOp(pattern, x).ApplyInPlace(&via_ops);
+    } else {
+      const Pattern pattern = patterns.GenerateBranchingNonRootOutput(&rng);
+      Result<UpdateOp> update = UpdateOp::MakeDelete(pattern);
+      Result<DeleteOp> op = DeleteOp::Make(pattern);
+      ASSERT_TRUE(update.ok() && op.ok());
+      update->ApplyInPlace(&via_update);
+      op->ApplyInPlace(&via_ops);
+    }
+    EXPECT_TRUE(OrderedEqual(via_update, via_ops));
+  }
+}
+
+}  // namespace
+}  // namespace xmlup

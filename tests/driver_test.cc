@@ -62,6 +62,7 @@ void ExpectSameOutcome(const DriverReport& a, const DriverReport& b) {
     EXPECT_FALSE(a.phases[p].truncated);
     EXPECT_FALSE(b.phases[p].truncated);
     EXPECT_EQ(a.phases[p].verdicts, b.phases[p].verdicts);
+    EXPECT_EQ(a.phases[p].merge, b.phases[p].merge);
   }
   EXPECT_EQ(a.total_verdicts, b.total_verdicts);
 }
@@ -321,6 +322,121 @@ TEST(DriverTest, ReportCarriesThroughputLatencyAndMetrics) {
   EXPECT_NE(json.Find("phases"), nullptr);
   EXPECT_EQ(json.Find("phases")->AsArray().size(), report.phases.size());
   EXPECT_NE(json.Find("total_verdicts"), nullptr);
+}
+
+/// A kind:"merge" phase: each of the 6 units merges 3 concurrent sessions
+/// of 2 ops through the MergeExecutor.
+constexpr char kMergeSpecText[] = R"({
+  "name": "merge-test",
+  "seed": 11,
+  "generator": {
+    "alphabet_size": 3,
+    "tree": {"target_size": 8, "max_depth": 5},
+    "pattern": {"size": 3, "wildcard_prob": 0.2, "descendant_prob": 0.3}
+  },
+  "phases": [
+    {"name": "merge", "mode": "closed", "kind": "merge", "workers": 2,
+     "ops": 6, "merge": {"sessions": 3, "ops_per_session": 2, "threads": 2}}
+  ]
+})";
+
+TEST(DriverSpecTest, MergeSpecRoundTripsAndValidates) {
+  const WorkloadSpec spec = Spec(kMergeSpecText);
+  ASSERT_EQ(spec.phases.size(), 1u);
+  EXPECT_EQ(spec.phases[0].kind, PhaseKind::kMerge);
+  EXPECT_EQ(spec.phases[0].merge.sessions, 3u);
+  EXPECT_EQ(spec.phases[0].merge.ops_per_session, 2u);
+  EXPECT_EQ(spec.phases[0].merge.threads, 2u);
+  EXPECT_FALSE(spec.phases[0].merge.reject);
+  Result<WorkloadSpec> reparsed = WorkloadSpec::FromJson(spec.ToJson());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(*reparsed, spec);
+
+  auto fails = [](const std::string& text) {
+    return !WorkloadSpec::Parse(text).ok();
+  };
+  EXPECT_TRUE(fails(R"({"phases": [{"kind": "mrege"}]})"));
+  // Merge phases don't draw from a mix; ops phases don't take a merge
+  // block.
+  EXPECT_TRUE(fails(
+      R"({"phases": [{"kind": "merge", "mix": {"insert": 1}}]})"));
+  EXPECT_TRUE(fails(
+      R"({"phases": [{"merge": {"sessions": 2}}]})"));
+  EXPECT_TRUE(fails(
+      R"({"phases": [{"kind": "merge", "merge": {"sessions": 0}}]})"));
+  EXPECT_TRUE(fails(
+      R"({"phases": [{"kind": "merge", "merge": {"ops_per_session": 0}}]})"));
+  // A bare merge phase (defaults for the merge block) is valid.
+  EXPECT_FALSE(fails(R"({"phases": [{"kind": "merge"}]})"));
+}
+
+TEST(DriverTest, MergePhaseRunsDeterministically) {
+  // Merge tallies, like verdict tallies, are a function of (spec, seed)
+  // alone. The engines cap the certificate search budget: inconclusive
+  // pairs then serialize instead of burning the full witness-search
+  // bound, which changes nothing about what this test checks.
+  auto run = [](size_t workers) {
+    WorkloadSpec spec = Spec(kMergeSpecText);
+    spec.phases[0].workers = workers;
+    EngineOptions options;
+    options.batch.detector.search.max_trees = 2'000;
+    options.batch.detector.build_witness = false;
+    Engine engine(std::make_shared<SymbolTable>(), std::move(options));
+    Driver driver(&engine, spec);
+    Result<DriverReport> report = driver.Run();
+    EXPECT_TRUE(report.ok()) << report.status();
+    return *report;
+  };
+  const DriverReport serial = run(1);
+  const DriverReport parallel = run(4);
+  ExpectSameOutcome(serial, parallel);
+
+  ASSERT_EQ(serial.phases.size(), 1u);
+  const MergeTally& merge = serial.phases[0].merge;
+  EXPECT_EQ(serial.phases[0].ops_completed, 6u);
+  EXPECT_EQ(merge.errors, 0u);
+  EXPECT_EQ(merge.merges, 6u);
+  EXPECT_EQ(merge.ops_total, 6u * 3u * 2u);
+  // The tally accounting identity the bench validator also enforces.
+  EXPECT_EQ(merge.accepted + merge.serialized + merge.rejected,
+            merge.ops_total);
+
+  // The merge block reaches the phase's JSON report.
+  const JsonValue json = serial.phases[0].ToJson();
+  ASSERT_NE(json.Find("merge"), nullptr);
+  EXPECT_NE(json.Find("merge")->Find("merges"), nullptr);
+}
+
+TEST(DriverTest, OpenLoopOverloadStaysAnchored) {
+  // Deliberately overloaded open loop: 150 arrivals scheduled 1µs apart
+  // (rate 1e6/s) against a single worker whose per-op service time is
+  // orders of magnitude larger. The pacer must keep waits anchored to the
+  // phase start — never re-anchoring to "now", never hanging on a
+  // negative wait — so the phase completes every op, and each op's
+  // latency is measured from its *scheduled* arrival (coordinated-
+  // omission-safe): queueing delay accumulates linearly and the mean
+  // approaches half the wall time. A drifting pacer would instead report
+  // per-op service times, collapsing the mean to wall/ops.
+  WorkloadSpec spec = Spec(R"({
+    "seed": 5,
+    "generator": {"pattern": {"size": 4}, "tree": {"target_size": 8}},
+    "phases": [{"name": "overload", "mode": "open", "workers": 1,
+                "ops": 150, "arrival_rate": 1000000.0,
+                "mix": {"insert": 0.5, "delete": 0.5, "edit": 0}}]
+  })");
+  Engine engine;
+  Driver driver(&engine, spec);
+  Result<DriverReport> report = driver.Run();
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->phases.size(), 1u);
+  const PhaseReport& phase = report->phases[0];
+  EXPECT_FALSE(phase.truncated);
+  EXPECT_EQ(phase.ops_completed, 150u);
+  EXPECT_EQ(phase.latency.count, 150u);
+  const double wall_us = phase.wall_seconds * 1e6;
+  EXPECT_GT(phase.latency.mean_us, 0.2 * wall_us);
+  EXPECT_LE(phase.latency.mean_us,
+            static_cast<double>(phase.latency.max_us));
 }
 
 TEST(DriverTest, MaxDurationTruncatesInsteadOfHanging) {

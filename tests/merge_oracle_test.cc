@@ -1,0 +1,176 @@
+// The merge executor's correctness harness (the tinyqv ris-test idiom):
+// generate random concurrent schedules — a seed tree plus N per-session
+// update streams — run the conflict-aware merge, and compare the merged
+// tree's canonical code against a sequential reference execution of the
+// same admitted ops in serial order. Every schedule additionally runs at
+// 1 and 8 evaluation threads and must produce byte-identical reports and
+// merged trees (the executor's determinism contract).
+//
+// Coverage: >= 200 schedules across session counts {2, 4, 8}, two
+// conflict regimes (a wide alphabet with few wildcards barely collides; a
+// 2-letter alphabet with frequent wildcards and descendant edges collides
+// constantly), and both conflict policies.
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "engine/engine.h"
+#include "gtest/gtest.h"
+#include "merge/merge_executor.h"
+#include "tests/test_util.h"
+#include "workload/pattern_generator.h"
+#include "workload/tree_generator.h"
+#include "xml/isomorphism.h"
+#include "xml/tree_algos.h"
+
+namespace xmlup {
+namespace {
+
+using testing_util::NewSymbols;
+
+struct Regime {
+  const char* name;
+  size_t alphabet = 8;
+  double wildcard_prob = 0.05;
+  double descendant_prob = 0.2;
+};
+
+constexpr Regime kLowConflict = {"low", 8, 0.05, 0.2};
+constexpr Regime kHighConflict = {"high", 2, 0.3, 0.5};
+
+/// The harness runs thousands of certificate calls; the default bounded-
+/// search budget (2M trees per inconclusive pair) would dominate the
+/// suite's runtime without changing what it tests. Capping the budget is
+/// sound — pairs the search can no longer settle come back kUnknown and
+/// the executor serializes them, which the oracle covers anyway — and
+/// witness construction is verdict-irrelevant.
+EngineOptions FastCertOptions() {
+  EngineOptions options;
+  options.batch.detector.search.max_trees = 2'000;
+  options.batch.detector.build_witness = false;
+  return options;
+}
+
+class MergeOracleTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<SymbolTable> symbols_ = NewSymbols();
+  Engine engine_{symbols_, FastCertOptions()};
+
+  UpdateOp RandomOp(const RandomPatternGenerator& patterns,
+                    const RandomTreeGenerator& content, Rng* rng) {
+    if (rng->NextBool(0.5)) {
+      return UpdateOp::MakeInsert(
+          patterns.GenerateBranching(rng),
+          std::make_shared<const Tree>(content.Generate(rng)));
+    }
+    Result<UpdateOp> del =
+        UpdateOp::MakeDelete(patterns.GenerateBranchingNonRootOutput(rng));
+    EXPECT_TRUE(del.ok());  // non-root output by construction
+    return *std::move(del);
+  }
+
+  /// Runs `schedules` random schedules with `num_sessions` streams under
+  /// `regime`, checking every schedule against the serial oracle and the
+  /// 1-vs-8-thread determinism contract.
+  void RunSweep(const Regime& regime, size_t num_sessions, size_t schedules,
+                ConflictPolicy policy, uint64_t seed) {
+    const std::vector<Label> alphabet =
+        RandomTreeGenerator::MakeAlphabet(symbols_.get(), regime.alphabet);
+    TreeGenOptions tree_options;
+    tree_options.target_size = 10;
+    tree_options.alphabet = alphabet;
+    TreeGenOptions content_options;
+    content_options.target_size = 3;
+    content_options.alphabet = alphabet;
+    PatternGenOptions pattern_options;
+    pattern_options.size = 3;
+    pattern_options.wildcard_prob = regime.wildcard_prob;
+    pattern_options.descendant_prob = regime.descendant_prob;
+    pattern_options.alphabet = alphabet;
+    const RandomTreeGenerator trees(symbols_, tree_options);
+    const RandomTreeGenerator content(symbols_, content_options);
+    const RandomPatternGenerator patterns(symbols_, pattern_options);
+
+    MergeOptions one;
+    one.num_threads = 1;
+    one.policy = policy;
+    MergeOptions eight;
+    eight.num_threads = 8;
+    eight.policy = policy;
+    const MergeExecutor ex1(&engine_, one);
+    const MergeExecutor ex8(&engine_, eight);
+
+    Rng rng(seed);
+    size_t serialized_total = 0;
+    for (size_t schedule = 0; schedule < schedules; ++schedule) {
+      SCOPED_TRACE(std::string(regime.name) + " sessions=" +
+                   std::to_string(num_sessions) +
+                   " schedule=" + std::to_string(schedule));
+      const Tree seed_tree = trees.Generate(&rng);
+      std::vector<std::vector<UpdateOp>> sessions(num_sessions);
+      for (auto& stream : sessions) {
+        const size_t ops = 2 + rng.NextBounded(2);  // 2-3 ops per session
+        for (size_t k = 0; k < ops; ++k) {
+          stream.push_back(RandomOp(patterns, content, &rng));
+        }
+      }
+
+      Tree merged1 = CopyTree(seed_tree);
+      Result<MergeReport> r1 = ex1.Merge(&merged1, sessions);
+      ASSERT_TRUE(r1.ok()) << r1.status();
+      Tree merged8 = CopyTree(seed_tree);
+      Result<MergeReport> r8 = ex8.Merge(&merged8, sessions);
+      ASSERT_TRUE(r8.ok()) << r8.status();
+
+      // Determinism: reports and trees byte-identical across thread counts.
+      ASSERT_EQ(WriteJson(r1->ToJson()), WriteJson(r8->ToJson()));
+      ASSERT_TRUE(OrderedEqual(merged1, merged8));
+
+      // The serial oracle: the same admitted ops applied one at a time in
+      // (session, index) order must give a value-equal document.
+      Tree reference = CopyTree(seed_tree);
+      ApplySerialReference(&reference, sessions, *r1);
+      ASSERT_EQ(CanonicalCode(merged1), CanonicalCode(reference));
+
+      ASSERT_EQ(r1->accepted + r1->serialized + r1->rejected, r1->ops_total);
+      ASSERT_EQ(r1->cert_errors, 0u);
+      serialized_total += r1->serialized + r1->rejected;
+    }
+    if (regime.alphabet <= 2) {
+      // The high-conflict regime must actually exercise the conflict
+      // paths; an all-accepted sweep would be testing nothing.
+      EXPECT_GT(serialized_total, 0u);
+    }
+  }
+};
+
+TEST_F(MergeOracleTest, LowConflictSessions2) {
+  RunSweep(kLowConflict, 2, 40, ConflictPolicy::kSerialize, 101);
+}
+TEST_F(MergeOracleTest, LowConflictSessions4) {
+  RunSweep(kLowConflict, 4, 25, ConflictPolicy::kSerialize, 102);
+}
+TEST_F(MergeOracleTest, LowConflictSessions8) {
+  RunSweep(kLowConflict, 8, 10, ConflictPolicy::kSerialize, 103);
+}
+TEST_F(MergeOracleTest, HighConflictSessions2) {
+  RunSweep(kHighConflict, 2, 40, ConflictPolicy::kSerialize, 201);
+}
+TEST_F(MergeOracleTest, HighConflictSessions4) {
+  RunSweep(kHighConflict, 4, 25, ConflictPolicy::kSerialize, 202);
+}
+TEST_F(MergeOracleTest, HighConflictSessions8) {
+  RunSweep(kHighConflict, 8, 10, ConflictPolicy::kSerialize, 203);
+}
+TEST_F(MergeOracleTest, RejectPolicyLowConflict) {
+  RunSweep(kLowConflict, 4, 20, ConflictPolicy::kReject, 301);
+}
+TEST_F(MergeOracleTest, RejectPolicyHighConflict) {
+  RunSweep(kHighConflict, 2, 20, ConflictPolicy::kReject, 302);
+  RunSweep(kHighConflict, 4, 15, ConflictPolicy::kReject, 303);
+}
+
+}  // namespace
+}  // namespace xmlup

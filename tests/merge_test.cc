@@ -1,0 +1,211 @@
+#include "merge/merge_executor.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "engine/engine.h"
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "tests/test_util.h"
+#include "xml/isomorphism.h"
+#include "xml/tree_algos.h"
+
+namespace xmlup {
+namespace {
+
+using testing_util::NewSymbols;
+using testing_util::Xml;
+using testing_util::Xp;
+
+class MergeTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<SymbolTable> symbols_ = NewSymbols();
+  Engine engine_{symbols_};
+
+  UpdateOp Ins(const char* pattern, const char* x) {
+    return UpdateOp::MakeInsert(
+        Xp(pattern, symbols_),
+        std::make_shared<const Tree>(Xml(x, symbols_)));
+  }
+  UpdateOp Del(const char* pattern) {
+    return std::move(UpdateOp::MakeDelete(Xp(pattern, symbols_)).value());
+  }
+
+  /// Merges `sessions` into a fresh parse of `seed` and checks the merged
+  /// tree against the serial reference; returns the report.
+  MergeReport MergeChecked(const char* seed,
+                           const std::vector<std::vector<UpdateOp>>& sessions,
+                           MergeOptions options = {}) {
+    const MergeExecutor executor(&engine_, options);
+    Tree merged = Xml(seed, symbols_);
+    Result<MergeReport> report = executor.Merge(&merged, sessions);
+    EXPECT_TRUE(report.ok()) << report.status();
+    Tree reference = Xml(seed, symbols_);
+    ApplySerialReference(&reference, sessions, *report);
+    EXPECT_EQ(CanonicalCode(merged), CanonicalCode(reference));
+    EXPECT_EQ(report->accepted + report->serialized + report->rejected,
+              report->ops_total);
+    return *std::move(report);
+  }
+};
+
+TEST_F(MergeTest, DisjointSessionsAllAccepted) {
+  std::vector<std::vector<UpdateOp>> sessions = {
+      {Ins("shop/a", "<m/>")},
+      {Ins("shop/b", "<n/>")},
+  };
+  const MergeReport report =
+      MergeChecked("<shop><a/><b/></shop>", sessions);
+  EXPECT_EQ(report.ops_total, 2u);
+  EXPECT_EQ(report.accepted, 2u);
+  EXPECT_EQ(report.serialized, 0u);
+  EXPECT_EQ(report.rejected, 0u);
+  EXPECT_EQ(report.levels, 1u);
+  EXPECT_EQ(report.width, 2u);
+  EXPECT_EQ(report.pairs_checked, 1u);
+  EXPECT_EQ(report.pairs_certified, 1u);
+  for (const MergeOpReport& op : report.ops) {
+    EXPECT_EQ(op.outcome, MergeOutcome::kAccepted);
+    EXPECT_EQ(op.level, 0u);
+    EXPECT_TRUE(op.detail.empty());
+  }
+}
+
+TEST_F(MergeTest, CrossSessionConflictSerializesInSessionOrder) {
+  // Session 0 inserts a fresh b under shop; session 1 inserts under shop/b
+  // — its selected set depends on whether session 0 ran first. The
+  // certificate cannot clear the pair, so both ops serialize and span two
+  // levels, and the merged tree must equal session 0 before session 1.
+  std::vector<std::vector<UpdateOp>> sessions = {
+      {Ins("shop", "<b/>")},
+      {Ins("shop/b", "<c/>")},
+  };
+  const MergeReport report = MergeChecked("<shop><b/></shop>", sessions);
+  EXPECT_EQ(report.ops_total, 2u);
+  EXPECT_EQ(report.accepted, 0u);
+  EXPECT_EQ(report.serialized, 2u);
+  EXPECT_EQ(report.levels, 2u);
+  EXPECT_EQ(report.width, 1u);
+  EXPECT_EQ(report.ops[0].level, 0u);
+  EXPECT_EQ(report.ops[1].level, 1u);
+  EXPECT_FALSE(report.ops[0].detail.empty());
+  EXPECT_FALSE(report.ops[1].detail.empty());
+}
+
+TEST_F(MergeTest, RejectPolicyDropsLaterConflictingOp) {
+  std::vector<std::vector<UpdateOp>> sessions = {
+      {Ins("shop", "<b/>")},
+      {Ins("shop/b", "<c/>")},
+  };
+  MergeOptions options;
+  options.policy = ConflictPolicy::kReject;
+  const MergeReport report =
+      MergeChecked("<shop><b/></shop>", sessions, options);
+  EXPECT_EQ(report.ops_total, 2u);
+  EXPECT_EQ(report.accepted, 1u);
+  EXPECT_EQ(report.serialized, 0u);
+  EXPECT_EQ(report.rejected, 1u);
+  EXPECT_EQ(report.ops[0].outcome, MergeOutcome::kAccepted);
+  EXPECT_EQ(report.ops[1].outcome, MergeOutcome::kRejected);
+  // The survivor runs conflict-free, so the whole merge is one level.
+  EXPECT_EQ(report.levels, 1u);
+}
+
+TEST_F(MergeTest, SameSessionConflictKeepsProgramOrderButStaysAccepted) {
+  // Both ops are in one session: program order pins them to two levels,
+  // but there is no cross-session conflict, so neither is "serialized".
+  std::vector<std::vector<UpdateOp>> sessions = {
+      {Ins("shop", "<b/>"), Ins("shop/b", "<c/>")},
+  };
+  const MergeReport report = MergeChecked("<shop><b/></shop>", sessions);
+  EXPECT_EQ(report.accepted, 2u);
+  EXPECT_EQ(report.serialized, 0u);
+  EXPECT_EQ(report.levels, 2u);
+}
+
+TEST_F(MergeTest, EmptyMergeIsANoOp) {
+  const MergeExecutor executor(&engine_);
+  Tree tree = Xml("<shop><a/></shop>", symbols_);
+  const std::string before = CanonicalCode(tree);
+  Result<MergeReport> report = executor.Merge(&tree, {});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->ops_total, 0u);
+  EXPECT_EQ(report->levels, 0u);
+  EXPECT_EQ(CanonicalCode(tree), before);
+}
+
+TEST_F(MergeTest, ForeignSymbolTableRejected) {
+  const MergeExecutor executor(&engine_);
+  auto other = NewSymbols();
+  Tree tree = Xml("<shop/>", other);
+  Result<MergeReport> report = executor.Merge(&tree, {});
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(MergeTest, ThreadCountChangesNothing) {
+  // The executor's determinism contract: schedule, report and merged tree
+  // are bit-identical at 1 and 8 threads (threads only parallelize the
+  // read-only evaluation phase).
+  std::vector<std::vector<UpdateOp>> sessions = {
+      {Ins("shop/a", "<m/>"), Del("shop/a/m")},
+      {Ins("shop", "<b/>"), Ins("shop/b", "<c/>")},
+      {Ins("shop/c", "<n/>")},
+  };
+  const char* seed = "<shop><a><m/></a><b/><c/></shop>";
+  MergeOptions one;
+  one.num_threads = 1;
+  MergeOptions eight;
+  eight.num_threads = 8;
+
+  const MergeExecutor ex1(&engine_, one);
+  const MergeExecutor ex8(&engine_, eight);
+  Tree t1 = Xml(seed, symbols_);
+  Tree t8 = Xml(seed, symbols_);
+  Result<MergeReport> r1 = ex1.Merge(&t1, sessions);
+  Result<MergeReport> r8 = ex8.Merge(&t8, sessions);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r8.ok());
+  EXPECT_EQ(WriteJson(r1->ToJson()), WriteJson(r8->ToJson()));
+  EXPECT_TRUE(OrderedEqual(t1, t8));
+}
+
+TEST_F(MergeTest, ReportJsonShape) {
+  std::vector<std::vector<UpdateOp>> sessions = {
+      {Ins("shop/a", "<m/>")},
+      {Ins("shop/b", "<n/>")},
+  };
+  const MergeReport report = MergeChecked("<shop><a/><b/></shop>", sessions);
+  const JsonValue json = report.ToJson();
+  for (const char* key :
+       {"ops_total", "accepted", "serialized", "rejected", "levels", "width",
+        "pairs_checked", "pairs_certified", "cert_errors", "ops"}) {
+    EXPECT_NE(json.Find(key), nullptr) << key;
+  }
+  ASSERT_NE(json.Find("ops"), nullptr);
+  EXPECT_EQ(json.Find("ops")->AsArray().size(), report.ops_total);
+  const JsonValue& first = json.Find("ops")->AsArray()[0];
+  EXPECT_NE(first.Find("session"), nullptr);
+  EXPECT_NE(first.Find("index"), nullptr);
+  EXPECT_NE(first.Find("outcome"), nullptr);
+  EXPECT_NE(first.Find("level"), nullptr);
+}
+
+TEST_F(MergeTest, CountersAdvance) {
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Default().Snapshot();
+  std::vector<std::vector<UpdateOp>> sessions = {
+      {Ins("shop/a", "<m/>")},
+      {Ins("shop/b", "<n/>")},
+  };
+  MergeChecked("<shop><a/><b/></shop>", sessions);
+  const obs::MetricsSnapshot delta =
+      obs::MetricsRegistry::Default().Snapshot().DiffSince(before);
+  EXPECT_EQ(delta.counters.at("merge.merges"), 1u);
+  EXPECT_EQ(delta.counters.at("merge.ops"), 2u);
+  EXPECT_EQ(delta.counters.at("merge.pairs_checked"), 1u);
+}
+
+}  // namespace
+}  // namespace xmlup

@@ -253,6 +253,17 @@ TEST(HistogramDataTest, QuantileEdgeCases) {
   tail.Observe(100);
   tail.Observe(std::numeric_limits<uint64_t>::max());
   EXPECT_DOUBLE_EQ(tail.Data().Quantile(0.99), 127.0);
+
+  // NaN clamps to q=0 like any other out-of-range input — it must not
+  // fall through every bucket comparison to the tail bound.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DOUBLE_EQ(h.Data().Quantile(nan), h.Data().Quantile(0.0));
+
+  // A racy DiffSince can yield count > 0 with an empty sparse bucket
+  // list; that must degrade to 0, not read past the end.
+  HistogramData racy;
+  racy.count = 3;
+  EXPECT_DOUBLE_EQ(racy.Quantile(0.5), 0.0);
 }
 
 TEST(HistogramDataTest, DiffSinceSubtractsBuckets) {

@@ -1,5 +1,7 @@
 #include "conflict/transactions.h"
 
+#include <utility>
+
 #include "common/random.h"
 #include "gtest/gtest.h"
 #include "tests/test_util.h"
@@ -68,6 +70,67 @@ TEST_F(TransactionsTest, ConflictingPairStopsEarlyWithIndices) {
   EXPECT_EQ(report->t1_index, 1u);
   EXPECT_EQ(report->t2_index, 1u);
   EXPECT_FALSE(report->detail.empty());
+}
+
+TEST_F(TransactionsTest, DefaultModeStopsAtFirstUncertifiedPair) {
+  // Two uncertified cross pairs: (0,0) and (1,1). The early-exit default
+  // must stop at (0,0) — one pair checked, one pair recorded.
+  std::vector<UpdateOp> t1;
+  t1.push_back(Ins("shop", "<b/>"));
+  t1.push_back(Ins("shop", "<d/>"));
+  std::vector<UpdateOp> t2;
+  t2.push_back(Ins("shop/b", "<c/>"));
+  t2.push_back(Ins("shop/d", "<e/>"));
+  Result<TransactionReport> report = CertifyTransactionsCommute(t1, t2);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->certified);
+  EXPECT_EQ(report->pairs_checked, 1u);
+  ASSERT_EQ(report->uncertified.size(), 1u);
+  EXPECT_EQ(report->uncertified[0], std::make_pair(size_t{0}, size_t{0}));
+  EXPECT_EQ(report->t1_index, 0u);
+  EXPECT_EQ(report->t2_index, 0u);
+}
+
+TEST_F(TransactionsTest, ExhaustiveModeRecordsEveryUncertifiedPair) {
+  // Same transactions; exhaustive mode scans all |T1|·|T2| pairs and
+  // records both bad ones while the first-pair diagnostics stay put.
+  std::vector<UpdateOp> t1;
+  t1.push_back(Ins("shop", "<b/>"));
+  t1.push_back(Ins("shop", "<d/>"));
+  std::vector<UpdateOp> t2;
+  t2.push_back(Ins("shop/b", "<c/>"));
+  t2.push_back(Ins("shop/d", "<e/>"));
+  DetectorOptions options;
+  options.exhaustive = true;
+  Result<TransactionReport> report =
+      CertifyTransactionsCommute(t1, t2, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->certified);
+  EXPECT_EQ(report->pairs_checked, 4u);
+  ASSERT_EQ(report->uncertified.size(), 2u);
+  EXPECT_EQ(report->uncertified[0], std::make_pair(size_t{0}, size_t{0}));
+  EXPECT_EQ(report->uncertified[1], std::make_pair(size_t{1}, size_t{1}));
+  EXPECT_EQ(report->t1_index, 0u);
+  EXPECT_EQ(report->t2_index, 0u);
+  EXPECT_FALSE(report->detail.empty());
+}
+
+TEST_F(TransactionsTest, ExhaustiveModeOnCertifiedPairIsEquivalent) {
+  // On certified transactions, exhaustive and default modes are
+  // indistinguishable: full scan, no uncertified pairs.
+  std::vector<UpdateOp> t1;
+  t1.push_back(Ins("shop/a", "<m/>"));
+  t1.push_back(Del("shop/a/m"));
+  std::vector<UpdateOp> t2;
+  t2.push_back(Ins("shop/b", "<n/>"));
+  DetectorOptions options;
+  options.exhaustive = true;
+  Result<TransactionReport> report =
+      CertifyTransactionsCommute(t1, t2, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->certified);
+  EXPECT_EQ(report->pairs_checked, 2u);
+  EXPECT_TRUE(report->uncertified.empty());
 }
 
 TEST_F(TransactionsTest, CertifiedTransactionsCommuteInPractice) {
