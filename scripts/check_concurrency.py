@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Lock-discipline lint for src/ — the static layer of the concurrency
+model that regexes can enforce (DESIGN "Concurrency model" describes the
+full stack: these rules + Clang -Wthread-safety + TSan).
+
+Rules (each violation prints `path:line: [rule] message`; exit 1 if any):
+
+  bare-primitive   std::mutex / std::shared_mutex / std::lock_guard /
+                   std::scoped_lock / std::unique_lock /
+                   std::condition_variable(_any) may be *named* only in
+                   src/common/mutex.h. Everything else uses xmlup::Mutex /
+                   MutexLock / CondVar so the Clang thread-safety
+                   annotations see every acquisition. Suppress a deliberate
+                   exception with `// concurrency-ok: <reason>` on the line.
+
+  detach           std::thread::detach() is banned outright: a detached
+                   thread outlives every join-based happens-before edge the
+                   relaxed-counter audit relies on. No suppression.
+
+  static-mutable   A namespace-scope `static` object of a mutable type
+                   (vector/map/string/...) that is not const, not atomic,
+                   and not a function must either be XMLUP_GUARDED_BY(...)
+                   or carry `// concurrency-ok: <reason>`. Heuristic by
+                   design — it exists to catch casually added global caches
+                   before TSan has a workload that reaches them.
+
+  relaxed-comment  Every memory_order_relaxed use must justify itself: an
+                   `// ordering:` comment on the same line or within the
+                   preceding few lines (8 — enough for a block-sized
+                   rationale above a multi-line statement). The comment is
+                   the audit trail — see the EntryTable publish-path proof
+                   in pattern_store.cc for the standard it documents.
+
+`--self-test` seeds one violation of each rule into a temp tree and checks
+the lint reports all of them (and that a clean file stays clean), so CI
+notices if a regex rots. Run from the repo root.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+import tempfile
+
+ALLOWED_PRIMITIVE_FILES = {"src/common/mutex.h"}
+SUPPRESS = "concurrency-ok"
+
+BARE_PRIMITIVE = re.compile(
+    r"std::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|lock_guard|"
+    r"scoped_lock|unique_lock|shared_lock|condition_variable(?:_any)?)\b"
+)
+DETACH = re.compile(r"\.detach\(\)")
+RELAXED = re.compile(r"memory_order_relaxed")
+ORDERING_COMMENT = re.compile(r"//.*ordering:")
+# Namespace-scope mutable statics: `static <Type> name...;` where Type is a
+# known-mutable container/cache shape. Indented lines are skipped (class
+# members are GUARDED_BY-checked by Clang; function-local statics with
+# constructors are magic-static-safe and often deliberately leaked).
+STATIC_MUTABLE = re.compile(
+    r"^static\s+(?!const\b|constexpr\b|std::atomic\b)"
+    r"((?:std::)?(?:vector|map|unordered_map|set|unordered_set|deque|"
+    r"list|string)\b[^;(]*;)"
+)
+GUARDED = re.compile(r"XMLUP_GUARDED_BY")
+
+
+def strip_strings(line):
+    """Blanks out string literals so 'std::mutex' in a message or a lint
+    rule's own pattern does not trip the lint."""
+    return re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+
+
+def code_part(line):
+    """The portion of the line before any // comment, strings blanked —
+    what the code rules match against, so that doc comments may *discuss*
+    std::mutex or memory_order_relaxed freely."""
+    return strip_strings(line).split("//", 1)[0]
+
+
+def lint_file(path, rel, violations):
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except (OSError, UnicodeDecodeError) as e:
+        violations.append((rel, 0, "io", str(e)))
+        return
+    for i, raw in enumerate(lines, start=1):
+        line = code_part(raw)
+        suppressed = SUPPRESS in strip_strings(raw)
+
+        if rel not in ALLOWED_PRIMITIVE_FILES and not suppressed:
+            m = BARE_PRIMITIVE.search(line)
+            if m:
+                violations.append(
+                    (rel, i, "bare-primitive",
+                     f"{m.group(0)} outside common/mutex.h — use "
+                     "xmlup::Mutex / MutexLock / CondVar (or annotate the "
+                     f"exception with // {SUPPRESS}: <reason>)"))
+
+        if DETACH.search(line):
+            violations.append(
+                (rel, i, "detach",
+                 "std::thread::detach() is banned (no suppression): "
+                 "detached threads escape every join-based "
+                 "happens-before edge"))
+
+        if STATIC_MUTABLE.search(line) and not suppressed \
+                and not GUARDED.search(line):
+            violations.append(
+                (rel, i, "static-mutable",
+                 "namespace-scope mutable static without "
+                 "XMLUP_GUARDED_BY(...) — guard it or annotate with "
+                 f"// {SUPPRESS}: <reason>"))
+
+        if RELAXED.search(line):
+            window = lines[max(0, i - 9):i]
+            if not any(ORDERING_COMMENT.search(w) for w in window):
+                violations.append(
+                    (rel, i, "relaxed-comment",
+                     "memory_order_relaxed without an `// ordering:` "
+                     "rationale on the line or within the few lines above"))
+
+
+def run(root):
+    root = pathlib.Path(root)
+    violations = []
+    for path in sorted((root / "src").rglob("*")):
+        if path.suffix not in {".h", ".cc", ".cpp", ".hpp"}:
+            continue
+        rel = path.relative_to(root).as_posix()
+        lint_file(path, rel, violations)
+    return violations
+
+
+def self_test():
+    """Seeds one violation per rule; the lint must find exactly those."""
+    bad = """\
+#include <mutex>
+static std::mutex g_bad_mutex;
+void f() {
+  std::thread t(f);
+  t.detach();
+}
+static std::vector<int> g_bad_cache;
+std::atomic<int> g_count{0};
+void g() { g_count.fetch_add(1, std::memory_order_relaxed); }
+"""
+    clean = """\
+#include "common/mutex.h"
+static std::vector<int> g_ok_cache;  // concurrency-ok: written before main
+std::atomic<int> g_ok{0};
+void h() {
+  // ordering: relaxed — test counter, read after join.
+  g_ok.fetch_add(1, std::memory_order_relaxed);
+}
+const char* s() { return "std::mutex in a string is fine"; }
+"""
+    with tempfile.TemporaryDirectory() as tmp:
+        srcdir = pathlib.Path(tmp) / "src"
+        srcdir.mkdir()
+        (srcdir / "bad.cc").write_text(bad)
+        (srcdir / "clean.cc").write_text(clean)
+        violations = run(tmp)
+    got = {(v[0], v[2]) for v in violations}
+    want = {
+        ("src/bad.cc", "bare-primitive"),
+        ("src/bad.cc", "detach"),
+        ("src/bad.cc", "static-mutable"),
+        ("src/bad.cc", "relaxed-comment"),
+    }
+    missing = want - got
+    extra = {g for g in got if g[0] != "src/bad.cc"}
+    if missing:
+        print(f"self-test FAIL: rules not triggered: {sorted(missing)}",
+              file=sys.stderr)
+        return 1
+    if extra:
+        print(f"self-test FAIL: clean file flagged: {sorted(extra)}",
+              file=sys.stderr)
+        return 1
+    print(f"self-test OK: {len(violations)} seeded violations caught, "
+          "clean file clean")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".",
+                        help="repo root (default: cwd)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the lint catches seeded violations")
+    args = parser.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test())
+
+    violations = run(args.root)
+    for rel, line, rule, msg in violations:
+        print(f"{rel}:{line}: [{rule}] {msg}", file=sys.stderr)
+    if violations:
+        print(f"\n{len(violations)} concurrency-lint violation(s).",
+              file=sys.stderr)
+        sys.exit(1)
+    print("concurrency lint: OK")
+
+
+if __name__ == "__main__":
+    main()

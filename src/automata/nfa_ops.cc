@@ -135,7 +135,7 @@ std::optional<ClassWord> NfaProductCache::Intersect(const Nfa& a,
   const PairKey key{a_uid, b_uid};
   Shard& s = shard(key);
   {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     auto it = s.map.find(key);
     if (it != s.map.end()) {
       metrics.hits.Increment();
@@ -147,7 +147,7 @@ std::optional<ClassWord> NfaProductCache::Intersect(const Nfa& a,
   metrics.misses.Increment();
   std::optional<ClassWord> result = IntersectionWitness(a, b);
   {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     s.map.emplace(key, result);
   }
   return result;
@@ -156,7 +156,7 @@ std::optional<ClassWord> NfaProductCache::Intersect(const Nfa& a,
 size_t NfaProductCache::size() const {
   size_t total = 0;
   for (const Shard& s : shards_) {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     total += s.map.size();
   }
   return total;
@@ -164,7 +164,7 @@ size_t NfaProductCache::size() const {
 
 void NfaProductCache::Clear() {
   for (Shard& s : shards_) {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     s.map.clear();
   }
 }

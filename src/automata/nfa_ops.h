@@ -4,12 +4,13 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "automata/nfa.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace xmlup {
 
@@ -66,9 +67,15 @@ class NfaProductCache {
   /// Ablation toggle for bench_detect_hot's warm-NFA-only leg. Disabling
   /// does not drop existing entries; re-enabling resumes hitting them.
   void set_enabled(bool enabled) {
+    // ordering: relaxed — an independent on/off flag; a lookup racing the
+    // toggle may take either path, both of which compute the same verdict
+    // (the cache is a pure memo).
     enabled_.store(enabled, std::memory_order_relaxed);
   }
-  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  bool enabled() const {
+    // ordering: relaxed — see set_enabled.
+    return enabled_.load(std::memory_order_relaxed);
+  }
 
   /// Memoized pairs currently retained (across all shards).
   size_t size() const;
@@ -97,9 +104,12 @@ class NfaProductCache {
       return static_cast<size_t>(packed);
     }
   };
+  /// One of 16 independent (shard mutexes are leaf locks, never nested
+  /// with each other or anything else) hash-partitioned memo maps.
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<PairKey, std::optional<ClassWord>, PairKeyHash> map;
+    mutable Mutex mu;
+    std::unordered_map<PairKey, std::optional<ClassWord>, PairKeyHash> map
+        XMLUP_GUARDED_BY(mu);
   };
 
   static constexpr size_t kNumShards = 16;

@@ -1,0 +1,76 @@
+#ifndef XMLUP_COMMON_THREAD_ANNOTATIONS_H_
+#define XMLUP_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis attributes, so the compiler proves lock
+/// discipline instead of reviewers re-deriving it: which mutex guards which
+/// field (XMLUP_GUARDED_BY), which functions must / must not hold a lock
+/// (XMLUP_REQUIRES / XMLUP_EXCLUDES), and which functions acquire or
+/// release one (XMLUP_ACQUIRE / XMLUP_RELEASE). The annotated capability
+/// types live in common/mutex.h; a build with `-Wthread-safety` (the CI
+/// thread-safety leg runs it with -Werror) then rejects any access to a
+/// guarded field outside its lock.
+///
+/// On compilers without the attributes (GCC, MSVC) every macro expands to
+/// nothing, so annotated headers stay portable. Analysis macro reference:
+/// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#if defined(__clang__) && defined(__has_attribute)
+#define XMLUP_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define XMLUP_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+/// Declares a type to be a capability (lockable). The string names the
+/// capability kind in diagnostics ("mutex").
+#define XMLUP_CAPABILITY(x) XMLUP_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII type whose constructor acquires and destructor
+/// releases a capability (MutexLock).
+#define XMLUP_SCOPED_CAPABILITY XMLUP_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data members: readable/writable only while holding `x`.
+#define XMLUP_GUARDED_BY(x) XMLUP_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer members: the pointed-to data (not the pointer itself) is only
+/// accessible while holding `x`.
+#define XMLUP_PT_GUARDED_BY(x) XMLUP_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Functions: caller must hold the capability (exclusively) on entry, and
+/// the function neither acquires nor releases it.
+#define XMLUP_REQUIRES(...) \
+  XMLUP_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Functions: caller must NOT hold the capability — the function acquires
+/// it itself (deadlock-by-re-entry is a compile error at annotated sites).
+#define XMLUP_EXCLUDES(...) \
+  XMLUP_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Functions that acquire / release a capability and hold it across the
+/// call boundary (Mutex::Lock / Mutex::Unlock, MutexLock's ctor/dtor).
+#define XMLUP_ACQUIRE(...) \
+  XMLUP_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define XMLUP_RELEASE(...) \
+  XMLUP_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Functions that acquire the capability iff they return `b`.
+#define XMLUP_TRY_ACQUIRE(b, ...) \
+  XMLUP_THREAD_ANNOTATION_(try_acquire_capability(b, __VA_ARGS__))
+
+/// Documents lock-ordering constraints between mutexes (deadlock checking
+/// with -Wthread-safety-beta; inert under plain -Wthread-safety).
+#define XMLUP_ACQUIRED_BEFORE(...) \
+  XMLUP_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define XMLUP_ACQUIRED_AFTER(...) \
+  XMLUP_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Functions returning a reference to a capability-guarded field.
+#define XMLUP_RETURN_CAPABILITY(x) \
+  XMLUP_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch for functions whose locking is correct but inexpressible
+/// (e.g. locks handed across threads). Every use needs a comment saying
+/// why the analysis cannot see the invariant.
+#define XMLUP_NO_THREAD_SAFETY_ANALYSIS \
+  XMLUP_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // XMLUP_COMMON_THREAD_ANNOTATIONS_H_

@@ -64,10 +64,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -77,18 +77,18 @@ void ThreadPool::Submit(std::function<void()> task) {
     return;
   }
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
     ++in_flight_;
     PoolMetrics::Get().queue_depth.Add(1);
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
   if (workers_.empty()) return;
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (in_flight_ != 0) all_done_.Wait(mu_);
 }
 
 void ThreadPool::WorkerLoop() {
@@ -96,9 +96,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutting_down_ && queue_.empty()) work_available_.Wait(mu_);
       if (queue_.empty()) return;  // shutting down and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -106,11 +105,13 @@ void ThreadPool::WorkerLoop() {
     }
     RunTimed(task);
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (--in_flight_ == 0) all_done_.notify_all();
+      MutexLock lock(mu_);
+      if (--in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }
+
+bool ThreadPool::OnWorkerThread() { return t_in_pool_worker; }
 
 size_t ThreadPool::DefaultThreadCount() {
 #if defined(__linux__)
@@ -143,7 +144,7 @@ void ParallelFor(ThreadPool* pool, size_t count,
   // below would block a worker on work only workers can drain (deadlock
   // once every worker does it). Run the inner loop inline (null pool) or
   // restructure instead.
-  XMLUP_DCHECK(!t_in_pool_worker)
+  XMLUP_DCHECK(!ThreadPool::OnWorkerThread())
       << "ParallelFor called from inside a ThreadPool worker";
   // Dynamic work stealing off a shared counter: tasks are cheap to skip,
   // so one submission per worker suffices and load-balances uneven items.
@@ -151,7 +152,11 @@ void ParallelFor(ThreadPool* pool, size_t count,
   const size_t fan_out = std::min(pool->num_workers(), count);
   for (size_t w = 0; w < fan_out; ++w) {
     pool->Submit([next, count, &body] {
-      for (size_t i = next->fetch_add(1); i < count; i = next->fetch_add(1)) {
+      // ordering: relaxed — fetch_add is only claiming a unique index;
+      // the iteration's data is handed to the caller through pool Wait()
+      // (the pool mutex), not through this counter.
+      for (size_t i = next->fetch_add(1, std::memory_order_relaxed);
+           i < count; i = next->fetch_add(1, std::memory_order_relaxed)) {
         body(i);
       }
     });

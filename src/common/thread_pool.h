@@ -1,13 +1,14 @@
 #ifndef XMLUP_COMMON_THREAD_POOL_H_
 #define XMLUP_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace xmlup {
 
@@ -24,6 +25,11 @@ namespace xmlup {
 /// Tasks must not throw; an escaping exception terminates the process
 /// (the codebase reports failures through Status/Result, never
 /// exceptions).
+///
+/// Lock inventory: `mu_` guards the queue, the in-flight count and the
+/// shutdown flag; both condition variables wait under it. Workers never
+/// hold `mu_` while running a task, so tasks may take any other lock in
+/// the system — `mu_` is a leaf in the lock order.
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads);
@@ -36,10 +42,16 @@ class ThreadPool {
   size_t num_workers() const { return workers_.size(); }
 
   /// Enqueues `task`; in inline mode runs it immediately.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) XMLUP_EXCLUDES(mu_);
 
   /// Blocks until every task submitted so far has finished.
-  void Wait();
+  void Wait() XMLUP_EXCLUDES(mu_);
+
+  /// True on threads currently executing some ThreadPool's WorkerLoop.
+  /// Blocking entry points that a pool task could reach re-entrantly
+  /// (ParallelFor, the Engine's serialized calls) check this to fail fast
+  /// instead of deadlocking on the pool they are running on.
+  static bool OnWorkerThread();
 
   /// Threads this process can actually run in parallel, with a floor of
   /// 1: the scheduler affinity mask on Linux (correct inside
@@ -50,12 +62,16 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
-  size_t in_flight_ = 0;  // queued + currently executing
-  bool shutting_down_ = false;
+  Mutex mu_;
+  CondVar work_available_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ XMLUP_GUARDED_BY(mu_);
+  /// Queued + currently executing.
+  size_t in_flight_ XMLUP_GUARDED_BY(mu_) = 0;
+  bool shutting_down_ XMLUP_GUARDED_BY(mu_) = false;
+  /// Written only by the constructor, before any worker (or any other
+  /// thread) can observe the pool; const thereafter, so reads (join,
+  /// num_workers) need no lock.
   std::vector<std::thread> workers_;
 };
 

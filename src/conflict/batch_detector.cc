@@ -1,8 +1,10 @@
 #include "conflict/batch_detector.h"
 
 #include <algorithm>
+#include <atomic>
 #include <utility>
 
+#include "common/check.h"
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
 #include "obs/trace.h"
@@ -147,6 +149,24 @@ std::vector<SharedConflictResult> BatchConflictDetector::DetectPairs(
 std::vector<SharedConflictResult> BatchConflictDetector::DetectPairs(
     const std::vector<PatternRef>& reads, const std::vector<UpdateOp>& updates,
     const std::vector<ReadUpdatePair>& pairs) {
+  // Single-caller tripwire (see active_calls_ in the header). RAII so the
+  // count unwinds on every exit path.
+  struct CallScope {
+    explicit CallScope(std::atomic<int>& count) : count_(count) {
+      // ordering: relaxed — a diagnostic counter, not synchronization; the
+      // DCHECK turns a silent cross-thread overlap into a crash with a
+      // message, and a racy interleaving it happens to miss was still a
+      // contract violation TSan reports on cache_ itself.
+      XMLUP_DCHECK(count_.fetch_add(1, std::memory_order_relaxed) == 0)
+          << "BatchConflictDetector is single-caller: two threads are "
+             "inside DetectPairs/DetectMatrix at once. Route concurrent "
+             "batch work through Engine (which serializes on batch_mu_) "
+             "or give each thread its own engine.";
+    }
+    // ordering: relaxed — see above.
+    ~CallScope() { count_.fetch_sub(1, std::memory_order_relaxed); }
+    std::atomic<int>& count_;
+  } call_scope(active_calls_);
   const BatchMetrics& metrics = BatchMetrics::Get();
   obs::TraceRecorder& recorder = obs::TraceRecorder::Default();
   obs::TraceSpan batch_span(recorder, "BatchDetectPairs");

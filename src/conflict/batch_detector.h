@@ -1,6 +1,7 @@
 #ifndef XMLUP_CONFLICT_BATCH_DETECTOR_H_
 #define XMLUP_CONFLICT_BATCH_DETECTOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -211,6 +212,14 @@ class BatchConflictDetector {
   /// Bumped at the start of every (ref-overload) DetectPairs call.
   uint64_t generation_ = 0;
   BatchStats stats_;
+  /// Debug tripwire for the class's single-caller contract (cache_,
+  /// generation_ and stats_ are unsynchronized on purpose — the Engine
+  /// facade serializes on batch_mu_ above this layer). Every public entry
+  /// point funnels into the ref-overload DetectPairs exactly once, which
+  /// holds this count up while it runs; a nonzero count on entry means two
+  /// callers are inside the engine at once and is DCHECK-failed rather
+  /// than left to corrupt the memo cache silently.
+  std::atomic<int> active_calls_{0};
 };
 
 }  // namespace xmlup

@@ -122,6 +122,8 @@ struct PhaseRun {
       if (Clock::now() < arrival) std::this_thread::sleep_until(arrival);
     }
     if (Clock::now() > deadline) {
+      // ordering: relaxed — a monotone sticky flag, only read after the
+      // worker joins (the join supplies the happens-before edge).
       truncated.store(true, std::memory_order_relaxed);
       return std::nullopt;
     }
@@ -565,6 +567,9 @@ Result<DriverReport> Driver::Run() {
         workers.emplace_back([this, &run, &tallies, num_units, w] {
           WorkerTally& tally = tallies[w];
           for (;;) {
+            // ordering: relaxed — pure index claiming: each worker only
+            // needs a distinct unit, and all results are published through
+            // per-worker tallies read after join().
             const size_t unit =
                 run.next_unit.fetch_add(1, std::memory_order_relaxed);
             if (unit >= num_units) break;
@@ -589,6 +594,7 @@ Result<DriverReport> Driver::Run() {
     phase_report.mode = phase.mode;
     phase_report.workers = phase.workers;
     phase_report.ops_planned = phase.ops;
+    // ordering: relaxed — the worker joins above are the synchronization.
     phase_report.truncated = run.truncated.load(std::memory_order_relaxed);
     for (const WorkerTally& tally : tallies) {
       phase_report.ops_completed += tally.ops;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "pattern/xpath_parser.h"
 
 namespace xmlup {
@@ -71,23 +72,36 @@ Result<IndependenceReport> Engine::CertifyCommute(const UpdateOp& a,
   return CertifyUpdatesCommute(a, b, options_.batch.detector);
 }
 
+void Engine::CheckNotOnPoolWorker(const char* entry_point) const {
+  XMLUP_CHECK_STREAM(!ThreadPool::OnWorkerThread())
+      << "Engine::" << entry_point
+      << " called from inside a ThreadPool worker. The serialized entry "
+         "points block on the engine's pool; re-entering them from a pool "
+         "task deadlocks the pool. Issue them from a non-worker thread "
+         "(the hot-path calls — Detect, CertifyCommute, Intern, Bind — "
+         "remain safe anywhere).";
+}
+
 std::vector<SharedConflictResult> Engine::DetectMatrix(
     const std::vector<Pattern>& reads, const std::vector<UpdateOp>& updates) {
-  std::lock_guard<std::mutex> lock(batch_mu_);
+  CheckNotOnPoolWorker("DetectMatrix");
+  MutexLock lock(batch_mu_);
   return batch_->DetectMatrix(reads, updates);
 }
 
 std::vector<SharedConflictResult> Engine::DetectMatrix(
     const std::vector<PatternRef>& reads,
     const std::vector<UpdateOp>& updates) {
-  std::lock_guard<std::mutex> lock(batch_mu_);
+  CheckNotOnPoolWorker("DetectMatrix");
+  MutexLock lock(batch_mu_);
   return batch_->DetectMatrix(reads, updates);
 }
 
 std::vector<SharedConflictResult> Engine::DetectPairs(
     const std::vector<PatternRef>& reads, const std::vector<UpdateOp>& updates,
     const std::vector<ReadUpdatePair>& pairs) {
-  std::lock_guard<std::mutex> lock(batch_mu_);
+  CheckNotOnPoolWorker("DetectPairs");
+  MutexLock lock(batch_mu_);
   return batch_->DetectPairs(reads, updates, pairs);
 }
 
@@ -109,7 +123,8 @@ LintResult Engine::Lint(const Program& program, const LintRunOptions& run) {
   // the lint dtd-violation pass too (one engine = one schema).
   lint_options.dtd = run.dtd != nullptr ? run.dtd : options_.dtd.get();
   lint_options.partition = run.partition;
-  std::lock_guard<std::mutex> lock(batch_mu_);
+  CheckNotOnPoolWorker("Lint");
+  MutexLock lock(batch_mu_);
   // A fresh Linter per call: its memo cache is cold, but the shared store
   // keeps interned patterns and compiled automata warm — the distinct-pair
   // solves, the expensive part, are amortized process-wide.
@@ -118,7 +133,8 @@ LintResult Engine::Lint(const Program& program, const LintRunOptions& run) {
 }
 
 DependenceAnalysisResult Engine::AnalyzeDependences(const Program& program) {
-  std::lock_guard<std::mutex> lock(batch_mu_);
+  CheckNotOnPoolWorker("AnalyzeDependences");
+  MutexLock lock(batch_mu_);
   if (dependence_ == nullptr) {
     BatchDetectorOptions dependence_options = options_.batch;
     dependence_options.store = store_;

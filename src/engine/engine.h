@@ -2,14 +2,15 @@
 #define XMLUP_ENGINE_ENGINE_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "analysis/dependence.h"
 #include "analysis/lint.h"
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "conflict/batch_detector.h"
 #include "conflict/conflict_matrix.h"
 #include "conflict/detector.h"
@@ -58,14 +59,19 @@ struct EngineOptions {
 /// underneath (free Detect, BatchConflictDetector, Linter, ...) remain
 /// public and supported — the facade is wiring, not a wall.
 ///
-/// Thread safety:
+/// Thread safety (the annotated contract; a Clang -Wthread-safety build
+/// enforces the field accesses, and the lock-discipline rules are spelled
+/// out in DESIGN "Concurrency model"):
 ///   - Detect / CertifyCommute / Intern / Bind / InternXPath are safe to
 ///     call from any number of threads concurrently (they ride the store's
 ///     internal locks and the lock-free compiled caches). This is the
-///     driver's hot path.
+///     driver's hot path; it never touches batch_mu_.
 ///   - DetectMatrix / DetectPairs / Lint / AnalyzeDependences serialize on
-///     an internal mutex (one matrix engine, one memo cache); each call
-///     still parallelizes internally on the engine's pool.
+///     batch_mu_ (one matrix engine, one memo cache); each call still
+///     parallelizes internally on the engine's pool. Because they block on
+///     that pool, they must NOT be invoked from inside any ThreadPool
+///     worker — doing so can deadlock the pool, so these entry points
+///     CHECK-fail on re-entrant use from a worker thread.
 ///   - A Session is single-writer (as MaintainedConflictMatrix is), but
 ///     distinct sessions may be driven from distinct threads concurrently:
 ///     each session owns a private inline matrix engine over the shared
@@ -122,14 +128,15 @@ class Engine {
   /// Full N×M matrix / sparse pair set, with memoization across calls.
   /// Layout and determinism guarantees are BatchConflictDetector's.
   std::vector<SharedConflictResult> DetectMatrix(
-      const std::vector<Pattern>& reads, const std::vector<UpdateOp>& updates);
+      const std::vector<Pattern>& reads, const std::vector<UpdateOp>& updates)
+      XMLUP_EXCLUDES(batch_mu_);
   std::vector<SharedConflictResult> DetectMatrix(
       const std::vector<PatternRef>& reads,
-      const std::vector<UpdateOp>& updates);
+      const std::vector<UpdateOp>& updates) XMLUP_EXCLUDES(batch_mu_);
   std::vector<SharedConflictResult> DetectPairs(
       const std::vector<PatternRef>& reads,
       const std::vector<UpdateOp>& updates,
-      const std::vector<ReadUpdatePair>& pairs);
+      const std::vector<ReadUpdatePair>& pairs) XMLUP_EXCLUDES(batch_mu_);
 
   /// --- Sessions ---
 
@@ -180,7 +187,8 @@ class Engine {
   /// Lints a straight-line update program with the engine's detector
   /// configuration. Serialized on the engine mutex; the shared store keeps
   /// compiled automata warm across calls.
-  LintResult Lint(const Program& program, const LintRunOptions& run);
+  LintResult Lint(const Program& program, const LintRunOptions& run)
+      XMLUP_EXCLUDES(batch_mu_);
   LintResult Lint(const Program& program) {
     return Lint(program, LintRunOptions());
   }
@@ -188,7 +196,8 @@ class Engine {
   /// Pairwise data-dependence analysis over a program (the §1 compiler
   /// scenario). Serialized on the engine mutex; the analyzer's memo cache
   /// warms across calls.
-  DependenceAnalysisResult AnalyzeDependences(const Program& program);
+  DependenceAnalysisResult AnalyzeDependences(const Program& program)
+      XMLUP_EXCLUDES(batch_mu_);
 
   /// --- Observability / escape hatches ---
 
@@ -205,15 +214,27 @@ class Engine {
   }
 
  private:
+  /// CHECK-fails when called from a ThreadPool worker: every serialized
+  /// entry point blocks on the engine's pool, and blocking a worker on
+  /// work only workers can drain deadlocks the pool.
+  void CheckNotOnPoolWorker(const char* entry_point) const;
+
+  /// All four members below are set in the constructor and const
+  /// thereafter (the shared_ptrs are never re-seated); the *pointees*
+  /// carry their own locks. batch_'s single-caller contract is what
+  /// batch_mu_ exists for.
   EngineOptions options_;
   std::shared_ptr<SymbolTable> symbols_;
   std::shared_ptr<PatternStore> store_;
   std::shared_ptr<BatchConflictDetector> batch_;
   /// Serializes DetectMatrix/DetectPairs/Lint/AnalyzeDependences over the
-  /// shared single-caller components.
-  std::mutex batch_mu_;
-  /// Lazily built on first AnalyzeDependences (guarded by batch_mu_).
-  std::unique_ptr<DependenceAnalyzer> dependence_;
+  /// shared single-caller components. Lock-ordering rule: batch_mu_ is
+  /// acquired before any lock below it (the store mutex, shard mutexes,
+  /// the pool mutex) and never the other way around — no code path that
+  /// holds a lower-layer lock calls back into the Engine.
+  Mutex batch_mu_;
+  /// Lazily built on first AnalyzeDependences.
+  std::unique_ptr<DependenceAnalyzer> dependence_ XMLUP_GUARDED_BY(batch_mu_);
 };
 
 }  // namespace xmlup

@@ -1,6 +1,7 @@
 #include "merge/merge_executor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <string>
 #include <utility>
 
@@ -95,6 +96,20 @@ MergeExecutor::MergeExecutor(Engine* engine, MergeOptions options)
 Result<MergeReport> MergeExecutor::Merge(
     Tree* tree, const std::vector<std::vector<UpdateOp>>& sessions) const {
   XMLUP_CHECK(tree != nullptr);
+  // Single-caller tripwire (see active_calls_ in the header). RAII so the
+  // count unwinds on early returns.
+  struct CallScope {
+    explicit CallScope(std::atomic<int>& count) : count_(count) {
+      // ordering: relaxed — diagnostic counter only, not synchronization;
+      // overlap it happens to miss is still caught by TSan on the tree.
+      XMLUP_DCHECK(count_.fetch_add(1, std::memory_order_relaxed) == 0)
+          << "MergeExecutor::Merge is single-caller per executor: use one "
+             "executor per thread (they may share the Engine).";
+    }
+    // ordering: relaxed — see above.
+    ~CallScope() { count_.fetch_sub(1, std::memory_order_relaxed); }
+    std::atomic<int>& count_;
+  } call_scope(active_calls_);
   if (!SameSymbolTable(tree->symbols(), engine_->symbols())) {
     return Status::InvalidArgument(
         "merge tree must share the engine's SymbolTable");

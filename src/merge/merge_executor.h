@@ -1,6 +1,7 @@
 #ifndef XMLUP_MERGE_MERGE_EXECUTOR_H_
 #define XMLUP_MERGE_MERGE_EXECUTOR_H_
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <string>
@@ -127,6 +128,12 @@ class MergeExecutor {
   MergeOptions options_;
   /// Null in inline mode (num_threads <= 1).
   std::unique_ptr<ThreadPool> pool_;
+  /// Debug tripwire for Merge()'s single-caller contract: held up for the
+  /// duration of each Merge call and DCHECK-failed on overlap, so a
+  /// cross-thread misuse crashes with a message instead of corrupting the
+  /// tree under mutation. Mutable because Merge is const (the executor's
+  /// configuration really is read-only; the tripwire is bookkeeping).
+  mutable std::atomic<int> active_calls_{0};
 };
 
 /// The sequential reference the merge is checked against: applies every op

@@ -7,10 +7,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace xmlup {
 namespace obs {
@@ -27,18 +29,30 @@ namespace obs {
 /// local statics, which makes the steady-state cost of a named counter one
 /// atomic add.
 
+/// All counter/gauge/histogram updates and reads below are
+/// memory_order_relaxed by design: metrics are monotone statistics, not
+/// synchronization. Nothing is published *through* a metric — readers
+/// (Snapshot, the accounting-invariant tests) tolerate seeing a value a
+/// few increments behind, and any cross-metric identity (calls == hits +
+/// misses) is only asserted after the threads that wrote it were joined,
+/// which supplies the happens-before edge the relaxed accesses omit.
 class Counter {
  public:
   void Increment(uint64_t n = 1) {
 #ifndef XMLUP_OBS_DISABLED
+    // ordering: relaxed — statistics only; see class comment.
     value_.fetch_add(n, std::memory_order_relaxed);
 #else
     (void)n;
 #endif
   }
 
-  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  uint64_t value() const {
+    // ordering: relaxed — statistics only; see class comment.
+    return value_.load(std::memory_order_relaxed);
+  }
 
+  // ordering: relaxed — statistics only; see class comment.
   void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
@@ -49,6 +63,7 @@ class Gauge {
  public:
   void Set(int64_t v) {
 #ifndef XMLUP_OBS_DISABLED
+    // ordering: relaxed — statistics only; see Counter's class comment.
     value_.store(v, std::memory_order_relaxed);
 #else
     (void)v;
@@ -57,14 +72,19 @@ class Gauge {
 
   void Add(int64_t delta) {
 #ifndef XMLUP_OBS_DISABLED
+    // ordering: relaxed — statistics only; see Counter's class comment.
     value_.fetch_add(delta, std::memory_order_relaxed);
 #else
     (void)delta;
 #endif
   }
 
-  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  int64_t value() const {
+    // ordering: relaxed — statistics only; see Counter's class comment.
+    return value_.load(std::memory_order_relaxed);
+  }
 
+  // ordering: relaxed — statistics only; see Counter's class comment.
   void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
@@ -125,6 +145,9 @@ class Histogram {
 
   void Observe(uint64_t value) {
 #ifndef XMLUP_OBS_DISABLED
+    // ordering: relaxed — statistics only (see Counter's class comment);
+    // the three adds are not a consistent triple and Data() documents
+    // that its copy is per-bucket atomic, not a cross-bucket cut.
     buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(value, std::memory_order_relaxed);
@@ -133,9 +156,12 @@ class Histogram {
 #endif
   }
 
+  // ordering: relaxed — statistics only; see Counter's class comment.
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  // ordering: relaxed — statistics only; see Counter's class comment.
   uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
   uint64_t bucket(size_t index) const {
+    // ordering: relaxed — statistics only; see Counter's class comment.
     return buckets_[index].load(std::memory_order_relaxed);
   }
 
@@ -201,10 +227,15 @@ class MetricsRegistry {
   static MetricsRegistry& Default();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  /// Guards the name→metric maps (registration and snapshot); the metric
+  /// values themselves are atomics updated without it. Leaf lock.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      XMLUP_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      XMLUP_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      XMLUP_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

@@ -7,7 +7,7 @@ namespace xmlup {
 namespace obs {
 namespace {
 
-std::atomic<uint32_t> next_thread_id{0};
+std::atomic<uint32_t> next_thread_id{0};  // concurrency-ok: atomic id mint
 
 /// Per-thread span nesting depth; TraceSpan maintains it even while the
 /// recorder is enabled mid-stack so depths stay consistent.
@@ -23,6 +23,8 @@ void AppendEscaped(std::string* out, const char* s) {
 }  // namespace
 
 uint32_t CurrentThreadId() {
+  // ordering: relaxed — the fetch_add only needs to mint unique ids;
+  // nothing else is published through the counter.
   thread_local const uint32_t id =
       next_thread_id.fetch_add(1, std::memory_order_relaxed);
   return id;
@@ -31,7 +33,16 @@ uint32_t CurrentThreadId() {
 TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
 
 uint64_t TraceRecorder::NowMicros() const {
-  if (test_clock_) return test_clock_();
+  // Race fix (found in the concurrency-layer audit): test_clock_ used to
+  // be read here without the lock while SetClockForTest wrote it under
+  // it — a genuine data race on the std::function if a test installed a
+  // clock while another thread held an open span. NowMicros is only
+  // reached when the recorder is enabled (TraceSpan checks first), so the
+  // lock is off the disabled fast path entirely.
+  {
+    MutexLock lock(mu_);
+    if (test_clock_) return test_clock_();
+  }
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - epoch_)
@@ -40,25 +51,27 @@ uint64_t TraceRecorder::NowMicros() const {
 
 void TraceRecorder::Record(const TraceEvent& event) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   events_.push_back(event);
 }
 
 void TraceRecorder::MergeThreadEvents(std::vector<TraceEvent> events) {
   if (!enabled() || events.empty()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   events_.insert(events_.end(), events.begin(), events.end());
+  // ordering: relaxed — statistics only; see merge_count().
   merge_count_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::vector<TraceEvent> TraceRecorder::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return events_;
 }
 
 void TraceRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   events_.clear();
+  // ordering: relaxed — statistics only; see merge_count().
   merge_count_.store(0, std::memory_order_relaxed);
 }
 
@@ -131,7 +144,7 @@ TraceRecorder& TraceRecorder::Default() {
 }
 
 void TraceRecorder::SetClockForTest(std::function<uint64_t()> now_us) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   test_clock_ = std::move(now_us);
 }
 

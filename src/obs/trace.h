@@ -5,9 +5,11 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace xmlup {
 namespace obs {
@@ -49,8 +51,13 @@ class TraceRecorder {
   TraceRecorder(const TraceRecorder&) = delete;
   TraceRecorder& operator=(const TraceRecorder&) = delete;
 
-  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  bool enabled() const {
+    // ordering: relaxed — an independent on/off flag; a span racing the
+    // toggle is either recorded or skipped, both acceptable outcomes.
+    return enabled_.load(std::memory_order_relaxed);
+  }
   void set_enabled(bool enabled) {
+    // ordering: relaxed — see enabled().
     enabled_.store(enabled, std::memory_order_relaxed);
   }
 
@@ -66,6 +73,8 @@ class TraceRecorder {
 
   /// Number of MergeThreadEvents() calls that appended something.
   uint64_t merge_count() const {
+    // ordering: relaxed — statistics only, asserted after joins (which
+    // supply the happens-before edge) in tests.
     return merge_count_.load(std::memory_order_relaxed);
   }
 
@@ -94,10 +103,13 @@ class TraceRecorder {
  private:
   std::atomic<bool> enabled_{false};
   std::atomic<uint64_t> merge_count_{0};
+  /// Set once in the constructor, const thereafter — lock-free to read.
   std::chrono::steady_clock::time_point epoch_;
-  std::function<uint64_t()> test_clock_;  // guarded by mu_ for writes
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
+  /// Guards the event buffer and the test clock. Leaf lock: Record /
+  /// Snapshot / NowMicros never call out while holding it.
+  mutable Mutex mu_;
+  std::function<uint64_t()> test_clock_ XMLUP_GUARDED_BY(mu_);
+  std::vector<TraceEvent> events_ XMLUP_GUARDED_BY(mu_);
 };
 
 /// RAII span: opens on construction, records on destruction. Does nothing

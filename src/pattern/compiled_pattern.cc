@@ -45,6 +45,10 @@ CompiledPattern::CompiledPattern(const Pattern& stored)
   }
 
   const size_t length = chain_.size();
+  // ordering: relaxed — pure id minting: all that matters is that each
+  // claim returns a distinct range, which fetch_add's atomicity alone
+  // guarantees. The uids only reach other threads inside this object,
+  // whose publication (the store's entry latch) carries the ordering.
   uid_base_ = g_next_uid.fetch_add(2 * length, std::memory_order_relaxed);
 
   prefixes_.reserve(length);

@@ -112,9 +112,12 @@ static constexpr size_t ChunkOf(size_t adjusted, size_t first_chunk_size) {
 }
 
 PatternStore::EntryTable::~EntryTable() {
+  // ordering: relaxed — destruction is single-threaded by contract (no
+  // reader or writer may overlap the store's destructor).
   const size_t n = size_.load(std::memory_order_relaxed);
   for (size_t id = 0; id < n; ++id) at(id).~Entry();
   for (std::atomic<Entry*>& slot : chunks_) {
+    // ordering: relaxed — same single-threaded destructor context.
     Entry* chunk = slot.load(std::memory_order_relaxed);
     if (chunk != nullptr) ::operator delete(static_cast<void*>(chunk));
   }
@@ -123,26 +126,40 @@ PatternStore::EntryTable::~EntryTable() {
 PatternStore::Entry& PatternStore::EntryTable::at(size_t id) const {
   const size_t adjusted = id + kFirstChunkSize;
   const size_t c = ChunkOf(adjusted, kFirstChunkSize);
-  // Relaxed is enough: the caller observed a size() covering `id`, and
-  // that acquire synchronizes with the writer's release publication of
-  // both the chunk pointer and the entry contents.
+  // ordering: relaxed — the publication edge is size_, not the chunk
+  // pointer. The caller observed a size() covering `id`; that acquire
+  // synchronizes with the writer's release store of size_, which is
+  // sequenced after both the chunk-pointer store and the entry's
+  // placement-construction (writers are serialized by the store mutex, so
+  // the edge holds across writer threads too). This load therefore cannot
+  // observe a null or stale chunk for a published id. Audited for the
+  // concurrency layer — see DESIGN "Concurrency model".
   Entry* chunk = chunks_[c].load(std::memory_order_relaxed);
   return chunk[adjusted - (kFirstChunkSize << c)];
 }
 
 PatternStore::Entry& PatternStore::EntryTable::Append(Entry entry) {
+  // ordering: relaxed — writers are serialized by the store mutex, so the
+  // previous Append's size_ store happens-before this load via the mutex.
   const size_t id = size_.load(std::memory_order_relaxed);
   const size_t adjusted = id + kFirstChunkSize;
   const size_t c = ChunkOf(adjusted, kFirstChunkSize);
   XMLUP_CHECK_STREAM(c < kNumChunks) << "PatternStore entry table is full";
+  // ordering: relaxed — same mutex-serialized writer context as above.
   Entry* chunk = chunks_[c].load(std::memory_order_relaxed);
   if (chunk == nullptr) {
     chunk = static_cast<Entry*>(
         ::operator new((kFirstChunkSize << c) * sizeof(Entry)));
+    // Release is redundant with the release on size_ below (the real
+    // publication edge) but kept so the chunk pointer is independently
+    // safe to audit.
     chunks_[c].store(chunk, std::memory_order_release);
   }
   Entry* slot =
       new (&chunk[adjusted - (kFirstChunkSize << c)]) Entry(std::move(entry));
+  // The publication point: release makes the chunk pointer and the fully
+  // constructed entry visible to every reader that acquire-loads a size
+  // covering `id` (EntryTable::size()).
   size_.store(id + 1, std::memory_order_release);
   return *slot;
 }
@@ -156,7 +173,7 @@ PatternStore::~PatternStore() = default;
 PatternRef PatternStore::Intern(const Pattern& p) {
   XMLUP_CHECK_STREAM(p.has_root()) << "PatternStore::Intern: empty pattern";
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (symbols_ == nullptr) {
       symbols_ = p.symbols();
     } else {
@@ -170,7 +187,7 @@ PatternRef PatternStore::Intern(const Pattern& p) {
   const StoreMetrics& metrics = StoreMetrics::Get();
   std::string code = CanonicalPatternCode(p);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = by_code_.find(code);
     if (it != by_code_.end()) {
       metrics.hits.Increment();
@@ -182,7 +199,7 @@ PatternRef PatternStore::Intern(const Pattern& p) {
   Pattern stored = options_.minimize ? MinimizePattern(p) : p;
   std::string stored_code =
       options_.minimize ? CanonicalPatternCode(stored) : code;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (auto it = by_code_.find(code); it != by_code_.end()) {
     metrics.hits.Increment();
     return PatternRef(it->second);
@@ -268,7 +285,7 @@ const TypeSummary& PatternStore::type_summary(PatternRef ref,
   // A schema other than the latched one (several Dtds over one store —
   // rare): serve from the mutex-guarded secondary map. Building under mu_
   // is acceptable off the designed one-schema path.
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto key = std::make_pair(ref.id(), &dtd);
   auto it = extra_type_summaries_.find(key);
   if (it == extra_type_summaries_.end()) {
@@ -286,7 +303,7 @@ const TypeSummary& PatternStore::type_summary(PatternRef ref,
 uint32_t PatternStore::InternContentCode(const Tree& content) {
   const StoreMetrics& metrics = StoreMetrics::Get();
   std::string code = CanonicalCode(content);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto [it, inserted] =
       content_ids_.emplace(std::move(code),
                            static_cast<uint32_t>(content_ids_.size()));
@@ -302,7 +319,7 @@ uint32_t PatternStore::InternContentCode(const Tree& content) {
 size_t PatternStore::size() const { return entries_.size(); }
 
 std::shared_ptr<SymbolTable> PatternStore::symbols() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return symbols_;
 }
 

@@ -7,11 +7,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
+#include <mutex>  // concurrency-ok: std::once_flag latches only; locking goes through common/mutex.h
 #include <string>
 #include <unordered_map>
 #include <utility>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "pattern/compiled_pattern.h"
 #include "pattern/pattern.h"
 
@@ -236,19 +238,28 @@ class PatternStore {
   const Entry& entry(PatternRef ref) const;
 
   const PatternStoreOptions options_;
-  mutable std::mutex mu_;
-  std::shared_ptr<SymbolTable> symbols_;
+  /// The store's one writer-side lock: guards the intern index maps and
+  /// the symbol-table binding. Deliberately NOT held on the resolution
+  /// hot path — entries_ publishes lock-free (see EntryTable) and the
+  /// per-entry latches are std::once_flag. Leaf lock: nothing in this
+  /// class takes another lock while holding it (minimization and summary
+  /// construction run outside it by design).
+  mutable Mutex mu_;
+  std::shared_ptr<SymbolTable> symbols_ XMLUP_GUARDED_BY(mu_);
+  /// Not GUARDED_BY(mu_): readers resolve entries lock-free through the
+  /// table's acquire-published size; only Append (serialized by mu_)
+  /// writes.
   EntryTable entries_;
   /// Canonical input code → entry id. Contains every *input* code seen
   /// (aliases) plus every stored code, so equivalent inputs that minimize
   /// to one entry each pay minimization only once.
-  std::unordered_map<std::string, uint32_t> by_code_;
-  std::unordered_map<std::string, uint32_t> content_ids_;
+  std::unordered_map<std::string, uint32_t> by_code_ XMLUP_GUARDED_BY(mu_);
+  std::unordered_map<std::string, uint32_t> content_ids_ XMLUP_GUARDED_BY(mu_);
   /// Overflow path of type_summary(): summaries for Dtds other than the
-  /// one an entry latched first. Rare by design; guarded by mu_.
+  /// one an entry latched first. Rare by design.
   mutable std::map<std::pair<uint32_t, const Dtd*>,
                    std::unique_ptr<const TypeSummary>>
-      extra_type_summaries_;
+      extra_type_summaries_ XMLUP_GUARDED_BY(mu_);
 };
 
 }  // namespace xmlup

@@ -5,7 +5,7 @@
 namespace xmlup {
 
 Label SymbolTable::Intern(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(std::string(name));
   if (it != index_.end()) return it->second;
   const Label label = static_cast<Label>(names_.size());
@@ -15,19 +15,19 @@ Label SymbolTable::Intern(std::string_view name) {
 }
 
 Label SymbolTable::Lookup(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(std::string(name));
   return it == index_.end() ? kInvalidLabel : it->second;
 }
 
 const std::string& SymbolTable::Name(Label label) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   XMLUP_DCHECK(label < names_.size()) << "label " << label << " out of range";
   return names_[label];
 }
 
 Label SymbolTable::Fresh(std::string_view prefix) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
     std::string candidate(prefix);
     candidate += '$';
@@ -42,7 +42,7 @@ Label SymbolTable::Fresh(std::string_view prefix) {
 }
 
 size_t SymbolTable::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return names_.size();
 }
 

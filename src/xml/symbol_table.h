@@ -4,10 +4,12 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace xmlup {
 
@@ -58,12 +60,14 @@ class SymbolTable {
   static const std::shared_ptr<SymbolTable>& Shared();
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Label> index_;
+  /// Guards every field; all methods are lock-then-touch. Leaf lock:
+  /// nothing is called out to while it is held.
+  mutable Mutex mu_;
+  std::unordered_map<std::string, Label> index_ XMLUP_GUARDED_BY(mu_);
   /// Deque, not vector: growth never relocates stored strings, so Name()
-  /// references stay valid without holding the lock.
-  std::deque<std::string> names_;
-  uint64_t fresh_counter_ = 0;
+  /// references stay valid after the lock is dropped.
+  std::deque<std::string> names_ XMLUP_GUARDED_BY(mu_);
+  uint64_t fresh_counter_ XMLUP_GUARDED_BY(mu_) = 0;
 };
 
 /// True iff `a` and `b` are the same table, i.e. their Labels are mutually

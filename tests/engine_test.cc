@@ -4,6 +4,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "conflict/detector.h"
 #include "gtest/gtest.h"
 #include "test_util.h"
@@ -185,6 +186,28 @@ TEST_F(EngineTest, BatchStatsAndMetricsAreReachable) {
   EXPECT_GE(engine_.batch_stats().pairs_total, 1u);
   const obs::MetricsSnapshot snapshot = engine_.MetricsSnapshot();
   EXPECT_FALSE(snapshot.counters.empty());
+}
+
+using EngineDeathTest = EngineTest;
+
+TEST_F(EngineDeathTest, SerializedEntryPointsRejectPoolWorkerReentrancy) {
+  // Calling a serialized entry point from inside a ThreadPool worker can
+  // deadlock the pool (the call blocks the worker on work only workers
+  // can drain), so the facade CHECK-fails instead of hanging. The death
+  // test pins the crash-with-message behavior; "threadsafe" style because
+  // the statement spawns threads.
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  const std::vector<Pattern> reads = {P("a/b")};
+  const std::vector<UpdateOp> updates = {*UpdateOp::MakeDelete(P("a/b"))};
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(2);  // >= 2: inline mode has no workers
+        pool.Submit([&] { engine_.DetectMatrix(reads, updates); });
+        pool.Wait();
+      },
+      "called from inside a ThreadPool worker");
+  // The same call from a non-worker thread (this one) stays legal.
+  EXPECT_EQ(engine_.DetectMatrix(reads, updates).size(), 1u);
 }
 
 }  // namespace

@@ -168,6 +168,32 @@ TEST(ThreadPoolTest, QueueDepthAggregatesAcrossConcurrentPools) {
   }
 }
 
+TEST(ThreadPoolTest, OnWorkerThreadIdentifiesPoolWorkers) {
+  // The predicate behind Engine's pool-worker re-entrancy CHECK: false on
+  // ordinary threads (and in inline mode, where Submit runs the task on
+  // the caller), true inside a real worker.
+  EXPECT_FALSE(ThreadPool::OnWorkerThread());
+
+  ThreadPool inline_pool(1);
+  bool inline_seen = true;
+  inline_pool.Submit([&] { inline_seen = ThreadPool::OnWorkerThread(); });
+  inline_pool.Wait();
+  EXPECT_FALSE(inline_seen);
+
+  ThreadPool pool(2);
+  std::atomic<int> on_worker{0};
+  constexpr int kTasks = 8;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&] {
+      if (ThreadPool::OnWorkerThread()) on_worker.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(on_worker.load(), kTasks);
+  // The flag is thread-local, not sticky process state.
+  EXPECT_FALSE(ThreadPool::OnWorkerThread());
+}
+
 #ifndef NDEBUG
 TEST(ThreadPoolDeathTest, NestedParallelForIsUnsupported) {
   // A ParallelFor from inside a pool worker would Wait() on the pool that
